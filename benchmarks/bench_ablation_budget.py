@@ -1,0 +1,65 @@
+"""ABL-BUDGET — sensitivity to Rau's budget ratio and DMS restarts.
+
+Two scheduling-effort knobs:
+
+* ``budget_ratio`` (Rau's IMS budget, default 6) bounds placements per
+  operation within one II attempt;
+* ``restarts_per_ii`` (DMS) retries a failed II with a rotated greedy
+  order before giving up.
+
+More effort must never produce *worse* aggregate II, and the defaults
+should already capture nearly all of the quality.
+"""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.experiments import SweepConfig, run_sweep
+
+RINGS = (8,)
+
+
+def total_dms_ii(runs):
+    return sum(r.ii for r in runs if r.scheduler == "dms")
+
+
+@pytest.fixture(scope="module")
+def default_runs(suite_loops):
+    return run_sweep(suite_loops, SweepConfig(cluster_counts=RINGS))
+
+
+def test_budget_sensitivity(benchmark, suite_loops, default_runs):
+    def sweep_lean():
+        return run_sweep(
+            suite_loops,
+            SweepConfig(
+                cluster_counts=RINGS,
+                scheduler_config=SchedulerConfig(budget_ratio=2),
+            ),
+        )
+
+    lean_runs = benchmark.pedantic(sweep_lean, rounds=1, iterations=1)
+    default_ii = total_dms_ii(default_runs)
+    lean_ii = total_dms_ii(lean_runs)
+    print()
+    print(f"aggregate DMS II at 8 clusters   budget 6: {default_ii}   budget 2: {lean_ii}")
+    # A larger budget may only help.
+    assert default_ii <= lean_ii
+
+
+def test_restart_sensitivity(suite_loops, default_runs):
+    single_pass = run_sweep(
+        suite_loops,
+        SweepConfig(
+            cluster_counts=RINGS,
+            scheduler_config=SchedulerConfig(restarts_per_ii=1),
+        ),
+    )
+    default_ii = total_dms_ii(default_runs)
+    single_ii = total_dms_ii(single_pass)
+    print()
+    print(
+        f"aggregate DMS II at 8 clusters   restarts 3: {default_ii}   "
+        f"restarts 1: {single_ii}"
+    )
+    assert default_ii <= single_ii

@@ -1,0 +1,56 @@
+"""ABL-COPYFU — extra Copy FUs shrink the wide-ring overhead.
+
+The paper's conclusion: "A larger overhead was observed for wider-issue
+machines, although that could be minimized by using additional FUs to
+schedule move operations."  We rerun the wide-ring part of figure 4 with
+2 Copy FUs per cluster and check the overhead does not grow — the move
+bottleneck is the binding constraint the paper identified.
+"""
+
+import pytest
+
+from repro.experiments import SweepConfig, ii_overhead_fraction, run_sweep
+from repro.machine import ClusterSpec
+
+WIDE_RINGS = (6, 8, 10)
+
+
+@pytest.fixture(scope="module")
+def one_copy_runs(suite_loops):
+    spec = ClusterSpec(copy=1)
+    return run_sweep(
+        suite_loops, SweepConfig(cluster_counts=WIDE_RINGS, cluster_spec=spec)
+    )
+
+
+def test_extra_copy_fus_reduce_overhead(benchmark, suite_loops, one_copy_runs):
+    def sweep_two_copy():
+        spec = ClusterSpec(copy=2)
+        return run_sweep(
+            suite_loops,
+            SweepConfig(cluster_counts=WIDE_RINGS, cluster_spec=spec),
+        )
+
+    two_copy_runs = benchmark.pedantic(sweep_two_copy, rounds=1, iterations=1)
+
+    print()
+    print(f"{'clusters':>8} {'1 copy FU %':>12} {'2 copy FUs %':>13}")
+    total_one = 0.0
+    total_two = 0.0
+    for k in WIDE_RINGS:
+        one = 100.0 * ii_overhead_fraction(one_copy_runs, k)
+        two = 100.0 * ii_overhead_fraction(two_copy_runs, k)
+        total_one += one
+        total_two += two
+        print(f"{k:>8} {one:>12.2f} {two:>13.2f}")
+
+    # The second Copy FU must not make the wide-ring overhead worse, and
+    # in aggregate it should help (the paper's remedy).
+    assert total_two <= total_one + 1e-9
+
+
+def test_extra_copy_fus_preserve_useful_fu_count(suite_loops, one_copy_runs):
+    """Copy FUs are excluded from the paper's FU totals: the x axis of
+    figures 5/6 must not shift."""
+    for run in one_copy_runs:
+        assert run.useful_fus == 3 * run.clusters

@@ -1,0 +1,58 @@
+"""ABL-SINGLEUSE — copy-chain shape: the paper's linear chain vs a tree.
+
+The single-use rewrite can spread copies along a linear chain (the
+paper's shape, which distributes move pressure away from the producer)
+or a balanced binary tree (shallower added latency).  Both must deliver
+valid schedules; the bench compares aggregate DMS II and copy counts.
+"""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.experiments import SweepConfig, run_sweep
+
+RINGS = (4, 8)
+
+
+def total_dms_ii(runs):
+    return sum(r.ii for r in runs if r.scheduler == "dms")
+
+
+@pytest.fixture(scope="module")
+def chain_runs(suite_loops):
+    return run_sweep(
+        suite_loops,
+        SweepConfig(
+            cluster_counts=RINGS,
+            scheduler_config=SchedulerConfig(single_use_strategy="chain"),
+        ),
+    )
+
+
+def test_single_use_chain_vs_tree(benchmark, suite_loops, chain_runs):
+    def sweep_tree():
+        return run_sweep(
+            suite_loops,
+            SweepConfig(
+                cluster_counts=RINGS,
+                scheduler_config=SchedulerConfig(single_use_strategy="tree"),
+            ),
+        )
+
+    tree_runs = benchmark.pedantic(sweep_tree, rounds=1, iterations=1)
+
+    chain_ii = total_dms_ii(chain_runs)
+    tree_ii = total_dms_ii(tree_runs)
+    chain_copies = sum(r.n_copies for r in chain_runs if r.scheduler == "dms")
+    tree_copies = sum(r.n_copies for r in tree_runs if r.scheduler == "dms")
+    print()
+    print(f"aggregate DMS II    chain: {chain_ii}    tree: {tree_ii}")
+    print(f"copies inserted     chain: {chain_copies}    tree: {tree_copies}")
+
+    # Same number of copies either way (n-2 copies serve n consumers in
+    # both shapes); both must schedule the entire suite.
+    assert chain_copies == tree_copies
+    assert len(tree_runs) == len(chain_runs)
+    # The shapes should perform comparably; neither may collapse.
+    assert tree_ii <= 1.25 * chain_ii
+    assert chain_ii <= 1.25 * tree_ii

@@ -1,0 +1,49 @@
+"""ABL-TOPOLOGY — what the bi-directional ring buys.
+
+The paper's machine connects clusters in a bi-directional ring; section
+3 lists "the number of possible paths to create a chain should be
+small" among the architecture properties DMS needs.  A linear array is
+the nearest alternative: one chain path per far pair, longer worst-case
+distances, end clusters with a single neighbour.  The ring should
+produce (weakly) less II overhead.
+"""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.experiments import SweepConfig, ii_overhead_fraction, run_sweep
+
+from .conftest import render
+
+RINGS = (4, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def ring_runs(suite_loops):
+    return run_sweep(
+        suite_loops, SweepConfig(cluster_counts=RINGS, topology="ring")
+    )
+
+
+def test_ring_beats_linear_array(benchmark, suite_loops, ring_runs):
+    def sweep_linear():
+        return run_sweep(
+            suite_loops, SweepConfig(cluster_counts=RINGS, topology="linear")
+        )
+
+    linear_runs = benchmark.pedantic(sweep_linear, rounds=1, iterations=1)
+
+    print()
+    print(f"{'clusters':>8} {'ring %':>8} {'linear %':>9}")
+    ring_total = 0.0
+    linear_total = 0.0
+    for k in RINGS:
+        ring = 100.0 * ii_overhead_fraction(ring_runs, k)
+        linear = 100.0 * ii_overhead_fraction(linear_runs, k)
+        ring_total += ring
+        linear_total += linear
+        print(f"{k:>8} {ring:>8.2f} {linear:>9.2f}")
+
+    # The wraparound link can only help: aggregate overhead must not be
+    # worse on the ring.
+    assert ring_total <= linear_total + 1e-9

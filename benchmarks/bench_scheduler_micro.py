@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the scheduler components (real timing runs).
+
+These time the hot pieces of the library on representative inputs:
+MII bounds, the transforms, IMS, and DMS at two ring widths.  Useful for
+tracking implementation performance regressions, not paper claims.
+"""
+
+import pytest
+
+from repro.ir import DEFAULT_LATENCIES
+from repro.ir.transforms import single_use_ddg, unroll_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+    compute_mii,
+)
+from repro.workloads import make_kernel
+
+
+@pytest.fixture(scope="module")
+def fir_ddg():
+    return make_kernel("fir_filter", taps=10).ddg
+
+
+@pytest.fixture(scope="module")
+def lms_ddg():
+    return make_kernel("lms_update", taps=5).ddg
+
+
+def test_mii_computation(benchmark, lms_ddg):
+    machine = unclustered_vliw(4)
+    result = benchmark(lambda: compute_mii(lms_ddg, machine, DEFAULT_LATENCIES))
+    assert result.mii >= 1
+
+
+def test_unroll_transform(benchmark, fir_ddg):
+    unrolled = benchmark(lambda: unroll_ddg(fir_ddg, 8))
+    assert len(unrolled) == 8 * len(fir_ddg)
+
+
+def test_single_use_transform(benchmark, fir_ddg):
+    transformed = benchmark(lambda: single_use_ddg(unroll_ddg(fir_ddg, 4)))
+    assert len(transformed) >= 4 * len(fir_ddg)
+
+
+def test_ims_throughput(benchmark, fir_ddg):
+    machine = unclustered_vliw(4)
+    ddg = unroll_ddg(fir_ddg, 4)
+    scheduler = IterativeModuloScheduler(machine)
+    result = benchmark(lambda: scheduler.schedule(ddg.copy()))
+    assert result.ii >= 1
+
+
+def test_dms_throughput_narrow(benchmark, fir_ddg):
+    machine = clustered_vliw(4)
+    ddg = single_use_ddg(unroll_ddg(fir_ddg, 4))
+    scheduler = DistributedModuloScheduler(machine)
+    result = benchmark(lambda: scheduler.schedule(ddg.copy()))
+    assert result.ii >= 1
+
+
+def test_dms_throughput_wide(benchmark, lms_ddg):
+    machine = clustered_vliw(8)
+    ddg = single_use_ddg(lms_ddg)
+    scheduler = DistributedModuloScheduler(machine)
+    result = benchmark(lambda: scheduler.schedule(ddg.copy()))
+    assert result.ii >= 1

@@ -1,0 +1,37 @@
+"""Supplementary — storage requirements (the paper's section-1 premise).
+
+"The scalability of VLIW architectures is still constrained by the size
+and number of ports of the register file required by a large number of
+functional units."  We measure MaxLive on the unclustered machines (the
+central RF each would need) against the largest queue file any cluster
+of the DMS-scheduled machine owns, across the width sweep.
+"""
+
+from repro.experiments import storage_report, storage_sweep
+
+from .conftest import BENCH_LOOPS, BENCH_SEED, render
+from repro.workloads import perfect_club_surrogate
+
+CLUSTERS = (1, 2, 4, 6, 8, 10)
+
+
+def test_storage_requirements(benchmark):
+    loops = perfect_club_surrogate(max(8, BENCH_LOOPS // 4), seed=BENCH_SEED)
+
+    def sweep():
+        return storage_sweep(loops, cluster_counts=CLUSTERS)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figure = storage_report(points)
+    render(figure)
+
+    maxlive = figure.series["central_rf_maxlive"]
+    largest_file = figure.series["largest_cluster_file"]
+
+    # The central register file's pressure grows with machine width...
+    assert maxlive[-1] > maxlive[0]
+    # ... while the largest structure any cluster owns stays bounded and,
+    # at the widest machines, far below the central file's demand.
+    assert largest_file[-1] < maxlive[-1]
+    growth = largest_file[-1] / max(1.0, largest_file[0])
+    assert growth < 2.0

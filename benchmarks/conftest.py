@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper-figure benchmarks share one machine sweep (1-10 clusters) over
+the surrogate suite.  ``REPRO_BENCH_LOOPS`` scales the workload:
+
+* default 48 — a representative sample, minutes of total runtime;
+* 1258 — the paper's full population (tens of minutes, pure Python).
+
+Benchmarks assert the *shape* of each figure (who wins, where the knee
+sits) with tolerances wide enough for the sampled suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.workloads import perfect_club_surrogate
+
+BENCH_LOOPS = int(os.environ.get("REPRO_BENCH_LOOPS", "48"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1999"))
+FULL_CLUSTER_RANGE = tuple(range(1, 11))
+
+
+@pytest.fixture(scope="session")
+def suite_loops():
+    return perfect_club_surrogate(BENCH_LOOPS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_sweep(suite_loops):
+    """The figure-4/5/6 sweep, shared by every figure benchmark."""
+    return run_sweep(
+        suite_loops, SweepConfig(cluster_counts=FULL_CLUSTER_RANGE)
+    )
+
+
+def render(figure) -> None:
+    """Print a regenerated figure below the benchmark output."""
+    print()
+    print(figure.render_table())

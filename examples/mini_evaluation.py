@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's whole evaluation (figures 4, 5, 6).
+
+Runs a 48-loop sample of the Perfect Club surrogate through the full
+machine sweep (1-8 clusters) and prints the three figures plus the
+backtracking comparison.  The full-size run (1258 loops, 1-10 clusters)
+is `repro all-figures`; this one finishes in under a minute.
+
+Run:  python examples/mini_evaluation.py
+"""
+
+import time
+
+from repro.experiments import (
+    SweepConfig,
+    backtracking_report,
+    figure4,
+    figure5,
+    figure6,
+    run_sweep,
+)
+from repro.workloads import perfect_club_surrogate, suite_stats
+
+
+def main() -> None:
+    loops = perfect_club_surrogate(48, seed=1999)
+    stats = suite_stats(loops)
+    print(
+        f"workload: {stats.n_loops} loops, "
+        f"{100 * stats.vectorizable_fraction:.0f}% vectorizable, "
+        f"mean {stats.mean_ops:.1f} ops"
+    )
+    started = time.time()
+    runs = run_sweep(loops, SweepConfig(cluster_counts=[1, 2, 3, 4, 6, 8]))
+    print(f"scheduled {len(runs)} (loop, machine) pairs "
+          f"in {time.time() - started:.1f}s")
+    print()
+    for figure in (figure4(runs), figure5(runs), figure6(runs),
+                   backtracking_report(runs)):
+        print(figure.render_table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build a loop, schedule it on a clustered VLIW, inspect it.
+
+Builds the dot-product loop ``acc += x[i] * c[i]`` by hand, compiles it
+for a 4-cluster machine (the paper's {1 L/S, 1 Add, 1 Mul, 1 Copy} per
+cluster), validates and simulates the schedule, and prints the kernel.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LoopBuilder,
+    assembly_for,
+    clustered_vliw,
+    compile_loop,
+    simulate,
+    validate_schedule,
+)
+
+
+def build_dot_product():
+    """acc += x[i] * c[i] with a loop-carried accumulator."""
+    b = LoopBuilder("dot_product")
+    x = b.load("x[i]")
+    c = b.load("c[i]")
+    acc = b.placeholder()  # forward reference for the recurrence
+    total = b.add(b.mul(x, c), b.carried(acc, 1), tag="acc")
+    b.bind(acc, total)
+    return b.build(trip_count=256)
+
+
+def main() -> None:
+    loop = build_dot_product()
+    print("== the loop ==")
+    print(loop.ddg.pretty())
+    print()
+
+    machine = clustered_vliw(4)
+    print(f"== target: {machine.describe()} ==")
+    compiled = compile_loop(loop, machine, equivalent_k=4)
+    result = compiled.result
+    print(result.summary())
+    print(
+        f"unroll x{compiled.unroll_factor}, "
+        f"{compiled.cycles} cycles for {loop.trip_count} iterations, "
+        f"IPC {compiled.ipc:.2f}"
+    )
+    print()
+
+    # The independent checker re-verifies dependences, resources and the
+    # ring communication constraints.
+    validate_schedule(result)
+    print("checker: schedule valid")
+
+    # The simulator executes the pipelined schedule cycle by cycle,
+    # enforcing FIFO queue discipline.
+    report = simulate(result, iterations=16, allocation=compiled.allocation)
+    print(
+        f"simulator: ok={report.ok}, measured span {report.cycles_span} vs "
+        f"model {report.cycles_model} cycles"
+    )
+    print()
+
+    print("== kernel ==")
+    print(assembly_for(result, compiled.allocation))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim for environments without PEP 660 editable support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Distributed Modulo Scheduling (DMS) for clustered VLIW architectures "
+        "- reproduction of Fernandes, Llosa & Topham, HPCA 1999"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,132 @@
+"""repro — Distributed Modulo Scheduling for clustered VLIW architectures.
+
+A full reproduction of *"Distributed Modulo Scheduling"* (M. M. Fernandes,
+J. Llosa, N. Topham, HPCA-5, 1999): the DMS algorithm, Rau's IMS baseline,
+the clustered ring-of-CQRFs machine model, the IR transformations the
+paper depends on (unrolling, single-use copy insertion), queue register
+allocation, a validation simulator, VLIW code generation, and the
+experiment harness regenerating the paper's figures 4-6.
+
+Quickstart::
+
+    from repro import make_kernel, clustered_vliw, compile_loop
+
+    loop = make_kernel("fir_filter", taps=8)
+    compiled = compile_loop(loop, clustered_vliw(4), equivalent_k=4)
+    print(compiled.result.summary(), compiled.ipc)
+"""
+
+from .config import DEFAULT_CONFIG, SchedulerConfig
+from .errors import (
+    AllocationError,
+    CodegenError,
+    DDGError,
+    IIOverflowError,
+    MachineError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TransformError,
+    ValidationError,
+    WorkloadError,
+)
+from .ir import (
+    DDG,
+    DEFAULT_LATENCIES,
+    DepEdge,
+    DepKind,
+    FUKind,
+    LatencyModel,
+    Loop,
+    LoopBuilder,
+    OpCode,
+    Operation,
+    ValueUse,
+)
+from .machine import (
+    ClusterSpec,
+    MachineSpec,
+    QueueFileSpec,
+    RingTopology,
+    clustered_vliw,
+    paper_machine_pair,
+    unclustered_vliw,
+)
+from .registers import allocate_queues, extract_lifetimes, register_pressure
+from .scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+    ScheduleResult,
+    check_schedule,
+    compute_mii,
+    validate_schedule,
+)
+from .scheduling.pipeline import CompiledLoop, choose_unroll_factor, compile_loop
+from .simulator import simulate
+from .codegen import assembly_for, build_program
+from .workloads import (
+    KERNELS,
+    PERFECT_CLUB_LOOP_COUNT,
+    make_kernel,
+    perfect_club_surrogate,
+    split_sets,
+    suite_stats,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SchedulerConfig",
+    "AllocationError",
+    "CodegenError",
+    "DDGError",
+    "IIOverflowError",
+    "MachineError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "TransformError",
+    "ValidationError",
+    "WorkloadError",
+    "DDG",
+    "DEFAULT_LATENCIES",
+    "DepEdge",
+    "DepKind",
+    "FUKind",
+    "LatencyModel",
+    "Loop",
+    "LoopBuilder",
+    "OpCode",
+    "Operation",
+    "ValueUse",
+    "ClusterSpec",
+    "MachineSpec",
+    "QueueFileSpec",
+    "RingTopology",
+    "clustered_vliw",
+    "paper_machine_pair",
+    "unclustered_vliw",
+    "allocate_queues",
+    "extract_lifetimes",
+    "register_pressure",
+    "DistributedModuloScheduler",
+    "IterativeModuloScheduler",
+    "ScheduleResult",
+    "check_schedule",
+    "compute_mii",
+    "validate_schedule",
+    "CompiledLoop",
+    "choose_unroll_factor",
+    "compile_loop",
+    "simulate",
+    "assembly_for",
+    "build_program",
+    "KERNELS",
+    "PERFECT_CLUB_LOOP_COUNT",
+    "make_kernel",
+    "perfect_club_surrogate",
+    "split_sets",
+    "suite_stats",
+    "__version__",
+]

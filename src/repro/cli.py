@@ -1,0 +1,286 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands:
+
+* ``info``          — machine/paper overview;
+* ``suite-stats``   — shape statistics of the Perfect Club surrogate;
+* ``schedule``      — compile one named kernel and print its assembly;
+* ``fig4|fig5|fig6``— regenerate a paper figure over the surrogate suite;
+* ``backtracking``  — the IMS-vs-DMS backtracking comparison;
+* ``all-figures``   — everything above in one sweep.
+
+Figures accept ``--loops N`` to subsample the 1258-loop suite (a full run
+takes tens of minutes in pure Python) and ``--csv DIR`` to persist data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .config import DEFAULT_CONFIG
+from .experiments import (
+    FigureData,
+    SweepConfig,
+    backtracking_report,
+    figure4,
+    figure5,
+    figure6,
+    moves_report,
+    run_sweep,
+)
+from .machine import clustered_vliw, unclustered_vliw
+from .scheduling.pipeline import compile_loop
+from .codegen import assembly_for
+from .workloads import (
+    KERNELS,
+    PERFECT_CLUB_LOOP_COUNT,
+    make_kernel,
+    perfect_club_surrogate,
+    suite_stats,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed Modulo Scheduling (Fernandes, Llosa & Topham, "
+            "HPCA 1999) - reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="overview of machines and experiments")
+
+    stats = sub.add_parser("suite-stats", help="surrogate suite statistics")
+    _suite_args(stats)
+
+    sched = sub.add_parser("schedule", help="compile one kernel, print assembly")
+    sched.add_argument("kernel", choices=sorted(KERNELS))
+    sched.add_argument("--clusters", type=int, default=4)
+    sched.add_argument("--unclustered", action="store_true")
+    sched.add_argument("--ramp", action="store_true", help="show prologue/epilogue")
+
+    for name in ("fig4", "fig5", "fig6", "backtracking", "moves", "all-figures"):
+        fig = sub.add_parser(name, help=f"regenerate {name}")
+        _suite_args(fig)
+        fig.add_argument(
+            "--clusters",
+            type=str,
+            default="1,2,3,4,5,6,7,8,9,10",
+            help="comma-separated cluster counts",
+        )
+        fig.add_argument("--csv", type=str, default=None, help="output directory")
+        fig.add_argument(
+            "--runs-out", type=str, default=None, help="persist runs as JSONL"
+        )
+
+    storage = sub.add_parser(
+        "storage", help="register/queue storage requirements (paper section 1)"
+    )
+    _suite_args(storage)
+    storage.add_argument("--clusters", type=str, default="1,2,4,6,8,10")
+    storage.add_argument("--csv", type=str, default=None)
+
+    ablation = sub.add_parser("ablation", help="run one design ablation")
+    from .experiments import ABLATIONS
+
+    ablation.add_argument("name", choices=sorted(ABLATIONS))
+    _suite_args(ablation)
+    ablation.add_argument("--clusters", type=str, default="4,6,8,10")
+    ablation.add_argument("--csv", type=str, default=None)
+
+    baseline = sub.add_parser(
+        "baseline", help="DMS vs two-phase partition+schedule"
+    )
+    _suite_args(baseline)
+    baseline.add_argument("--clusters", type=str, default="4,6,8,10")
+    baseline.add_argument("--csv", type=str, default=None)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="figure-4 shape under alternative latency models"
+    )
+    _suite_args(sensitivity)
+    sensitivity.add_argument("--clusters", type=str, default="2,4,8")
+    sensitivity.add_argument("--csv", type=str, default=None)
+    return parser
+
+
+def _suite_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loops",
+        type=int,
+        default=PERFECT_CLUB_LOOP_COUNT,
+        help="number of suite loops (default: the paper's 1258)",
+    )
+    parser.add_argument("--seed", type=int, default=1999)
+
+
+def _info() -> str:
+    lines = [
+        "Distributed Modulo Scheduling (DMS) reproduction",
+        "paper: Fernandes, Llosa & Topham, HPCA-5, 1999",
+        "",
+        "machines: clustered(k) = k x {1 L/S, 1 Add, 1 Mul, 1 Copy} on a",
+        "          bi-directional ring; unclustered(k) = monolithic 3k FUs",
+        "schedulers: IMS (Rau 1996) for unclustered, DMS for clustered",
+        "",
+        "experiments:",
+        "  fig4  - %% loops with II increase due to partitioning (1-10 clusters)",
+        "  fig5  - relative execution cycles vs useful FUs (3-30)",
+        "  fig6  - aggregate IPC vs useful FUs",
+        "  backtracking - IMS vs DMS ejections per placement",
+        "",
+        f"kernels: {', '.join(sorted(KERNELS))}",
+    ]
+    return "\n".join(lines)
+
+
+def _schedule_command(args: argparse.Namespace) -> int:
+    loop = make_kernel(args.kernel)
+    if args.unclustered:
+        machine = unclustered_vliw(args.clusters)
+    else:
+        machine = clustered_vliw(args.clusters)
+    compiled = compile_loop(loop, machine, equivalent_k=args.clusters)
+    result = compiled.result
+    print(result.summary())
+    print(
+        f"unroll={compiled.unroll_factor} cycles={compiled.cycles} "
+        f"ipc={compiled.ipc:.2f}"
+    )
+    print(assembly_for(result, compiled.allocation, show_ramp=args.ramp))
+    return 0
+
+
+_FIGURES = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "backtracking": backtracking_report,
+    "moves": moves_report,
+}
+
+
+def _figures_command(args: argparse.Namespace) -> int:
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+    loops = perfect_club_surrogate(args.loops, seed=args.seed)
+    started = time.time()
+    runs = run_sweep(
+        loops,
+        SweepConfig(cluster_counts=cluster_counts),
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    elapsed = time.time() - started
+    print(
+        f"# {len(loops)} loops x {len(cluster_counts)} cluster counts "
+        f"({elapsed:.1f}s)",
+        file=sys.stderr,
+    )
+    if getattr(args, "runs_out", None):
+        from .experiments import dump_runs
+
+        dump_runs(runs, args.runs_out)
+        print(f"# wrote {args.runs_out}", file=sys.stderr)
+    names = (
+        list(_FIGURES) if args.command == "all-figures" else [args.command]
+    )
+    figures: List[FigureData] = [_FIGURES[name](runs) for name in names]
+    for figure in figures:
+        print(figure.render_table())
+        print()
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{figure.name}.csv")
+            figure.to_csv(path)
+            print(f"# wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _emit_figure(figure: FigureData, csv_dir: Optional[str]) -> None:
+    print(figure.render_table())
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
+        path = os.path.join(csv_dir, f"{figure.name}.csv")
+        figure.to_csv(path)
+        print(f"# wrote {path}", file=sys.stderr)
+
+
+def _storage_command(args: argparse.Namespace) -> int:
+    from .experiments import storage_report, storage_sweep
+
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+    loops = perfect_club_surrogate(args.loops, seed=args.seed)
+    points = storage_sweep(loops, cluster_counts)
+    _emit_figure(storage_report(points), args.csv)
+    return 0
+
+
+def _ablation_command(args: argparse.Namespace) -> int:
+    from .experiments import ABLATIONS
+
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+    loops = perfect_club_surrogate(args.loops, seed=args.seed)
+    figure = ABLATIONS[args.name](loops, cluster_counts)
+    _emit_figure(figure, args.csv)
+    return 0
+
+
+def _baseline_command(args: argparse.Namespace) -> int:
+    from .experiments import two_phase_comparison
+
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+    loops = perfect_club_surrogate(args.loops, seed=args.seed)
+    figure = two_phase_comparison(loops, cluster_counts)
+    _emit_figure(figure, args.csv)
+    return 0
+
+
+def _sensitivity_command(args: argparse.Namespace) -> int:
+    from .experiments import latency_sensitivity
+
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+    loops = perfect_club_surrogate(args.loops, seed=args.seed)
+    figure = latency_sensitivity(loops, cluster_counts)
+    _emit_figure(figure, args.csv)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "info":
+        print(_info())
+        return 0
+    if args.command == "suite-stats":
+        loops = perfect_club_surrogate(args.loops, seed=args.seed)
+        stats = suite_stats(loops)
+        print(f"loops:            {stats.n_loops}")
+        print(
+            f"vectorizable:     {stats.n_vectorizable} "
+            f"({100 * stats.vectorizable_fraction:.1f}%)"
+        )
+        print(f"ops total/mean:   {stats.total_ops} / {stats.mean_ops:.1f}")
+        print(f"largest loop:     {stats.max_ops} ops")
+        print(f"mean trip count:  {stats.mean_trip:.0f}")
+        mix = ", ".join(f"{k}={v:.2f}" for k, v in stats.fu_mix.items())
+        print(f"op mix:           {mix}")
+        return 0
+    if args.command == "schedule":
+        return _schedule_command(args)
+    if args.command == "storage":
+        return _storage_command(args)
+    if args.command == "ablation":
+        return _ablation_command(args)
+    if args.command == "baseline":
+        return _baseline_command(args)
+    if args.command == "sensitivity":
+        return _sensitivity_command(args)
+    return _figures_command(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

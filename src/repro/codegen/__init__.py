@@ -1,0 +1,16 @@
+"""VLIW code generation from modulo schedules."""
+
+from .assembly import assembly_for, render_program
+from .gantt import kernel_gantt, utilization_summary
+from .kernel import CycleIssue, SlotBinding, VLIWProgram, build_program
+
+__all__ = [
+    "assembly_for",
+    "render_program",
+    "CycleIssue",
+    "SlotBinding",
+    "VLIWProgram",
+    "build_program",
+    "kernel_gantt",
+    "utilization_summary",
+]

@@ -1,0 +1,47 @@
+"""Textual VLIW assembly rendering."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..registers.queues import QueueAllocation
+from ..scheduling.result import ScheduleResult
+from .kernel import VLIWProgram, build_program
+
+
+def render_program(program: VLIWProgram, show_ramp: bool = True) -> str:
+    """Render *program* as readable VLIW assembly."""
+    lines: List[str] = [
+        f"; loop {program.loop_name!r} on {program.machine_name}",
+        f"; II={program.ii} stages={program.stage_count} "
+        f"kernel_ops={program.kernel_ops}",
+    ]
+    if show_ramp and program.prologue:
+        lines.append("prologue:")
+        for issue in program.prologue:
+            ops = "  ".join(b.render() for b in issue.bindings)
+            lines.append(f"  [{issue.cycle:4d}] {ops}")
+    lines.append("kernel:")
+    for row_index in range(program.ii):
+        row = program.row(row_index)
+        if row:
+            ops = "  ".join(b.render() for b in row)
+        else:
+            ops = "nop"
+        lines.append(f"  [row {row_index}] {ops}")
+    if show_ramp and program.epilogue:
+        lines.append("epilogue:")
+        for issue in program.epilogue:
+            ops = "  ".join(b.render() for b in issue.bindings)
+            lines.append(f"  [{issue.cycle:4d}] {ops}")
+    return "\n".join(lines)
+
+
+def assembly_for(
+    result: ScheduleResult,
+    allocation: Optional[QueueAllocation] = None,
+    show_ramp: bool = False,
+) -> str:
+    """Convenience wrapper: build and render in one call."""
+    program = build_program(result, allocation)
+    return render_program(program, show_ramp=show_ramp)

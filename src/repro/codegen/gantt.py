@@ -1,0 +1,68 @@
+"""ASCII Gantt rendering of a modulo schedule's kernel.
+
+One line per functional unit, one column per MRT row; cells show the
+operation id occupying the unit at that row (``.`` = idle).  This is the
+picture compiler writers draw on whiteboards when debugging modulo
+schedules, and the quickest way to *see* cluster balance and Copy-FU
+pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.opcodes import FUKind
+from ..machine.fu import FUSlot
+from ..scheduling.result import ScheduleResult
+
+_KIND_ORDER = (FUKind.MEM, FUKind.ALU, FUKind.MUL, FUKind.COPY)
+
+
+def kernel_gantt(result: ScheduleResult, cell_width: int = 5) -> str:
+    """Render the kernel as an FU x row occupancy chart."""
+    ii = result.ii
+    machine = result.machine
+    # (cluster, kind, row) -> ordered op ids, mirroring codegen binding.
+    cells: Dict[Tuple[int, FUKind, int], List[int]] = {}
+    for op_id, placement in sorted(result.placements.items()):
+        op = result.ddg.op(op_id)
+        key = (placement.cluster, op.fu_kind, placement.time % ii)
+        cells.setdefault(key, []).append(op_id)
+
+    lines: List[str] = []
+    header = " " * 10 + "".join(f"{f'r{r}':>{cell_width}}" for r in range(ii))
+    lines.append(f"kernel of {result.loop_name!r}: II={ii} "
+                 f"SC={result.stage_count}")
+    lines.append(header)
+    for cluster in range(machine.n_clusters):
+        for kind in _KIND_ORDER:
+            capacity = machine.fu_in_cluster(cluster, kind)
+            for index in range(capacity):
+                slot = FUSlot(cluster, kind, index)
+                row_cells = []
+                for row in range(ii):
+                    occupants = cells.get((cluster, kind, row), [])
+                    if index < len(occupants):
+                        row_cells.append(f"{f'v{occupants[index]}':>{cell_width}}")
+                    else:
+                        row_cells.append(f"{'.':>{cell_width}}")
+                lines.append(f"{str(slot):<10}" + "".join(row_cells))
+        if cluster < machine.n_clusters - 1:
+            lines.append("")
+    return "\n".join(lines)
+
+
+def utilization_summary(result: ScheduleResult) -> str:
+    """Per-kind issue-slot utilisation across the kernel."""
+    ii = result.ii
+    machine = result.machine
+    used: Dict[FUKind, int] = {kind: 0 for kind in _KIND_ORDER}
+    for op_id, _placement in result.placements.items():
+        used[result.ddg.op(op_id).fu_kind] += 1
+    parts = []
+    for kind in _KIND_ORDER:
+        capacity = machine.fu_count(kind) * ii
+        if capacity == 0:
+            continue
+        parts.append(f"{kind.value} {100.0 * used[kind] / capacity:.0f}%")
+    return "utilization: " + ", ".join(parts)

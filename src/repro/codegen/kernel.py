@@ -1,0 +1,197 @@
+"""VLIW program construction from a modulo schedule.
+
+A modulo schedule with initiation interval II and stage count SC executes
+as:
+
+* **prologue** — cycles ``0 .. (SC-1)*II - 1``: the pipeline fills, one new
+  iteration entering every II cycles;
+* **kernel** — II instruction words issued repeatedly; the word at row
+  ``r`` holds every operation with ``time % II == r``, each annotated with
+  its stage ``time // II`` (the iteration offset it belongs to);
+* **epilogue** — ``(SC-1)*II`` cycles draining the last SC-1 iterations.
+
+Functional-unit instances are bound per (cluster, kind, row) in op-id
+order; the schedule checker has already guaranteed capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CodegenError
+from ..ir.opcodes import FUKind
+from ..machine.fu import FUSlot
+from ..registers.queues import QueueAllocation
+from ..scheduling.result import ScheduleResult
+
+
+@dataclass(frozen=True)
+class SlotBinding:
+    """One operation bound to a functional unit in the kernel."""
+
+    op_id: int
+    opcode: str
+    fu: FUSlot
+    row: int
+    stage: int
+    operands: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(self.operands)
+        return f"{self.fu}: v{self.op_id} = {self.opcode}({args}) .s{self.stage}"
+
+
+@dataclass(frozen=True)
+class CycleIssue:
+    """Operations issued in one ramp (prologue/epilogue) cycle."""
+
+    cycle: int
+    bindings: Tuple[SlotBinding, ...]
+
+
+@dataclass
+class VLIWProgram:
+    """Complete pipelined program for one loop."""
+
+    loop_name: str
+    machine_name: str
+    ii: int
+    stage_count: int
+    kernel: List[List[SlotBinding]]  # one list per row 0..II-1
+    prologue: List[CycleIssue] = field(default_factory=list)
+    epilogue: List[CycleIssue] = field(default_factory=list)
+
+    @property
+    def kernel_ops(self) -> int:
+        return sum(len(row) for row in self.kernel)
+
+    @property
+    def prologue_cycles(self) -> int:
+        return (self.stage_count - 1) * self.ii
+
+    def row(self, index: int) -> List[SlotBinding]:
+        if not 0 <= index < self.ii:
+            raise CodegenError(f"kernel row {index} out of range [0, {self.ii})")
+        return self.kernel[index]
+
+
+def _operand_labels(
+    result: ScheduleResult,
+    op_id: int,
+    allocation: Optional[QueueAllocation],
+) -> Tuple[str, ...]:
+    lookup = allocation.by_lifetime() if allocation is not None else {}
+    op = result.ddg.op(op_id)
+    labels = []
+    for index, src in enumerate(op.srcs):
+        if src.is_external:
+            labels.append(src.symbol)
+            continue
+        base = f"v{src.producer}"
+        if src.omega:
+            base += f"@-{src.omega}"
+        assignment = lookup.get((src.producer, op_id, index))
+        if assignment is not None:
+            base += f"<{assignment.label}>"
+        labels.append(base)
+    return tuple(labels)
+
+
+def build_program(
+    result: ScheduleResult,
+    allocation: Optional[QueueAllocation] = None,
+    ramp_iterations: Optional[int] = None,
+) -> VLIWProgram:
+    """Build the VLIW program (kernel + ramp listings) for *result*.
+
+    ``ramp_iterations`` bounds how many iterations the prologue/epilogue
+    listings assume; by default the full stage count is used.
+    """
+    ii = result.ii
+    stage_count = result.stage_count
+    # Bind FU instances: per (cluster, kind, row), op-id order.
+    cell_ops: Dict[Tuple[int, FUKind, int], List[int]] = {}
+    for op_id, placement in sorted(result.placements.items()):
+        op = result.ddg.op(op_id)
+        cell = (placement.cluster, op.fu_kind, placement.time % ii)
+        cell_ops.setdefault(cell, []).append(op_id)
+
+    bindings: Dict[int, SlotBinding] = {}
+    for (cluster, kind, row), op_ids in cell_ops.items():
+        capacity = result.machine.fu_in_cluster(cluster, kind)
+        if len(op_ids) > capacity:
+            raise CodegenError(
+                f"row {row} cluster {cluster} {kind.value}: "
+                f"{len(op_ids)} ops for {capacity} units"
+            )
+        for fu_index, op_id in enumerate(op_ids):
+            placement = result.placements[op_id]
+            bindings[op_id] = SlotBinding(
+                op_id=op_id,
+                opcode=result.ddg.op(op_id).opcode.value,
+                fu=FUSlot(cluster, kind, fu_index),
+                row=row,
+                stage=placement.time // ii,
+                operands=_operand_labels(result, op_id, allocation),
+            )
+
+    kernel: List[List[SlotBinding]] = [[] for _ in range(ii)]
+    for binding in bindings.values():
+        kernel[binding.row].append(binding)
+    for row in kernel:
+        row.sort(key=lambda b: b.fu.sort_key)
+
+    ramp = stage_count if ramp_iterations is None else min(stage_count, ramp_iterations)
+    prologue = _ramp_cycles(result, bindings, range((stage_count - 1) * ii), 0, ramp)
+    epilogue = _drain_cycles(result, bindings, ramp)
+    return VLIWProgram(
+        loop_name=result.loop_name,
+        machine_name=result.machine.name,
+        ii=ii,
+        stage_count=stage_count,
+        kernel=kernel,
+        prologue=prologue,
+        epilogue=epilogue,
+    )
+
+
+def _ramp_cycles(
+    result: ScheduleResult,
+    bindings: Dict[int, SlotBinding],
+    cycles: range,
+    first_iteration: int,
+    iterations: int,
+) -> List[CycleIssue]:
+    """Issue listing for the fill phase."""
+    issues: List[CycleIssue] = []
+    for cycle in cycles:
+        row: List[SlotBinding] = []
+        for op_id, placement in sorted(result.placements.items()):
+            for iteration in range(first_iteration, iterations):
+                if placement.time + iteration * result.ii == cycle:
+                    row.append(bindings[op_id])
+        if row:
+            issues.append(CycleIssue(cycle, tuple(row)))
+    return issues
+
+
+def _drain_cycles(
+    result: ScheduleResult,
+    bindings: Dict[int, SlotBinding],
+    iterations: int,
+) -> List[CycleIssue]:
+    """Issue listing for the drain phase of an *iterations*-deep run."""
+    ii = result.ii
+    start = iterations * ii
+    end = (iterations + result.stage_count - 1) * ii
+    issues: List[CycleIssue] = []
+    for cycle in range(start, end):
+        row: List[SlotBinding] = []
+        for op_id, placement in sorted(result.placements.items()):
+            for iteration in range(iterations):
+                if placement.time + iteration * ii == cycle:
+                    row.append(bindings[op_id])
+        if row:
+            issues.append(CycleIssue(cycle, tuple(row)))
+    return issues

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so user
+code can catch everything from one place while still discriminating on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class DDGError(ReproError):
+    """Raised for malformed dependence graphs (unknown ops, bad edges)."""
+
+
+class TransformError(ReproError):
+    """Raised when an IR transformation receives an invalid input."""
+
+
+class MachineError(ReproError):
+    """Raised for inconsistent machine descriptions."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler cannot produce a valid schedule."""
+
+
+class IIOverflowError(SchedulingError):
+    """Raised when no II up to the configured maximum admits a schedule."""
+
+    def __init__(self, loop_name: str, max_ii: int):
+        super().__init__(
+            f"no feasible II found for loop {loop_name!r} up to II={max_ii}"
+        )
+        self.loop_name = loop_name
+        self.max_ii = max_ii
+
+
+class ValidationError(ReproError):
+    """Raised by the schedule checker when an invariant is violated."""
+
+
+class AllocationError(ReproError):
+    """Raised when lifetimes cannot be mapped onto the queue files."""
+
+
+class SimulationError(ReproError):
+    """Raised when dynamic execution of a schedule breaks an invariant."""
+
+
+class CodegenError(ReproError):
+    """Raised when VLIW code generation fails."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload generator parameters."""

@@ -1,0 +1,59 @@
+"""Experiment harness: the paper's figures regenerated from loop runs."""
+
+from .figures import (
+    FigureData,
+    backtracking_report,
+    figure4,
+    figure5,
+    figure6,
+    moves_report,
+)
+from .metrics import (
+    LoopRun,
+    aggregate_ipc,
+    ii_overhead_fraction,
+    mean_ejections_per_placement,
+    total_cycles,
+)
+from .ablations import (
+    ABLATIONS,
+    chain_policy_ablation,
+    copy_fu_ablation,
+    restart_ablation,
+    single_use_ablation,
+)
+from .baselines import two_phase_comparison
+from .io import dump_runs, load_runs
+from .runner import SweepConfig, run_sweep
+from .sensitivity import LATENCY_PROFILES, latency_sensitivity
+from .storage import StoragePoint, storage_point, storage_report, storage_sweep
+
+__all__ = [
+    "FigureData",
+    "backtracking_report",
+    "figure4",
+    "figure5",
+    "figure6",
+    "moves_report",
+    "LoopRun",
+    "aggregate_ipc",
+    "ii_overhead_fraction",
+    "mean_ejections_per_placement",
+    "total_cycles",
+    "SweepConfig",
+    "run_sweep",
+    "LATENCY_PROFILES",
+    "latency_sensitivity",
+    "ABLATIONS",
+    "chain_policy_ablation",
+    "copy_fu_ablation",
+    "restart_ablation",
+    "single_use_ablation",
+    "two_phase_comparison",
+    "dump_runs",
+    "load_runs",
+    "StoragePoint",
+    "storage_point",
+    "storage_report",
+    "storage_sweep",
+]

@@ -1,0 +1,196 @@
+"""Programmatic ablation studies over the DMS design choices.
+
+Each ablation varies exactly one design decision the paper discusses and
+re-runs the figure-4 style sweep, returning a comparable
+:class:`~repro.experiments.figures.FigureData`:
+
+* ``copy_fu_ablation``   — 1 vs 2 Copy FUs per cluster (the paper's
+  "additional hardware support" remark);
+* ``chain_policy_ablation`` — the paper's both-directions bottleneck
+  scoring vs a shortest-direction-only planner;
+* ``single_use_ablation``   — linear copy chains (paper) vs balanced trees;
+* ``restart_ablation``      — strict single-pass DMS vs diversified
+  restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..config import DEFAULT_CONFIG, SchedulerConfig
+from ..ir.loop import Loop
+from ..machine.cluster import ClusterSpec
+from .figures import FigureData
+from .metrics import LoopRun, ii_overhead_fraction
+from .runner import SweepConfig, run_sweep
+
+DEFAULT_ABLATION_CLUSTERS = (4, 6, 8, 10)
+
+
+def _overhead_series(
+    runs: Sequence[LoopRun], cluster_counts: Sequence[int]
+) -> List[float]:
+    return [100.0 * ii_overhead_fraction(runs, k) for k in cluster_counts]
+
+
+def _two_variant_figure(
+    name: str,
+    title: str,
+    cluster_counts: Sequence[int],
+    series: Dict[str, List[float]],
+    notes: Sequence[str] = (),
+) -> FigureData:
+    return FigureData(
+        name=name,
+        title=title,
+        x_label="clusters",
+        x=[float(k) for k in cluster_counts],
+        series=series,
+        notes=list(notes),
+    )
+
+
+def copy_fu_ablation(
+    loops: Sequence[Loop],
+    cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
+    config: SchedulerConfig = DEFAULT_CONFIG,
+) -> FigureData:
+    """II-overhead with 1 vs 2 Copy FUs per cluster (ABL-COPYFU)."""
+    series: Dict[str, List[float]] = {}
+    for label, copies in (("copy_fus_1", 1), ("copy_fus_2", 2)):
+        runs = run_sweep(
+            loops,
+            SweepConfig(
+                cluster_counts=cluster_counts,
+                scheduler_config=config,
+                cluster_spec=ClusterSpec(copy=copies),
+            ),
+        )
+        series[label] = _overhead_series(runs, cluster_counts)
+    return _two_variant_figure(
+        "ablation_copy_fus",
+        "ABL-COPYFU: II overhead (%) with 1 vs 2 Copy FUs per cluster",
+        cluster_counts,
+        series,
+        [
+            "paper conclusion: wide-ring overhead 'could be minimized by "
+            "using additional FUs to schedule move operations'",
+        ],
+    )
+
+
+def chain_policy_ablation(
+    loops: Sequence[Loop],
+    cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
+    config: SchedulerConfig = DEFAULT_CONFIG,
+) -> FigureData:
+    """Both-direction bottleneck scoring vs shortest-only (ABL-CHAIN)."""
+    series: Dict[str, List[float]] = {}
+    for label, shortest_only in (("paper_rule", False), ("shortest_only", True)):
+        runs = run_sweep(
+            loops,
+            SweepConfig(
+                cluster_counts=cluster_counts,
+                scheduler_config=config.with_(
+                    prefer_shortest_chain_only=shortest_only
+                ),
+            ),
+        )
+        series[label] = _overhead_series(runs, cluster_counts)
+    return _two_variant_figure(
+        "ablation_chain_policy",
+        "ABL-CHAIN: II overhead (%), paper chain rule vs shortest-only",
+        cluster_counts,
+        series,
+    )
+
+
+def single_use_ablation(
+    loops: Sequence[Loop],
+    cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
+    config: SchedulerConfig = DEFAULT_CONFIG,
+) -> FigureData:
+    """Copy chain vs copy tree insertion shapes (ABL-SINGLEUSE)."""
+    series: Dict[str, List[float]] = {}
+    for label, strategy in (("copy_chain", "chain"), ("copy_tree", "tree")):
+        runs = run_sweep(
+            loops,
+            SweepConfig(
+                cluster_counts=cluster_counts,
+                scheduler_config=config.with_(single_use_strategy=strategy),
+            ),
+        )
+        series[label] = _overhead_series(runs, cluster_counts)
+    return _two_variant_figure(
+        "ablation_single_use",
+        "ABL-SINGLEUSE: II overhead (%), linear copy chains vs trees",
+        cluster_counts,
+        series,
+    )
+
+
+def restart_ablation(
+    loops: Sequence[Loop],
+    cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
+    config: SchedulerConfig = DEFAULT_CONFIG,
+) -> FigureData:
+    """Single-pass DMS vs diversified restarts (ABL-BUDGET companion)."""
+    series: Dict[str, List[float]] = {}
+    for label, restarts in (("restarts_1", 1), ("restarts_3", 3)):
+        runs = run_sweep(
+            loops,
+            SweepConfig(
+                cluster_counts=cluster_counts,
+                scheduler_config=config.with_(restarts_per_ii=restarts),
+            ),
+        )
+        series[label] = _overhead_series(runs, cluster_counts)
+    return _two_variant_figure(
+        "ablation_restarts",
+        "ABL-RESTARTS: II overhead (%), single-pass vs diversified restarts",
+        cluster_counts,
+        series,
+    )
+
+
+def topology_ablation(
+    loops: Sequence[Loop],
+    cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
+    config: SchedulerConfig = DEFAULT_CONFIG,
+) -> FigureData:
+    """Bi-directional ring vs linear array (no wraparound link).
+
+    The ring is the paper's choice; a linear array has a single chain
+    path per far pair and longer average distances, so partitioning
+    overhead should rise — quantifying what the wraparound link buys.
+    """
+    series: Dict[str, List[float]] = {}
+    for label, topology in (("ring", "ring"), ("linear", "linear")):
+        runs = run_sweep(
+            loops,
+            SweepConfig(
+                cluster_counts=cluster_counts,
+                scheduler_config=config,
+                topology=topology,
+            ),
+        )
+        series[label] = _overhead_series(runs, cluster_counts)
+    return _two_variant_figure(
+        "ablation_topology",
+        "ABL-TOPOLOGY: II overhead (%), ring vs linear cluster array",
+        cluster_counts,
+        series,
+        [
+            "the ring's second direction halves worst-case distances and "
+            "doubles the chain options (paper section 2)",
+        ],
+    )
+
+
+ABLATIONS = {
+    "copy_fus": copy_fu_ablation,
+    "chain_policy": chain_policy_ablation,
+    "single_use": single_use_ablation,
+    "restarts": restart_ablation,
+    "topology": topology_ablation,
+}

@@ -1,0 +1,198 @@
+"""Regeneration of the paper's figures 4-6 (plus the backtracking claim).
+
+Each ``figure*`` function turns a list of :class:`LoopRun` records into a
+:class:`FigureData`: the x axis, the named series, and paper anchors for
+eyeball comparison.  ``render_table`` prints the same rows the paper
+plots; ``to_csv`` persists them.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import ReproError
+from .metrics import (
+    LoopRun,
+    aggregate_ipc,
+    ii_overhead_fraction,
+    mean_ejections_per_placement,
+    total_cycles,
+)
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: x axis plus named series."""
+
+    name: str
+    title: str
+    x_label: str
+    x: List[float]
+    series: Dict[str, List[float]]
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for label, values in self.series.items():
+            if len(values) != len(self.x):
+                raise ReproError(
+                    f"{self.name}: series {label!r} has {len(values)} points "
+                    f"for {len(self.x)} x values"
+                )
+
+    def series_value(self, label: str, x_value: float) -> float:
+        index = self.x.index(x_value)
+        return self.series[label][index]
+
+    def render_table(self, precision: int = 2) -> str:
+        """ASCII table, one row per x value."""
+        labels = list(self.series)
+        width = max(12, *(len(label) + 2 for label in labels))
+        header = f"{self.x_label:>12} " + " ".join(
+            f"{label:>{width}}" for label in labels
+        )
+        lines = [self.title, header, "-" * len(header)]
+        for i, x_value in enumerate(self.x):
+            row = f"{x_value:>12g} " + " ".join(
+                f"{self.series[label][i]:>{width}.{precision}f}"
+                for label in labels
+            )
+            lines.append(row)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        """Write the figure data as CSV."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([self.x_label, *self.series])
+            for i, x_value in enumerate(self.x):
+                writer.writerow(
+                    [x_value, *(self.series[label][i] for label in self.series)]
+                )
+
+
+def _cluster_counts(runs: Sequence[LoopRun]) -> List[int]:
+    counts = sorted({run.clusters for run in runs})
+    if not counts:
+        raise ReproError("no runs supplied")
+    return counts
+
+
+def figure4(runs: Sequence[LoopRun]) -> FigureData:
+    """Figure 4: % of loops with an II increase due to partitioning."""
+    clusters = _cluster_counts(runs)
+    fractions = [100.0 * ii_overhead_fraction(runs, k) for k in clusters]
+    return FigureData(
+        name="figure4",
+        title="Figure 4 - Overhead on II due to partitioning (% of loops)",
+        x_label="clusters",
+        x=[float(k) for k in clusters],
+        series={"ii_increase_pct": fractions},
+        notes=[
+            "paper anchors: ~0% at 1 cluster; 2-3 clusters only copy-op "
+            "overhead; >80% of loops overhead-free up to 8 clusters",
+        ],
+    )
+
+
+def figure5(runs: Sequence[LoopRun]) -> FigureData:
+    """Figure 5: relative execution cycles vs useful FU count."""
+    clusters = _cluster_counts(runs)
+    fus = [3 * k for k in clusters]
+    series: Dict[str, List[float]] = {}
+    for set_label, vectorizable_only in (("set1", False), ("set2", True)):
+        baseline = total_cycles(runs, clusters[0], "ims", vectorizable_only)
+        for sched_label, scheduler in (
+            ("unclustered", "ims"),
+            ("clustered", "dms"),
+        ):
+            series[f"{set_label}_{sched_label}"] = [
+                100.0
+                * total_cycles(runs, k, scheduler, vectorizable_only)
+                / baseline
+                for k in clusters
+            ]
+    return FigureData(
+        name="figure5",
+        title="Figure 5 - Execution time (cycles, relative; 100 = 3-FU unclustered)",
+        x_label="useful FUs",
+        x=[float(f) for f in fus],
+        series=series,
+        notes=[
+            "paper anchors: clustered tracks unclustered closely up to 21 FUs "
+            "on set 1 and everywhere on set 2",
+        ],
+    )
+
+
+def figure6(runs: Sequence[LoopRun]) -> FigureData:
+    """Figure 6: aggregate IPC vs useful FU count."""
+    clusters = _cluster_counts(runs)
+    fus = [3 * k for k in clusters]
+    series: Dict[str, List[float]] = {}
+    for set_label, vectorizable_only in (("set1", False), ("set2", True)):
+        for sched_label, scheduler in (
+            ("unclustered", "ims"),
+            ("clustered", "dms"),
+        ):
+            series[f"{set_label}_{sched_label}"] = [
+                aggregate_ipc(runs, k, scheduler, vectorizable_only)
+                for k in clusters
+            ]
+    return FigureData(
+        name="figure6",
+        title="Figure 6 - IPC (useful instructions per cycle, ramp included)",
+        x_label="useful FUs",
+        x=[float(f) for f in fus],
+        series=series,
+        notes=[
+            "paper anchors: set 1 clustered IPC levels off beyond 21 FUs "
+            "(7 clusters); set 2 keeps improving through 30 FUs",
+        ],
+    )
+
+
+def backtracking_report(runs: Sequence[LoopRun]) -> FigureData:
+    """Section 3/4 claim: IMS and DMS backtrack at the same order."""
+    clusters = _cluster_counts(runs)
+    return FigureData(
+        name="backtracking",
+        title="Backtracking intensity (mean ejections per placement)",
+        x_label="clusters",
+        x=[float(k) for k in clusters],
+        series={
+            "ims": [
+                mean_ejections_per_placement(runs, k, "ims") for k in clusters
+            ],
+            "dms": [
+                mean_ejections_per_placement(runs, k, "dms") for k in clusters
+            ],
+        },
+        notes=[
+            "paper claim: 'on average the backtracking frequency of IMS and "
+            "DMS are of the same order'",
+        ],
+    )
+
+
+def moves_report(runs: Sequence[LoopRun]) -> FigureData:
+    """Supplementary: average move/copy operations per loop vs clusters."""
+    clusters = _cluster_counts(runs)
+    moves: List[float] = []
+    copies: List[float] = []
+    for k in clusters:
+        dms_runs = [r for r in runs if r.clusters == k and r.scheduler == "dms"]
+        if not dms_runs:
+            raise ReproError(f"no dms runs at {k} clusters")
+        moves.append(sum(r.n_moves for r in dms_runs) / len(dms_runs))
+        copies.append(sum(r.n_copies for r in dms_runs) / len(dms_runs))
+    return FigureData(
+        name="moves",
+        title="Move/copy operations inserted by DMS (mean per loop)",
+        x_label="clusters",
+        x=[float(k) for k in clusters],
+        series={"moves": moves, "copies": copies},
+    )

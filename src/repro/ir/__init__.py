@@ -1,0 +1,42 @@
+"""Intermediate representation: operations, dependence graphs, loops."""
+
+from .builder import Carried, LoopBuilder, Placeholder, Value
+from .ddg import DDG
+from .dot import ddg_to_dot
+from .edges import DepEdge, DepKind
+from .loop import Loop
+from .opcodes import (
+    DEFAULT_LATENCIES,
+    FUKind,
+    LatencyModel,
+    OpCode,
+    USEFUL_FU_KINDS,
+    fu_kind_of,
+    is_useful,
+    produces_value,
+)
+from .operations import Operation, ValueUse, external, use
+
+__all__ = [
+    "Carried",
+    "LoopBuilder",
+    "Placeholder",
+    "Value",
+    "DDG",
+    "ddg_to_dot",
+    "DepEdge",
+    "DepKind",
+    "Loop",
+    "DEFAULT_LATENCIES",
+    "FUKind",
+    "LatencyModel",
+    "OpCode",
+    "USEFUL_FU_KINDS",
+    "fu_kind_of",
+    "is_useful",
+    "produces_value",
+    "Operation",
+    "ValueUse",
+    "external",
+    "use",
+]

@@ -1,0 +1,204 @@
+"""Fluent construction API for loop DDGs.
+
+Example: a dot-product loop ``acc += x[i] * c[i]``::
+
+    b = LoopBuilder("dot")
+    x = b.load("x[i]")
+    c = b.load("c[i]")
+    acc = b.placeholder()
+    total = b.add(b.mul(x, c), b.carried(acc, 1), tag="acc")
+    b.bind(acc, total)
+    loop = b.build(trip_count=256)
+
+``placeholder``/``bind`` express recurrences: a placeholder stands for a
+value defined later in program order, and :meth:`bind` patches every use
+once the real producer exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..errors import DDGError
+from .ddg import DDG
+from .edges import DepKind
+from .loop import Loop
+from .opcodes import OpCode
+from .operations import Operation, ValueUse, external
+
+
+@dataclass(frozen=True)
+class Value:
+    """Handle to an operation's result inside a :class:`LoopBuilder`."""
+
+    op_id: int
+
+
+@dataclass(frozen=True)
+class Carried:
+    """A loop-carried reference to a value (``omega`` iterations back)."""
+
+    inner: Union[Value, "Placeholder"]
+    omega: int
+
+
+@dataclass(frozen=True)
+class Placeholder:
+    """Forward reference to a value defined later (for recurrences)."""
+
+    index: int
+
+
+Operand = Union[Value, Carried, Placeholder, str, int, float]
+
+
+class LoopBuilder:
+    """Builds a :class:`~repro.ir.loop.Loop` one operation at a time."""
+
+    def __init__(self, name: str = "loop"):
+        self.name = name
+        self._ddg = DDG(name)
+        self._placeholders: Dict[int, Optional[int]] = {}
+        self._pending_uses: Dict[int, List[tuple]] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Operand handling
+    # ------------------------------------------------------------------
+
+    def placeholder(self) -> Placeholder:
+        """Create a forward reference for a recurrence."""
+        index = len(self._placeholders)
+        self._placeholders[index] = None
+        self._pending_uses[index] = []
+        return Placeholder(index)
+
+    def bind(self, ph: Placeholder, value: Value) -> None:
+        """Resolve *ph* to *value*, patching all recorded uses."""
+        if self._placeholders.get(ph.index, "missing") is not None:
+            raise DDGError(
+                f"placeholder {ph.index} unknown or already bound in {self.name!r}"
+            )
+        self._placeholders[ph.index] = value.op_id
+        for op_id, operand_index, omega in self._pending_uses.pop(ph.index):
+            self._ddg.replace_operand(
+                op_id, operand_index, ValueUse(producer=value.op_id, omega=omega)
+            )
+
+    def carried(self, value: Union[Value, Placeholder], omega: int = 1) -> Carried:
+        """Reference *value* from *omega* iterations earlier."""
+        if omega < 1:
+            raise DDGError("carried references need omega >= 1")
+        return Carried(value, omega)
+
+    def _resolve(self, operand: Operand, op_id: int, index: int) -> ValueUse:
+        if isinstance(operand, Value):
+            return ValueUse(producer=operand.op_id)
+        if isinstance(operand, Carried):
+            inner, omega = operand.inner, operand.omega
+            if isinstance(inner, Placeholder):
+                return self._placeholder_use(inner, op_id, index, omega)
+            return ValueUse(producer=inner.op_id, omega=omega)
+        if isinstance(operand, Placeholder):
+            return self._placeholder_use(operand, op_id, index, 0)
+        if isinstance(operand, str):
+            return external(operand)
+        if isinstance(operand, (int, float)):
+            return external(f"#{operand}")
+        raise DDGError(f"unsupported operand {operand!r}")
+
+    def _placeholder_use(
+        self, ph: Placeholder, op_id: int, index: int, omega: int
+    ) -> ValueUse:
+        bound = self._placeholders.get(ph.index, "missing")
+        if bound == "missing":
+            raise DDGError(f"placeholder {ph.index} not created by this builder")
+        if bound is not None:
+            return ValueUse(producer=bound, omega=omega)
+        self._pending_uses[ph.index].append((op_id, index, omega))
+        # Temporary external stub, patched on bind().
+        return external(f"__ph{ph.index}")
+
+    # ------------------------------------------------------------------
+    # Operation factories
+    # ------------------------------------------------------------------
+
+    def emit(self, opcode: OpCode, *operands: Operand, tag: str = "") -> Value:
+        """Emit an operation and return a handle to its value."""
+        if self._built:
+            raise DDGError(f"builder {self.name!r} already built")
+        op_id = self._ddg.allocate_id()
+        srcs = tuple(
+            self._resolve(operand, op_id, idx) for idx, operand in enumerate(operands)
+        )
+        self._ddg.add_operation(Operation(op_id, opcode, srcs, tag))
+        return Value(op_id)
+
+    def load(self, tag: str = "", address: Optional[Operand] = None) -> Value:
+        """Emit a LOAD (optionally address-dependent on *address*)."""
+        if address is None:
+            return self.emit(OpCode.LOAD, tag=tag)
+        return self.emit(OpCode.LOAD, address, tag=tag)
+
+    def store(self, value: Operand, tag: str = "") -> Value:
+        """Emit a STORE of *value*."""
+        return self.emit(OpCode.STORE, value, tag=tag)
+
+    def add(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.ADD, a, b, tag=tag)
+
+    def sub(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.SUB, a, b, tag=tag)
+
+    def mul(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.MUL, a, b, tag=tag)
+
+    def div(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.DIV, a, b, tag=tag)
+
+    def neg(self, a: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.NEG, a, tag=tag)
+
+    def select(self, c: Operand, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.SELECT, c, a, b, tag=tag)
+
+    def cmp(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.CMP, a, b, tag=tag)
+
+    def min(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.MIN, a, b, tag=tag)
+
+    def max(self, a: Operand, b: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.MAX, a, b, tag=tag)
+
+    def sqrt(self, a: Operand, tag: str = "") -> Value:
+        return self.emit(OpCode.SQRT, a, tag=tag)
+
+    def mem_dep(
+        self, src: Value, dst: Value, omega: int = 0, latency: int = 1
+    ) -> None:
+        """Add an explicit memory ordering edge between two memory ops."""
+        self._ddg.add_dep(src.op_id, dst.op_id, DepKind.MEM, omega, latency)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def build(self, trip_count: int = 100, **origin: object) -> Loop:
+        """Validate and return the finished loop."""
+        unbound = [i for i, v in self._placeholders.items() if v is None]
+        if unbound:
+            raise DDGError(
+                f"loop {self.name!r} has unbound placeholders: {unbound}"
+            )
+        self._ddg.validate()
+        self._built = True
+        return Loop(
+            name=self.name, ddg=self._ddg, trip_count=trip_count, origin=dict(origin)
+        )
+
+    @property
+    def ddg(self) -> DDG:
+        """The (possibly unfinished) graph under construction."""
+        return self._ddg

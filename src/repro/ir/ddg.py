@@ -1,0 +1,418 @@
+"""The data dependence graph (DDG).
+
+The DDG is the unit of work for the schedulers: operations (nodes) plus
+dependence edges.  Flow edges are *derived* from operand references so the
+graph can never disagree with the operations' operands; memory and other
+ordering edges are explicit.
+
+The graph is mutable because both the single-use transformation and the DMS
+scheduler itself rewrite it (copy and move insertion, chain dismantling).
+Mutation goes through a small API that keeps operands and edges in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import DDGError
+from .edges import DepEdge, DepKind
+from .opcodes import LatencyModel, OpCode, is_useful, produces_value
+from .operations import Operation, ValueUse
+
+EdgeKey = Tuple[int, int, DepKind, int]
+
+
+class DDG:
+    """A mutable data dependence graph for one innermost loop body."""
+
+    def __init__(self, name: str = "loop"):
+        self.name = name
+        self._ops: Dict[int, Operation] = {}
+        # All edges (flow derived + explicit), indexed both ways.
+        self._out: Dict[int, Dict[EdgeKey, DepEdge]] = {}
+        self._in: Dict[int, Dict[EdgeKey, DepEdge]] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+
+    def allocate_id(self) -> int:
+        """Reserve and return a fresh operation id."""
+        op_id = self._next_id
+        self._next_id += 1
+        return op_id
+
+    @classmethod
+    def bulk(
+        cls,
+        name: str,
+        ops: Iterable[Operation],
+        explicit_edges: Iterable[DepEdge] = (),
+    ) -> "DDG":
+        """Build a DDG from a complete operation set in one pass.
+
+        Unlike repeated :meth:`add_operation` calls this is linear in the
+        number of operands, which matters for unrolled graphs.
+        """
+        ddg = cls(name)
+        for op in ops:
+            if op.op_id in ddg._ops:
+                raise DDGError(f"duplicate op id {op.op_id} in DDG {name!r}")
+            ddg._ops[op.op_id] = op
+            ddg._out.setdefault(op.op_id, {})
+            ddg._in.setdefault(op.op_id, {})
+            ddg._next_id = max(ddg._next_id, op.op_id + 1)
+        for op in ddg._ops.values():
+            ddg._derive_flow_in_edges(op)
+        for edge in explicit_edges:
+            if edge.is_flow:
+                raise DDGError("explicit flow edges are not allowed; use operands")
+            if edge.src not in ddg._ops or edge.dst not in ddg._ops:
+                raise DDGError(f"bulk edge {edge} references unknown ops")
+            ddg._insert_edge(edge)
+        return ddg
+
+    def add_operation(self, op: Operation) -> Operation:
+        """Insert *op*, deriving flow edges from its operands.
+
+        Operands may reference operations that are not in the graph yet
+        (forward references are resolved lazily by :meth:`validate`), but
+        normal construction order is producers first.
+        """
+        if op.op_id in self._ops:
+            raise DDGError(f"duplicate op id {op.op_id} in DDG {self.name!r}")
+        self._ops[op.op_id] = op
+        self._out.setdefault(op.op_id, {})
+        self._in.setdefault(op.op_id, {})
+        self._next_id = max(self._next_id, op.op_id + 1)
+        self._derive_flow_in_edges(op)
+        # Existing ops may hold forward references to this op.
+        for other in self._ops.values():
+            if other.op_id == op.op_id:
+                continue
+            for src in other.internal_srcs:
+                if src.producer == op.op_id:
+                    self._insert_edge(
+                        DepEdge(op.op_id, other.op_id, DepKind.FLOW, src.omega)
+                    )
+        return op
+
+    def new_operation(
+        self,
+        opcode: OpCode,
+        srcs: Sequence[ValueUse] = (),
+        tag: str = "",
+        op_id: Optional[int] = None,
+    ) -> Operation:
+        """Create, insert and return a new operation with a fresh id."""
+        if op_id is None:
+            op_id = self.allocate_id()
+        return self.add_operation(Operation(op_id, opcode, tuple(srcs), tag))
+
+    def remove_operation(self, op_id: int) -> None:
+        """Remove an operation that no other operation references."""
+        if op_id not in self._ops:
+            raise DDGError(f"op {op_id} not in DDG {self.name!r}")
+        consumers = [e.dst for e in self.out_edges(op_id) if e.is_flow]
+        if consumers:
+            raise DDGError(
+                f"op {op_id} still referenced by {sorted(set(consumers))}; "
+                "rewire consumers before removing"
+            )
+        for edge in list(self.out_edges(op_id)) + list(self.in_edges(op_id)):
+            self._remove_edge(edge)
+        del self._ops[op_id]
+        self._out.pop(op_id, None)
+        self._in.pop(op_id, None)
+
+    def replace_operand(self, op_id: int, index: int, new_src: ValueUse) -> None:
+        """Replace operand *index* of op *op_id*, re-deriving flow edges."""
+        op = self.op(op_id)
+        if not 0 <= index < len(op.srcs):
+            raise DDGError(f"op {op_id} has no operand index {index}")
+        srcs = list(op.srcs)
+        srcs[index] = new_src
+        self._retire_flow_in_edges(op_id)
+        self._ops[op_id] = op.with_srcs(tuple(srcs))
+        self._derive_flow_in_edges(self._ops[op_id])
+
+    def add_dep(
+        self,
+        src: int,
+        dst: int,
+        kind: DepKind,
+        omega: int = 0,
+        latency: int = 0,
+    ) -> DepEdge:
+        """Add an explicit (non-flow) ordering edge."""
+        if kind == DepKind.FLOW:
+            raise DDGError("flow edges are derived from operands; use operands")
+        if src not in self._ops or dst not in self._ops:
+            raise DDGError(f"edge {src}->{dst} references unknown ops")
+        edge = DepEdge(src, dst, kind, omega, latency)
+        self._insert_edge(edge)
+        return edge
+
+    def remove_dep(self, edge: DepEdge) -> None:
+        """Remove an explicit ordering edge."""
+        if edge.is_flow:
+            raise DDGError("flow edges are derived; rewire operands instead")
+        self._remove_edge(edge)
+
+    def _derive_flow_in_edges(self, op: Operation) -> None:
+        for src in op.internal_srcs:
+            if src.producer in self._ops:
+                self._insert_edge(DepEdge(src.producer, op.op_id, DepKind.FLOW, src.omega))
+
+    def _retire_flow_in_edges(self, op_id: int) -> None:
+        for edge in [e for e in self.in_edges(op_id) if e.is_flow]:
+            self._remove_edge(edge)
+
+    def _insert_edge(self, edge: DepEdge) -> None:
+        self._out.setdefault(edge.src, {})[edge.key] = edge
+        self._in.setdefault(edge.dst, {})[edge.key] = edge
+
+    def _remove_edge(self, edge: DepEdge) -> None:
+        self._out.get(edge.src, {}).pop(edge.key, None)
+        self._in.get(edge.dst, {}).pop(edge.key, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def op(self, op_id: int) -> Operation:
+        """Return the operation with id *op_id*."""
+        try:
+            return self._ops[op_id]
+        except KeyError:
+            raise DDGError(f"op {op_id} not in DDG {self.name!r}") from None
+
+    def __contains__(self, op_id: int) -> bool:
+        return op_id in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def op_ids(self) -> List[int]:
+        """Sorted operation ids."""
+        return sorted(self._ops)
+
+    def operations(self) -> Iterator[Operation]:
+        """Iterate operations in id order."""
+        for op_id in self.op_ids:
+            yield self._ops[op_id]
+
+    def out_edges(self, op_id: int) -> List[DepEdge]:
+        """Edges leaving *op_id* (deterministic order)."""
+        return sorted(
+            self._out.get(op_id, {}).values(),
+            key=lambda e: (e.dst, e.kind.value, e.omega),
+        )
+
+    def in_edges(self, op_id: int) -> List[DepEdge]:
+        """Edges entering *op_id* (deterministic order)."""
+        return sorted(
+            self._in.get(op_id, {}).values(),
+            key=lambda e: (e.src, e.kind.value, e.omega),
+        )
+
+    def edges(self) -> Iterator[DepEdge]:
+        """Iterate all edges, deterministically."""
+        for op_id in self.op_ids:
+            yield from self.out_edges(op_id)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(d) for d in self._out.values())
+
+    def flow_succ_refs(self, op_id: int) -> List[Tuple[int, int, int]]:
+        """Consumer references of op *op_id*'s value.
+
+        Returns one entry per operand reference (duplicates included) as
+        ``(consumer_id, operand_index, omega)``, in deterministic order.
+        This is the paper's "immediate data dependent successors" count.
+        """
+        refs: List[Tuple[int, int, int]] = []
+        for edge in self.out_edges(op_id):
+            if not edge.is_flow:
+                continue
+            consumer = self._ops[edge.dst]
+            for idx, src in enumerate(consumer.srcs):
+                if not src.is_external and src.producer == op_id and src.omega == edge.omega:
+                    refs.append((edge.dst, idx, edge.omega))
+        return refs
+
+    def flow_fanout(self, op_id: int) -> int:
+        """Number of operand references to op *op_id*'s value."""
+        return len(self.flow_succ_refs(op_id))
+
+    def edge_latency(self, edge: DepEdge, latencies: LatencyModel) -> int:
+        """Resolve the latency of *edge* under *latencies*."""
+        if edge.latency is not None:
+            return edge.latency
+        return latencies.latency(self._ops[edge.src].opcode)
+
+    def n_useful_ops(self) -> int:
+        """Number of operations counted by the paper's performance metrics."""
+        return sum(1 for op in self._ops.values() if is_useful(op.opcode))
+
+    def opcode_histogram(self) -> Dict[OpCode, int]:
+        """Histogram of opcodes in the graph."""
+        hist: Dict[OpCode, int] = {}
+        for op in self._ops.values():
+            hist[op.opcode] = hist.get(op.opcode, 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # Structure analysis
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export to a networkx MultiDiGraph (edge data: kind, omega)."""
+        graph = nx.MultiDiGraph(name=self.name)
+        graph.add_nodes_from(self._ops)
+        for edge in self.edges():
+            graph.add_edge(edge.src, edge.dst, kind=edge.kind, omega=edge.omega)
+        return graph
+
+    def sccs(self) -> List[List[int]]:
+        """Non-trivial strongly connected components (recurrences).
+
+        A component is non-trivial when it has more than one node or a
+        self-loop edge; these are exactly the recurrence circuits that
+        bound RecMII.
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._ops)
+        graph.add_edges_from((e.src, e.dst) for e in self.edges())
+        result: List[List[int]] = []
+        for comp in nx.strongly_connected_components(graph):
+            nodes = sorted(comp)
+            if len(nodes) > 1 or graph.has_edge(nodes[0], nodes[0]):
+                result.append(nodes)
+        result.sort()
+        return result
+
+    def has_recurrence(self, *, flow_only: bool = False) -> bool:
+        """True when the graph contains a dependence circuit.
+
+        With ``flow_only=True`` memory ordering edges are ignored, matching
+        the paper's "loops without recurrences" set-2 definition applied to
+        register dataflow.
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._ops)
+        for edge in self.edges():
+            if flow_only and not edge.is_flow:
+                continue
+            graph.add_edge(edge.src, edge.dst)
+        for comp in nx.strongly_connected_components(graph):
+            nodes = sorted(comp)
+            if len(nodes) > 1 or graph.has_edge(nodes[0], nodes[0]):
+                return True
+        return False
+
+    def critical_path_length(self, latencies: LatencyModel) -> int:
+        """Longest intra-iteration dependence path (omega-0 edges only)."""
+        order = self._topo_order_omega0()
+        dist = {op_id: 0 for op_id in self._ops}
+        for op_id in order:
+            for edge in self.out_edges(op_id):
+                if edge.omega != 0:
+                    continue
+                lat = self.edge_latency(edge, latencies)
+                if dist[op_id] + lat > dist[edge.dst]:
+                    dist[edge.dst] = dist[op_id] + lat
+        if not dist:
+            return 0
+        return max(
+            dist[op.op_id] + latencies.latency(op.opcode) for op in self._ops.values()
+        )
+
+    def _topo_order_omega0(self) -> List[int]:
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._ops)
+        graph.add_edges_from(
+            (e.src, e.dst) for e in self.edges() if e.omega == 0
+        )
+        try:
+            return list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible:
+            raise DDGError(
+                f"DDG {self.name!r} has an omega-0 dependence cycle; "
+                "loop-carried edges must have omega >= 1"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Copy / validation / display
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "DDG":
+        """Deep-copy the graph (operations are immutable, so shared)."""
+        clone = DDG(name or self.name)
+        clone._ops = dict(self._ops)
+        clone._out = {k: dict(v) for k, v in self._out.items()}
+        clone._in = {k: dict(v) for k, v in self._in.items()}
+        clone._next_id = self._next_id
+        return clone
+
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`DDGError` on failure."""
+        for op in self._ops.values():
+            for src in op.internal_srcs:
+                if src.producer not in self._ops:
+                    raise DDGError(
+                        f"op {op.op_id} reads missing producer {src.producer}"
+                    )
+                producer = self._ops[src.producer]
+                if not produces_value(producer.opcode):
+                    raise DDGError(
+                        f"op {op.op_id} reads op {src.producer} "
+                        f"({producer.opcode.value}) which produces no value"
+                    )
+                key = (src.producer, op.op_id, DepKind.FLOW, src.omega)
+                if key not in self._in.get(op.op_id, {}):
+                    raise DDGError(f"missing derived flow edge for {key}")
+        for edge in self.edges():
+            if edge.src not in self._ops or edge.dst not in self._ops:
+                raise DDGError(f"dangling edge {edge}")
+            if edge.is_flow:
+                consumer = self._ops[edge.dst]
+                if not any(
+                    (not s.is_external)
+                    and s.producer == edge.src
+                    and s.omega == edge.omega
+                    for s in consumer.srcs
+                ):
+                    raise DDGError(f"stale flow edge {edge} without operand")
+        # omega-0 subgraph must be acyclic (checked by the topo order).
+        self._topo_order_omega0()
+
+    def summary(self) -> str:
+        """Short human-readable description."""
+        rec = "recurrent" if self.has_recurrence() else "recurrence-free"
+        return (
+            f"DDG {self.name!r}: {len(self)} ops, {self.n_edges} edges, "
+            f"{self.n_useful_ops()} useful, {rec}"
+        )
+
+    def pretty(self, latencies: LatencyModel = None) -> str:
+        """Multi-line listing of operations and edges."""
+        lines = [self.summary()]
+        for op in self.operations():
+            args = ", ".join(repr(s) for s in op.srcs)
+            tag = f"  ; {op.tag}" if op.tag else ""
+            lines.append(f"  v{op.op_id} = {op.opcode.value}({args}){tag}")
+        explicit = [e for e in self.edges() if not e.is_flow]
+        if explicit:
+            lines.append("  ordering edges:")
+            for edge in explicit:
+                lines.append(f"    {edge!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DDG {self.name!r} ops={len(self)} edges={self.n_edges}>"

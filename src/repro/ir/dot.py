@@ -1,0 +1,74 @@
+"""Graphviz DOT export for dependence graphs.
+
+Produces plain DOT text (no graphviz dependency): operations become
+nodes coloured by functional-unit kind, flow edges are solid (labelled
+with omega when loop-carried), memory/ordering edges dashed.  Feed the
+output to ``dot -Tsvg`` anywhere graphviz is available.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .ddg import DDG
+from .opcodes import FUKind
+
+_KIND_COLOUR: Mapping[FUKind, str] = {
+    FUKind.MEM: "lightblue",
+    FUKind.ALU: "palegreen",
+    FUKind.MUL: "lightsalmon",
+    FUKind.COPY: "lightgrey",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def ddg_to_dot(
+    ddg: DDG,
+    clusters: Optional[Mapping[int, int]] = None,
+) -> str:
+    """Render *ddg* as DOT text.
+
+    With *clusters* (op id -> cluster index, e.g. from a schedule's
+    placements) operations are grouped into per-cluster subgraphs, which
+    makes partitioning decisions visible at a glance.
+    """
+    lines = [f"digraph {_quote(ddg.name)} {{", "  rankdir=TB;",
+             "  node [style=filled, shape=box, fontsize=10];"]
+
+    def node_line(op) -> str:
+        label = f"v{op.op_id}: {op.opcode.value}"
+        if op.tag:
+            label += f"\\n{op.tag}"
+        colour = _KIND_COLOUR[op.fu_kind]
+        return (
+            f"  v{op.op_id} [label={_quote(label)}, fillcolor={colour}];"
+        )
+
+    if clusters:
+        by_cluster: dict = {}
+        for op in ddg.operations():
+            by_cluster.setdefault(clusters.get(op.op_id, -1), []).append(op)
+        for cluster in sorted(by_cluster):
+            lines.append(f"  subgraph cluster_{cluster} {{")
+            lines.append(f"    label={_quote(f'cluster {cluster}')};")
+            for op in by_cluster[cluster]:
+                lines.append("  " + node_line(op))
+            lines.append("  }")
+    else:
+        for op in ddg.operations():
+            lines.append(node_line(op))
+
+    for edge in ddg.edges():
+        attributes = []
+        if edge.omega:
+            attributes.append(f"label={_quote(str(edge.omega))}")
+        if not edge.is_flow:
+            attributes.append("style=dashed")
+            attributes.append("color=gray40")
+        attr_text = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  v{edge.src} -> v{edge.dst}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)

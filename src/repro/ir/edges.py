@@ -1,0 +1,88 @@
+"""Dependence edges.
+
+Edges come in two families:
+
+* **flow** edges are derived automatically from operand references and
+  carry the producer's latency (resolved through a
+  :class:`~repro.ir.opcodes.LatencyModel` at scheduling time).  Only flow
+  edges constrain *cluster placement* in DMS, because only register values
+  travel through the CQRF ring.
+* **mem/anti/output** edges are explicit ordering edges with their own
+  latency; they constrain timing but never communication (memory is shared
+  between clusters in the paper's machine model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class DepKind(enum.Enum):
+    """Kind of a dependence edge."""
+
+    FLOW = "flow"  # true register dependence (value communication)
+    MEM = "mem"  # memory ordering (store->load, load->store, store->store)
+    ANTI = "anti"  # register anti-dependence (rare with renaming)
+    OUTPUT = "output"  # register output dependence
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DepKind.{self.name}"
+
+
+#: Edge kinds that require producer/consumer cluster adjacency.
+COMMUNICATING_KINDS = frozenset({DepKind.FLOW})
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dependence edge ``src -> dst``.
+
+    The scheduling constraint imposed by an edge is::
+
+        t(dst) >= t(src) + latency - II * omega
+
+    where ``latency`` is the explicit edge latency for non-flow edges and
+    the producer latency for flow edges (``latency is None`` then).
+    """
+
+    src: int
+    dst: int
+    kind: DepKind = DepKind.FLOW
+    omega: int = 0
+    latency: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.omega < 0:
+            raise ValueError(f"omega must be >= 0, got {self.omega}")
+        if self.kind == DepKind.FLOW and self.latency is not None:
+            raise ValueError("flow edges derive latency from the producer opcode")
+        if self.kind != DepKind.FLOW and self.latency is None:
+            raise ValueError(f"{self.kind.value} edges need an explicit latency")
+        if self.kind != DepKind.FLOW and self.latency < 0:
+            raise ValueError(f"edge latency must be >= 0, got {self.latency}")
+
+    @property
+    def key(self) -> Tuple[int, int, DepKind, int]:
+        """Uniqueness key: one edge per (src, dst, kind, omega)."""
+        return (self.src, self.dst, self.kind, self.omega)
+
+    @property
+    def is_flow(self) -> bool:
+        """True for register flow (value-carrying) edges."""
+        return self.kind == DepKind.FLOW
+
+    @property
+    def communicates(self) -> bool:
+        """True when the edge moves a value between producer and consumer."""
+        return self.kind in COMMUNICATING_KINDS
+
+    @property
+    def is_loop_carried(self) -> bool:
+        """True when the dependence crosses an iteration boundary."""
+        return self.omega > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lat = "" if self.latency is None else f", lat={self.latency}"
+        return f"<{self.kind.value} {self.src}->{self.dst} w={self.omega}{lat}>"

@@ -1,0 +1,71 @@
+"""The :class:`Loop` container: a DDG plus execution metadata.
+
+A loop is the scheduling unit of the paper: an innermost loop body (the
+DDG) together with a trip count used by the dynamic performance metrics
+(Figures 5 and 6 weight every loop by its executed iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..errors import DDGError
+from .ddg import DDG
+
+
+@dataclass
+class Loop:
+    """An innermost loop eligible for software pipelining.
+
+    Attributes:
+        name: unique name within a workload suite.
+        ddg: the loop-body dependence graph.
+        trip_count: number of iterations executed (dynamic weight).
+        unroll_factor: how many original iterations one DDG iteration
+            covers (1 for un-unrolled loops; set by the unroll transform).
+        origin: free-form provenance (kernel template, generator seed...).
+    """
+
+    name: str
+    ddg: DDG
+    trip_count: int = 100
+    unroll_factor: int = 1
+    origin: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise DDGError(f"loop {self.name!r}: trip_count must be >= 1")
+        if self.unroll_factor < 1:
+            raise DDGError(f"loop {self.name!r}: unroll_factor must be >= 1")
+
+    @property
+    def n_ops(self) -> int:
+        """Number of operations in the body."""
+        return len(self.ddg)
+
+    @property
+    def kernel_iterations(self) -> int:
+        """Iterations of the (possibly unrolled) body needed to cover
+        ``trip_count`` original iterations (ceiling division; the remainder
+        is folded into the last kernel iteration, see DESIGN.md 6.9)."""
+        return -(-self.trip_count // self.unroll_factor)
+
+    @property
+    def is_vectorizable(self) -> bool:
+        """True when the loop has no dependence recurrence (paper's Set 2)."""
+        return not self.ddg.has_recurrence()
+
+    def with_ddg(self, ddg: DDG, unroll_factor: int = None) -> "Loop":
+        """Return a copy of the loop with a replacement body."""
+        return replace(
+            self,
+            ddg=ddg,
+            unroll_factor=self.unroll_factor if unroll_factor is None else unroll_factor,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Loop {self.name!r} ops={self.n_ops} trip={self.trip_count} "
+            f"unroll={self.unroll_factor}>"
+        )

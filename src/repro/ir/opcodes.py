@@ -1,0 +1,163 @@
+"""Operation codes, functional-unit kinds and the latency model.
+
+The machine model of the paper has three *useful* functional-unit kinds per
+cluster (Load/Store, Add, Mul) plus one Copy FU that executes the ``copy``
+and ``move`` operations introduced by the single-use transformation and by
+DMS chains.  Copy-FU work is real for scheduling purposes (it occupies MRT
+slots) but is excluded from the performance metrics, exactly as in the
+paper: "these functional units and operations are not considered to
+estimate performance figures, as they do not perform any useful
+computation".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class FUKind(enum.Enum):
+    """Functional-unit kinds present in a cluster."""
+
+    MEM = "mem"  # load/store unit
+    ALU = "alu"  # add/logic unit (the paper's "ADD" FU)
+    MUL = "mul"  # multiply/divide unit
+    COPY = "copy"  # copy/move unit (excluded from performance figures)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FUKind.{self.name}"
+
+
+#: FU kinds that perform useful computation (counted in FU totals and IPC).
+USEFUL_FU_KINDS = (FUKind.MEM, FUKind.ALU, FUKind.MUL)
+
+
+class OpCode(enum.Enum):
+    """Machine operations understood by the scheduler and simulator."""
+
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    # ALU
+    ADD = "add"
+    SUB = "sub"
+    NEG = "neg"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP = "cmp"
+    SELECT = "select"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    # Multiplier
+    MUL = "mul"
+    DIV = "div"
+    SQRT = "sqrt"
+    # Copy-unit operations (inserted by transforms / DMS, never by users)
+    COPY = "copy"
+    MOVE = "move"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpCode.{self.name}"
+
+
+_OPCODE_FU: Mapping[OpCode, FUKind] = {
+    OpCode.LOAD: FUKind.MEM,
+    OpCode.STORE: FUKind.MEM,
+    OpCode.ADD: FUKind.ALU,
+    OpCode.SUB: FUKind.ALU,
+    OpCode.NEG: FUKind.ALU,
+    OpCode.AND: FUKind.ALU,
+    OpCode.OR: FUKind.ALU,
+    OpCode.XOR: FUKind.ALU,
+    OpCode.SHL: FUKind.ALU,
+    OpCode.SHR: FUKind.ALU,
+    OpCode.CMP: FUKind.ALU,
+    OpCode.SELECT: FUKind.ALU,
+    OpCode.MIN: FUKind.ALU,
+    OpCode.MAX: FUKind.ALU,
+    OpCode.ABS: FUKind.ALU,
+    OpCode.MUL: FUKind.MUL,
+    OpCode.DIV: FUKind.MUL,
+    OpCode.SQRT: FUKind.MUL,
+    OpCode.COPY: FUKind.COPY,
+    OpCode.MOVE: FUKind.COPY,
+}
+
+#: Opcodes whose executions count toward IPC / useful-operation totals.
+USEFUL_OPCODES = frozenset(op for op, fu in _OPCODE_FU.items() if fu != FUKind.COPY)
+
+#: Opcodes that produce no register result (nothing to communicate).
+VOID_OPCODES = frozenset({OpCode.STORE})
+
+
+def fu_kind_of(opcode: OpCode) -> FUKind:
+    """Return the functional-unit kind that executes *opcode*."""
+    return _OPCODE_FU[opcode]
+
+
+def is_useful(opcode: OpCode) -> bool:
+    """True when *opcode* performs useful computation (not copy/move)."""
+    return opcode in USEFUL_OPCODES
+
+
+def produces_value(opcode: OpCode) -> bool:
+    """True when *opcode* defines a register value consumers can read."""
+    return opcode not in VOID_OPCODES
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Operation latencies in cycles.
+
+    The defaults are era-typical for the late-90s VLIW literature the paper
+    belongs to.  The paper does not state its latencies, so the model is a
+    documented substitution (see DESIGN.md section 3); every component takes
+    the model as a parameter so alternative profiles are one constructor
+    call away.
+    """
+
+    load: int = 2
+    store: int = 1
+    alu: int = 1
+    mul: int = 3
+    div: int = 8
+    sqrt: int = 12
+    copy: int = 1
+    move: int = 1
+
+    _table: Mapping[OpCode, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("load", "store", "alu", "mul", "div", "sqrt", "copy", "move"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"latency {name!r} must be a positive int, got {value!r}")
+        table = {
+            OpCode.LOAD: self.load,
+            OpCode.STORE: self.store,
+            OpCode.MUL: self.mul,
+            OpCode.DIV: self.div,
+            OpCode.SQRT: self.sqrt,
+            OpCode.COPY: self.copy,
+            OpCode.MOVE: self.move,
+        }
+        for opcode, kind in _OPCODE_FU.items():
+            if opcode not in table and kind == FUKind.ALU:
+                table[opcode] = self.alu
+        object.__setattr__(self, "_table", table)
+
+    def latency(self, opcode: OpCode) -> int:
+        """Latency in cycles of *opcode* (result-ready delay)."""
+        return self._table[opcode]
+
+    def __getitem__(self, opcode: OpCode) -> int:
+        return self._table[opcode]
+
+
+#: Shared default latency model.
+DEFAULT_LATENCIES = LatencyModel()

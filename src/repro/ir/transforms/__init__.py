@@ -1,0 +1,28 @@
+"""IR transformations: unrolling, single-use rewriting, normalisation."""
+
+from .normalize import DDGStats, ddg_stats, live_roots, remove_dead_ops, renumber
+from .single_use import (
+    MAX_FANOUT,
+    copy_count,
+    max_fanout,
+    single_use_ddg,
+    single_use_loop,
+)
+from .unroll import base_op_of, unroll_ddg, unroll_loop, unrolled_op_id
+
+__all__ = [
+    "DDGStats",
+    "ddg_stats",
+    "live_roots",
+    "remove_dead_ops",
+    "renumber",
+    "MAX_FANOUT",
+    "copy_count",
+    "max_fanout",
+    "single_use_ddg",
+    "single_use_loop",
+    "unroll_ddg",
+    "unroll_loop",
+    "base_op_of",
+    "unrolled_op_id",
+]

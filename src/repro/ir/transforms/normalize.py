@@ -1,0 +1,105 @@
+"""DDG normalisation utilities: dead-code removal, renumbering, statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ...errors import TransformError
+from ..ddg import DDG
+from ..edges import DepEdge
+from ..opcodes import FUKind, OpCode
+from ..operations import Operation, ValueUse
+
+
+def live_roots(ddg: DDG) -> Set[int]:
+    """Default liveness roots: stores plus every recurrence member.
+
+    Stores are externally visible; recurrence members feed future
+    iterations and must stay even without a store consumer.
+    """
+    roots = {op.op_id for op in ddg.operations() if op.opcode == OpCode.STORE}
+    for scc in ddg.sccs():
+        roots.update(scc)
+    return roots
+
+
+def remove_dead_ops(ddg: DDG, roots: Optional[Set[int]] = None) -> DDG:
+    """Return a copy of *ddg* without operations that feed no root."""
+    if roots is None:
+        roots = live_roots(ddg)
+    unknown = roots - set(ddg.op_ids)
+    if unknown:
+        raise TransformError(f"liveness roots not in DDG: {sorted(unknown)}")
+    live: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        op_id = stack.pop()
+        if op_id in live:
+            continue
+        live.add(op_id)
+        for edge in ddg.in_edges(op_id):
+            if edge.src not in live:
+                stack.append(edge.src)
+    ops = [ddg.op(op_id) for op_id in ddg.op_ids if op_id in live]
+    explicit = [
+        e
+        for e in ddg.edges()
+        if not e.is_flow and e.src in live and e.dst in live
+    ]
+    return DDG.bulk(ddg.name, ops, explicit)
+
+
+def renumber(ddg: DDG) -> tuple[DDG, Dict[int, int]]:
+    """Compact operation ids to ``0..n-1`` preserving order.
+
+    Returns the new graph and the old-id -> new-id mapping.
+    """
+    mapping = {op_id: new for new, op_id in enumerate(ddg.op_ids)}
+    ops: List[Operation] = []
+    for op in ddg.operations():
+        srcs = tuple(
+            src
+            if src.is_external
+            else ValueUse(mapping[src.producer], src.omega)
+            for src in op.srcs
+        )
+        ops.append(Operation(mapping[op.op_id], op.opcode, srcs, op.tag))
+    explicit = [
+        DepEdge(mapping[e.src], mapping[e.dst], e.kind, e.omega, e.latency)
+        for e in ddg.edges()
+        if not e.is_flow
+    ]
+    return DDG.bulk(ddg.name, ops, explicit), mapping
+
+
+@dataclass(frozen=True)
+class DDGStats:
+    """Shape statistics of a dependence graph."""
+
+    n_ops: int
+    n_edges: int
+    n_useful: int
+    fu_histogram: Dict[FUKind, int]
+    max_fanout: int
+    n_recurrences: int
+    largest_scc: int
+    has_recurrence: bool
+
+
+def ddg_stats(ddg: DDG) -> DDGStats:
+    """Compute :class:`DDGStats` for *ddg*."""
+    hist: Dict[FUKind, int] = {kind: 0 for kind in FUKind}
+    for op in ddg.operations():
+        hist[op.fu_kind] += 1
+    sccs = ddg.sccs()
+    return DDGStats(
+        n_ops=len(ddg),
+        n_edges=ddg.n_edges,
+        n_useful=ddg.n_useful_ops(),
+        fu_histogram=hist,
+        max_fanout=max((ddg.flow_fanout(i) for i in ddg.op_ids), default=0),
+        n_recurrences=len(sccs),
+        largest_scc=max((len(s) for s in sccs), default=0),
+        has_recurrence=bool(sccs),
+    )

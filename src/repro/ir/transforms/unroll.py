@@ -1,0 +1,121 @@
+"""Loop unrolling at the DDG level.
+
+The paper unrolls loops "to provide additional operations to the scheduler
+whenever necessary" (citing Lavery & Hwu).  Unrolling by ``u`` replicates
+the body ``u`` times and rewires every dependence:
+
+* a reference with distance ``omega`` from body copy ``j`` resolves to body
+  copy ``(j - omega) mod u``;
+* the new iteration distance is the number of *unrolled*-iteration
+  boundaries crossed, ``((j - omega) mod u - (j - omega)) / u``.
+
+Intra-copy dependences therefore become omega-0 edges, and only references
+that wrap around the replicated body stay loop-carried — exactly the
+standard unrolling semantics for modulo scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...errors import TransformError
+from ..ddg import DDG
+from ..edges import DepEdge
+from ..loop import Loop
+from ..operations import Operation, ValueUse
+
+
+def _rewire(offset: int, u: int) -> Tuple[int, int]:
+    """Map a (copy - omega) offset to (source copy, new omega)."""
+    source_copy = offset % u
+    new_omega = (source_copy - offset) // u
+    return source_copy, new_omega
+
+
+def unroll_ddg(ddg: DDG, factor: int) -> DDG:
+    """Return a new DDG whose body is *ddg* replicated *factor* times."""
+    if factor < 1:
+        raise TransformError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return ddg.copy(f"{ddg.name}")
+    base_ids = ddg.op_ids
+    n = len(base_ids)
+    index_of = {op_id: i for i, op_id in enumerate(base_ids)}
+
+    def new_id(op_id: int, copy: int) -> int:
+        return copy * n + index_of[op_id]
+
+    ops: List[Operation] = []
+    for copy in range(factor):
+        for op_id in base_ids:
+            op = ddg.op(op_id)
+            srcs = []
+            for src in op.srcs:
+                if src.is_external:
+                    srcs.append(src)
+                    continue
+                source_copy, new_omega = _rewire(copy - src.omega, factor)
+                srcs.append(
+                    ValueUse(producer=new_id(src.producer, source_copy), omega=new_omega)
+                )
+            tag = f"{op.tag}#{copy}" if op.tag else f"#{copy}"
+            ops.append(Operation(new_id(op_id, copy), op.opcode, tuple(srcs), tag))
+
+    explicit: List[DepEdge] = []
+    for edge in ddg.edges():
+        if edge.is_flow:
+            continue
+        for copy in range(factor):
+            source_copy, new_omega = _rewire(copy - edge.omega, factor)
+            explicit.append(
+                DepEdge(
+                    src=new_id(edge.src, source_copy),
+                    dst=new_id(edge.dst, copy),
+                    kind=edge.kind,
+                    omega=new_omega,
+                    latency=edge.latency,
+                )
+            )
+    unrolled = DDG.bulk(f"{ddg.name}", ops, _dedupe(explicit))
+    return unrolled
+
+
+def _dedupe(edges: List[DepEdge]) -> List[DepEdge]:
+    seen: Dict[tuple, DepEdge] = {}
+    for edge in edges:
+        seen[edge.key] = edge
+    return list(seen.values())
+
+
+def unrolled_op_id(base: DDG, op_id: int, copy: int, factor: int) -> int:
+    """Id of base operation *op_id*'s *copy*-th replica after unrolling.
+
+    Mirrors the id scheme of :func:`unroll_ddg` so callers (semantic
+    equivalence checks, provenance tooling) can map between the graphs.
+    """
+    if not 0 <= copy < factor:
+        raise TransformError(f"copy {copy} out of range for factor {factor}")
+    base_ids = base.op_ids
+    if op_id not in base:
+        raise TransformError(f"op {op_id} not in base DDG")
+    return copy * len(base_ids) + base_ids.index(op_id)
+
+
+def base_op_of(base: DDG, unrolled_id: int, factor: int) -> Tuple[int, int]:
+    """Inverse of :func:`unrolled_op_id`: ``(base op id, copy index)``."""
+    base_ids = base.op_ids
+    n = len(base_ids)
+    copy, index = divmod(unrolled_id, n)
+    if not 0 <= copy < factor or index >= n:
+        raise TransformError(
+            f"unrolled id {unrolled_id} out of range for factor {factor}"
+        )
+    return base_ids[index], copy
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Unroll *loop* by *factor*, updating its metadata."""
+    if loop.unroll_factor != 1:
+        raise TransformError(f"loop {loop.name!r} is already unrolled")
+    ddg = unroll_ddg(loop.ddg, factor)
+    return loop.with_ddg(ddg, unroll_factor=factor)

@@ -1,0 +1,33 @@
+"""Machine model: clusters, ring topology, queue register files."""
+
+from .cluster import ClusterSpec, PAPER_CLUSTER
+from .cqrf import CQRFId, LRFId, QueueFileId, QueueFileSpec, queue_file_for
+from .fu import FUSlot, fu_name
+from .machine import (
+    MachineSpec,
+    PAPER_CLUSTER_RANGE,
+    clustered_vliw,
+    paper_machine_pair,
+    unclustered_vliw,
+)
+from .topology import LinearTopology, RingPath, RingTopology
+
+__all__ = [
+    "ClusterSpec",
+    "PAPER_CLUSTER",
+    "CQRFId",
+    "LRFId",
+    "QueueFileId",
+    "QueueFileSpec",
+    "queue_file_for",
+    "FUSlot",
+    "fu_name",
+    "MachineSpec",
+    "PAPER_CLUSTER_RANGE",
+    "clustered_vliw",
+    "paper_machine_pair",
+    "unclustered_vliw",
+    "LinearTopology",
+    "RingPath",
+    "RingTopology",
+]

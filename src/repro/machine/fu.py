@@ -1,0 +1,29 @@
+"""Functional-unit naming helpers shared by codegen and traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.opcodes import FUKind
+
+
+@dataclass(frozen=True)
+class FUSlot:
+    """A concrete functional unit: (cluster, kind, instance index)."""
+
+    cluster: int
+    kind: FUKind
+    index: int
+
+    def __str__(self) -> str:
+        return f"c{self.cluster}.{self.kind.value}{self.index}"
+
+    @property
+    def sort_key(self) -> tuple:
+        order = {FUKind.MEM: 0, FUKind.ALU: 1, FUKind.MUL: 2, FUKind.COPY: 3}
+        return (self.cluster, order[self.kind], self.index)
+
+
+def fu_name(cluster: int, kind: FUKind, index: int) -> str:
+    """Printable name of a functional unit instance."""
+    return str(FUSlot(cluster, kind, index))

@@ -1,0 +1,161 @@
+"""Machine descriptions and the paper's experimental configurations.
+
+Two families are used throughout the evaluation (section 4):
+
+* ``clustered(k)`` — k clusters of {1 L/S, 1 Add, 1 Mul, 1 Copy} on a
+  bi-directional ring, scheduled with DMS;
+* ``unclustered(k)`` — a single monolithic register file with k L/S,
+  k Add and k Mul units (no copy FU: a conventional multi-read RF needs
+  no copy or move operations), scheduled with IMS.
+
+Both expose the same number of *useful* FUs (3k), which is the x-axis of
+figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import MachineError
+from ..ir.opcodes import FUKind, USEFUL_FU_KINDS
+from .cluster import ClusterSpec, PAPER_CLUSTER
+from .cqrf import CQRFId, QueueFileSpec
+from .topology import LinearTopology, RingTopology
+
+#: Supported inter-cluster interconnects (paper: "we believe it could
+#: also be used with other clustered VLIW architectures").
+TOPOLOGIES = ("ring", "linear")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A clustered (or degenerate single-cluster) VLIW machine."""
+
+    name: str
+    clusters: Tuple[ClusterSpec, ...]
+    cqrf: QueueFileSpec = field(default_factory=QueueFileSpec)
+    topology_kind: str = "ring"
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise MachineError("a machine needs at least one cluster")
+        if self.topology_kind not in TOPOLOGIES:
+            raise MachineError(
+                f"unknown topology {self.topology_kind!r}; "
+                f"supported: {TOPOLOGIES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def is_clustered(self) -> bool:
+        """True when inter-cluster communication constraints exist."""
+        return self.n_clusters > 1
+
+    @property
+    def topology(self) -> RingTopology:
+        if self.topology_kind == "linear":
+            return LinearTopology(self.n_clusters)
+        return RingTopology(self.n_clusters)
+
+    def cluster(self, index: int) -> ClusterSpec:
+        if not 0 <= index < self.n_clusters:
+            raise MachineError(f"cluster {index} out of range")
+        return self.clusters[index]
+
+    def fu_count(self, kind: FUKind) -> int:
+        """Total units of *kind* across all clusters."""
+        return sum(c.fu_count(kind) for c in self.clusters)
+
+    def fu_in_cluster(self, cluster: int, kind: FUKind) -> int:
+        """Units of *kind* in one cluster."""
+        return self.cluster(cluster).fu_count(kind)
+
+    @property
+    def useful_fus(self) -> int:
+        """FU total as reported by the paper (copy FUs excluded)."""
+        return sum(c.useful_fus for c in self.clusters)
+
+    def cqrf_ids(self) -> Tuple[CQRFId, ...]:
+        """All CQRFs of the machine (one per adjacent ordered pair)."""
+        return tuple(
+            CQRFId(writer, reader)
+            for writer, reader in self.topology.directed_pairs()
+        )
+
+    def supports(self, kind: FUKind) -> bool:
+        """True when at least one cluster can execute *kind* operations."""
+        return self.fu_count(kind) > 0
+
+    def describe(self) -> str:
+        """One-line human description."""
+        kinds = ", ".join(
+            f"{self.fu_count(kind)} {kind.value}" for kind in USEFUL_FU_KINDS
+        )
+        shape = f"{self.n_clusters} cluster(s)" if self.is_clustered else "unclustered"
+        return f"{self.name}: {shape}, {self.useful_fus} useful FUs ({kinds})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MachineSpec {self.name!r} clusters={self.n_clusters}>"
+
+
+def clustered_vliw(
+    n_clusters: int,
+    cluster: ClusterSpec = PAPER_CLUSTER,
+    cqrf: Optional[QueueFileSpec] = None,
+    name: Optional[str] = None,
+    topology: str = "ring",
+) -> MachineSpec:
+    """The paper's clustered machine: *n_clusters* x *cluster* on a ring
+    (or, for the topology ablation, a linear array)."""
+    if n_clusters < 1:
+        raise MachineError(f"n_clusters must be >= 1, got {n_clusters}")
+    suffix = "" if topology == "ring" else f"-{topology}"
+    return MachineSpec(
+        name=name or f"clustered-{n_clusters}x{cluster.useful_fus}{suffix}",
+        clusters=tuple([cluster] * n_clusters),
+        cqrf=cqrf or QueueFileSpec(),
+        topology_kind=topology,
+    )
+
+
+def unclustered_vliw(
+    k: int,
+    lrf: Optional[QueueFileSpec] = None,
+    name: Optional[str] = None,
+) -> MachineSpec:
+    """The unclustered reference machine with k L/S, k Add, k Mul units.
+
+    There is no copy FU: with a conventional central register file,
+    multiple-use lifetimes need no copies and there is nowhere to move
+    values to.
+    """
+    if k < 1:
+        raise MachineError(f"k must be >= 1, got {k}")
+    spec = ClusterSpec(
+        mem=k, alu=k, mul=k, copy=0, lrf=lrf or QueueFileSpec(n_queues=4096, queue_depth=64)
+    )
+    return MachineSpec(
+        name=name or f"unclustered-{3 * k}fu",
+        clusters=(spec,),
+    )
+
+
+def paper_machine_pair(k: int) -> Tuple[MachineSpec, MachineSpec]:
+    """(clustered(k), unclustered with the same useful FU total).
+
+    This is the comparison unit of figures 4-6: ``k`` clusters of 3 FUs
+    against one monolithic machine with ``3k`` FUs.
+    """
+    return clustered_vliw(k), unclustered_vliw(k)
+
+
+#: The cluster counts evaluated by the paper (figures 4-6).
+PAPER_CLUSTER_RANGE = tuple(range(1, 11))

@@ -1,0 +1,171 @@
+"""Bi-directional ring topology connecting clusters.
+
+The paper's machine connects clusters "in a bi-directional ring topology"
+(figure 1).  Two clusters are *directly connected* when their ring distance
+is at most one; a flow-dependent producer/consumer pair placed on
+indirectly connected clusters is a **communication conflict**, and DMS must
+either avoid it or bridge it with a chain of moves along one of the two
+ring directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import MachineError
+
+
+@dataclass(frozen=True)
+class RingPath:
+    """One direction around the ring from a producer to a consumer cluster.
+
+    Attributes:
+        clusters: the full hop sequence, endpoints included.
+        direction: +1 for increasing cluster index, -1 for decreasing.
+    """
+
+    clusters: Tuple[int, ...]
+    direction: int
+
+    @property
+    def hops(self) -> int:
+        """Number of cluster-to-cluster hops."""
+        return len(self.clusters) - 1
+
+    @property
+    def intermediates(self) -> Tuple[int, ...]:
+        """Clusters strictly between the endpoints (where moves live)."""
+        return self.clusters[1:-1]
+
+    @property
+    def n_moves(self) -> int:
+        """Move operations needed to bridge this path."""
+        return max(0, self.hops - 1)
+
+
+class RingTopology:
+    """Distance/adjacency/path queries on a ring of *n* clusters."""
+
+    def __init__(self, n_clusters: int):
+        if n_clusters < 1:
+            raise MachineError(f"ring needs >= 1 cluster, got {n_clusters}")
+        self.n_clusters = n_clusters
+
+    def _check(self, cluster: int) -> None:
+        if not 0 <= cluster < self.n_clusters:
+            raise MachineError(
+                f"cluster {cluster} out of range [0, {self.n_clusters})"
+            )
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimum hop count between clusters *a* and *b*."""
+        self._check(a)
+        self._check(b)
+        forward = (b - a) % self.n_clusters
+        return min(forward, self.n_clusters - forward)
+
+    def adjacent(self, a: int, b: int) -> bool:
+        """True when *a* and *b* are directly connected (distance <= 1)."""
+        return self.distance(a, b) <= 1
+
+    def neighbors(self, cluster: int) -> Tuple[int, ...]:
+        """Clusters directly reachable from *cluster* (excluding itself)."""
+        self._check(cluster)
+        if self.n_clusters == 1:
+            return ()
+        left = (cluster - 1) % self.n_clusters
+        right = (cluster + 1) % self.n_clusters
+        if left == right:
+            return (left,)
+        return tuple(sorted((left, right)))
+
+    def directed_pairs(self) -> List[Tuple[int, int]]:
+        """All ordered adjacent pairs (one CQRF per pair and direction)."""
+        pairs = []
+        for c in range(self.n_clusters):
+            for d in self.neighbors(c):
+                pairs.append((c, d))
+        return sorted(pairs)
+
+    def path(self, src: int, dst: int, direction: int) -> RingPath:
+        """The path from *src* to *dst* going in *direction* (+1/-1)."""
+        self._check(src)
+        self._check(dst)
+        if direction not in (1, -1):
+            raise MachineError(f"direction must be +1 or -1, got {direction}")
+        clusters = [src]
+        current = src
+        while current != dst:
+            current = (current + direction) % self.n_clusters
+            clusters.append(current)
+            if len(clusters) > self.n_clusters:
+                raise MachineError("ring path failed to terminate")
+        return RingPath(tuple(clusters), direction)
+
+    def paths(self, src: int, dst: int) -> List[RingPath]:
+        """Distinct simple paths from *src* to *dst* (at most two).
+
+        For ``src == dst`` the only path is the trivial one.  On very small
+        rings the two directions can traverse identical cluster sequences;
+        duplicates are removed so chain planning never explores the same
+        option twice.
+        """
+        if src == dst:
+            return [RingPath((src,), 1)]
+        forward = self.path(src, dst, 1)
+        backward = self.path(src, dst, -1)
+        if forward.clusters == backward.clusters:
+            # Two-cluster ring: both directions traverse the same hop.
+            return [forward]
+        result = [forward, backward]
+        result.sort(key=lambda p: (p.hops, -p.direction))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RingTopology({self.n_clusters})"
+
+
+class LinearTopology(RingTopology):
+    """A linear cluster array: the ring without the wraparound link.
+
+    The paper argues DMS suits any clustered machine with fixed-timing
+    neighbour links and few chain paths; a linear array is the simplest
+    such alternative — exactly one path between any two clusters, and
+    longer average distances than the ring (no shortcut across the
+    ends).  Used by the topology ablation to show what the
+    bi-directional ring buys.
+    """
+
+    def distance(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return abs(a - b)
+
+    def neighbors(self, cluster: int) -> Tuple[int, ...]:
+        self._check(cluster)
+        return tuple(
+            c for c in (cluster - 1, cluster + 1) if 0 <= c < self.n_clusters
+        )
+
+    def path(self, src: int, dst: int, direction: int) -> RingPath:
+        self._check(src)
+        self._check(dst)
+        if direction not in (1, -1):
+            raise MachineError(f"direction must be +1 or -1, got {direction}")
+        step = 1 if dst > src else -1
+        if src != dst and direction != step:
+            raise MachineError(
+                f"no linear path from {src} to {dst} in direction {direction}"
+            )
+        clusters = tuple(range(src, dst + step, step)) if src != dst else (src,)
+        return RingPath(clusters, direction)
+
+    def paths(self, src: int, dst: int) -> List[RingPath]:
+        if src == dst:
+            return [RingPath((src,), 1)]
+        step = 1 if dst > src else -1
+        return [self.path(src, dst, step)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearTopology({self.n_clusters})"

@@ -1,0 +1,23 @@
+"""Register/queue allocation for modulo-scheduled loops."""
+
+from .lifetimes import Lifetime, extract_lifetimes, register_pressure
+from .mve import MVEReport, mve_report, mve_summary
+from .queues import (
+    FileUsage,
+    QueueAllocation,
+    QueueAssignment,
+    allocate_queues,
+)
+
+__all__ = [
+    "Lifetime",
+    "extract_lifetimes",
+    "register_pressure",
+    "MVEReport",
+    "mve_report",
+    "mve_summary",
+    "FileUsage",
+    "QueueAllocation",
+    "QueueAssignment",
+    "allocate_queues",
+]

@@ -1,0 +1,373 @@
+"""Move-operation chains: planning, application and the registry.
+
+A **chain** bridges a communication conflict: a string of ``move``
+operations, one per intermediate cluster along one of the two ring
+directions between a scheduled producer and the cluster chosen for the
+consumer (paper figure 3).  Each move reads from the CQRF behind it and
+writes to the CQRF ahead of it, occupying the Copy FU of its own cluster.
+
+Planning rules (paper section 3):
+
+* any cluster can be considered for the operation being scheduled;
+* chains can be built only if *clean* (ejection-free) Copy-FU slots exist
+  for every move;
+* among feasible options, pick the one that "maximizes the number of free
+  slots left available to schedule move operations in any cluster" —
+  interpreted as maximising the bottleneck (minimum over clusters) of
+  remaining Copy-FU slack — tie-broken by the smallest number of moves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import SchedulerConfig
+from ..errors import SchedulingError
+from ..ir.ddg import DDG
+from ..ir.opcodes import FUKind, OpCode
+from ..ir.operations import ValueUse
+from ..machine.topology import RingPath
+from .schedule import PartialSchedule
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A live chain in the partial schedule."""
+
+    chain_id: int
+    producer: int
+    consumer: int
+    omega: int
+    operand_indexes: Tuple[int, ...]
+    move_ids: Tuple[int, ...]
+    path: RingPath
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.move_ids)
+
+
+@dataclass(frozen=True)
+class PlannedChain:
+    """One chain of a :class:`ChainPlan`, with pre-computed move slots."""
+
+    producer: int
+    omega: int
+    operand_indexes: Tuple[int, ...]
+    path: RingPath
+    move_times: Tuple[int, ...]
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.move_times)
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """A feasible strategy-2 option: target cluster plus its chains."""
+
+    cluster: int
+    chains: Tuple[PlannedChain, ...]
+    bottleneck_slack: int
+
+    @property
+    def n_moves(self) -> int:
+        return sum(c.n_moves for c in self.chains)
+
+    @property
+    def sort_key(self) -> Tuple[int, int, int]:
+        """Larger is better: slack, then fewer moves, then lower cluster."""
+        return (self.bottleneck_slack, -self.n_moves, -self.cluster)
+
+
+class ChainRegistry:
+    """Tracks live chains and the operations participating in them."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[int, Chain] = {}
+        self._by_move: Dict[int, int] = {}
+        self._by_endpoint: Dict[int, Set[int]] = {}
+        self._next_id = 0
+
+    def add(
+        self,
+        producer: int,
+        consumer: int,
+        omega: int,
+        operand_indexes: Sequence[int],
+        move_ids: Sequence[int],
+        path: RingPath,
+    ) -> Chain:
+        chain = Chain(
+            chain_id=self._next_id,
+            producer=producer,
+            consumer=consumer,
+            omega=omega,
+            operand_indexes=tuple(operand_indexes),
+            move_ids=tuple(move_ids),
+            path=path,
+        )
+        self._next_id += 1
+        self._chains[chain.chain_id] = chain
+        for move_id in chain.move_ids:
+            self._by_move[move_id] = chain.chain_id
+        for endpoint in (producer, consumer):
+            self._by_endpoint.setdefault(endpoint, set()).add(chain.chain_id)
+        return chain
+
+    def remove(self, chain_id: int) -> Chain:
+        chain = self._chains.pop(chain_id)
+        for move_id in chain.move_ids:
+            self._by_move.pop(move_id, None)
+        for endpoint in (chain.producer, chain.consumer):
+            members = self._by_endpoint.get(endpoint)
+            if members is not None:
+                members.discard(chain_id)
+                if not members:
+                    self._by_endpoint.pop(endpoint)
+        return chain
+
+    def chain_of_move(self, op_id: int) -> Optional[Chain]:
+        chain_id = self._by_move.get(op_id)
+        return self._chains.get(chain_id) if chain_id is not None else None
+
+    def chains_of_endpoint(self, op_id: int) -> List[Chain]:
+        return sorted(
+            (self._chains[c] for c in self._by_endpoint.get(op_id, ())),
+            key=lambda chain: chain.chain_id,
+        )
+
+    def membership(self, op_id: int) -> List[Chain]:
+        """All chains *op_id* participates in (as move or endpoint)."""
+        chains = {c.chain_id: c for c in self.chains_of_endpoint(op_id)}
+        move_chain = self.chain_of_move(op_id)
+        if move_chain is not None:
+            chains[move_chain.chain_id] = move_chain
+        return [chains[c] for c in sorted(chains)]
+
+    @property
+    def n_live(self) -> int:
+        return len(self._chains)
+
+    def live_chains(self) -> List[Chain]:
+        return [self._chains[c] for c in sorted(self._chains)]
+
+
+class ChainPlanner:
+    """Builds :class:`ChainPlan` options for DMS strategy 2."""
+
+    def __init__(self, schedule: PartialSchedule, config: SchedulerConfig):
+        self.schedule = schedule
+        self.config = config
+        self._scratch_id = -1
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, op_id: int) -> Optional[ChainPlan]:
+        """Best feasible chain plan for *op_id*, or None."""
+        schedule = self.schedule
+        machine = schedule.machine
+        topology = machine.topology
+        op = schedule.ddg.op(op_id)
+
+        succ_clusters = [
+            schedule.cluster(s) for s in schedule.scheduled_flow_succs(op_id)
+        ]
+        pred_groups = self._scheduled_pred_groups(op_id)
+        best: Optional[ChainPlan] = None
+        for cluster in range(machine.n_clusters):
+            if machine.fu_in_cluster(cluster, op.fu_kind) == 0:
+                continue
+            if any(topology.distance(cluster, sc) > 1 for sc in succ_clusters):
+                continue
+            far = [
+                (producer, omega, indexes, schedule.cluster(producer))
+                for (producer, omega), indexes in pred_groups.items()
+                if topology.distance(schedule.cluster(producer), cluster) > 1
+            ]
+            if not far:
+                # Strategy 1 handles chain-free clusters; nothing to plan.
+                continue
+            plan = self._best_plan_for_cluster(op_id, cluster, far)
+            if plan is None:
+                continue
+            if best is None or plan.sort_key > best.sort_key:
+                best = plan
+        return best
+
+    def _scheduled_pred_groups(
+        self, op_id: int
+    ) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+        """Scheduled producers grouped by (producer, omega) -> operand idxs."""
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        op = self.schedule.ddg.op(op_id)
+        for index, src in enumerate(op.srcs):
+            if src.is_external or src.producer == op_id:
+                continue
+            if not self.schedule.is_scheduled(src.producer):
+                continue
+            groups.setdefault((src.producer, src.omega), []).append(index)
+        return {key: tuple(indexes) for key, indexes in sorted(groups.items())}
+
+    def _best_plan_for_cluster(
+        self,
+        op_id: int,
+        cluster: int,
+        far: List[Tuple[int, int, Tuple[int, ...], int]],
+    ) -> Optional[ChainPlan]:
+        topology = self.schedule.machine.topology
+        options_per_pred: List[List[Tuple[int, int, Tuple[int, ...], RingPath]]] = []
+        for producer, omega, indexes, pred_cluster in far:
+            paths = topology.paths(pred_cluster, cluster)
+            if self.config.prefer_shortest_chain_only:
+                paths = paths[:1]
+            options_per_pred.append(
+                [(producer, omega, indexes, path) for path in paths]
+            )
+        best: Optional[ChainPlan] = None
+        combos = itertools.islice(
+            itertools.product(*options_per_pred), self.config.chain_combo_cap
+        )
+        for combo in combos:
+            plan = self._try_combo(cluster, combo)
+            if plan is None:
+                continue
+            if best is None or plan.sort_key > best.sort_key:
+                best = plan
+        return best
+
+    def _try_combo(
+        self,
+        cluster: int,
+        combo: Tuple[Tuple[int, int, Tuple[int, ...], RingPath], ...],
+    ) -> Optional[ChainPlan]:
+        """Tentatively place every move of *combo*; score then roll back."""
+        schedule = self.schedule
+        mrt = schedule.mrt
+        ii = schedule.ii
+        move_latency = schedule.latencies.latency(OpCode.MOVE)
+        occupied: List[Tuple[int, int, int]] = []  # (scratch_id, cluster, time)
+        planned: List[PlannedChain] = []
+        feasible = True
+        touched: Set[int] = set()
+        for producer, omega, indexes, path in combo:
+            producer_latency = schedule.latencies.latency(
+                schedule.ddg.op(producer).opcode
+            )
+            ready = schedule.time(producer) + producer_latency - ii * omega
+            move_times: List[int] = []
+            for hop_cluster in path.intermediates:
+                estart = max(0, ready)
+                slot = self._find_clean_copy_slot(hop_cluster, estart)
+                if slot is None:
+                    feasible = False
+                    break
+                scratch = self._scratch_id
+                self._scratch_id -= 1
+                mrt.place(scratch, hop_cluster, FUKind.COPY, slot)
+                occupied.append((scratch, hop_cluster, slot))
+                touched.add(hop_cluster)
+                move_times.append(slot)
+                ready = slot + move_latency
+            if not feasible:
+                break
+            planned.append(
+                PlannedChain(producer, omega, indexes, path, tuple(move_times))
+            )
+        plan: Optional[ChainPlan] = None
+        if feasible:
+            if self.config.chain_score_all_clusters:
+                scored_clusters = range(schedule.machine.n_clusters)
+            else:
+                scored_clusters = sorted(touched) or [cluster]
+            slack = min(
+                schedule.free_slots(c, FUKind.COPY) for c in scored_clusters
+            )
+            plan = ChainPlan(cluster, tuple(planned), slack)
+        for scratch, hop_cluster, slot in occupied:
+            mrt.remove(scratch, hop_cluster, FUKind.COPY, slot)
+        return plan
+
+    def _find_clean_copy_slot(self, cluster: int, estart: int) -> Optional[int]:
+        """First free Copy-FU slot in ``[estart, estart + II - 1]``."""
+        mrt = self.schedule.mrt
+        if mrt.capacity(cluster, FUKind.COPY) == 0:
+            return None
+        for time in range(estart, estart + self.schedule.ii):
+            if mrt.is_free(cluster, FUKind.COPY, time):
+                return time
+        return None
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, op_id: int, plan: ChainPlan, registry: ChainRegistry
+    ) -> List[Chain]:
+        """Materialise *plan*: create moves in the DDG, schedule them,
+        rewire the consumer's operands and register the chains.
+
+        The MRT state must be unchanged since :meth:`plan` returned, so the
+        recorded move slots are still free.
+        """
+        schedule = self.schedule
+        ddg = schedule.ddg
+        chains: List[Chain] = []
+        for planned in plan.chains:
+            previous = ValueUse(planned.producer, planned.omega)
+            move_ids: List[int] = []
+            for hop_cluster, slot in zip(
+                planned.path.intermediates, planned.move_times
+            ):
+                move = ddg.new_operation(
+                    OpCode.MOVE,
+                    (previous,),
+                    tag=f"mv(v{planned.producer}->v{op_id})",
+                )
+                schedule.place(move.op_id, slot, hop_cluster)
+                previous = ValueUse(move.op_id, 0)
+                move_ids.append(move.op_id)
+            if not move_ids:
+                raise SchedulingError("chain plan without moves")
+            for index in planned.operand_indexes:
+                ddg.replace_operand(op_id, index, previous)
+            chains.append(
+                registry.add(
+                    producer=planned.producer,
+                    consumer=op_id,
+                    omega=planned.omega,
+                    operand_indexes=planned.operand_indexes,
+                    move_ids=move_ids,
+                    path=planned.path,
+                )
+            )
+        return chains
+
+
+def dismantle_chain(
+    chain: Chain,
+    schedule: PartialSchedule,
+    registry: ChainRegistry,
+) -> None:
+    """Remove *chain* from the schedule and the DDG, restoring the direct
+    producer -> consumer operand references.
+
+    The caller decides what happens to the endpoints; this helper only
+    guarantees the graph is back to its pre-chain shape.
+    """
+    ddg = schedule.ddg
+    registry.remove(chain.chain_id)
+    # Restore the consumer's operands to the original producer reference.
+    restored = ValueUse(chain.producer, chain.omega)
+    for index in chain.operand_indexes:
+        ddg.replace_operand(chain.consumer, index, restored)
+    # Remove moves consumer-side first so no flow references remain.
+    for move_id in reversed(chain.move_ids):
+        if schedule.is_scheduled(move_id):
+            schedule.remove(move_id)
+        ddg.remove_operation(move_id)

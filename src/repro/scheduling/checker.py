@@ -1,0 +1,132 @@
+"""Independent schedule validation.
+
+The checker re-derives every constraint from scratch (it shares no state
+with the schedulers), so scheduler bugs cannot hide behind their own
+bookkeeping.  It enforces:
+
+1. completeness — every operation placed exactly once, at time >= 0;
+2. capability — each operation sits on a cluster that has a unit of its
+   functional-unit kind;
+3. resources — no MRT cell over capacity;
+4. dependences — ``t(dst) >= t(src) + latency - II * omega`` for every edge;
+5. communication — every flow edge connects directly connected clusters;
+6. fan-out — at most 2 consumer references per value on clustered machines
+   (the single-use property DMS relies on for queue mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ValidationError
+from ..ir.opcodes import FUKind
+from .result import ScheduleResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a schedule check."""
+
+    loop_name: str
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_failed(self) -> None:
+        if self.problems:
+            summary = "; ".join(self.problems[:10])
+            more = f" (+{len(self.problems) - 10} more)" if len(self.problems) > 10 else ""
+            raise ValidationError(
+                f"schedule for {self.loop_name!r} invalid: {summary}{more}"
+            )
+
+
+def check_schedule(result: ScheduleResult) -> ValidationReport:
+    """Validate *result* and return a report (never raises)."""
+    report = ValidationReport(result.loop_name)
+    ddg = result.ddg
+    machine = result.machine
+    ii = result.ii
+    placements = result.placements
+
+    # 1. Completeness.
+    scheduled = set(placements)
+    ops = set(ddg.op_ids)
+    for missing in sorted(ops - scheduled):
+        report.problems.append(f"op {missing} not scheduled")
+    for phantom in sorted(scheduled - ops):
+        report.problems.append(f"placement for unknown op {phantom}")
+
+    usage: Dict[Tuple[int, FUKind, int], int] = {}
+    for op_id in sorted(scheduled & ops):
+        placement = placements[op_id]
+        op = ddg.op(op_id)
+        if placement.time < 0:
+            report.problems.append(f"op {op_id} at negative time {placement.time}")
+        if not 0 <= placement.cluster < machine.n_clusters:
+            report.problems.append(
+                f"op {op_id} on invalid cluster {placement.cluster}"
+            )
+            continue
+        # 2. Capability.
+        if machine.fu_in_cluster(placement.cluster, op.fu_kind) == 0:
+            report.problems.append(
+                f"op {op_id} ({op.fu_kind.value}) on cluster "
+                f"{placement.cluster} without such a unit"
+            )
+        cell = (placement.cluster, op.fu_kind, placement.time % ii)
+        usage[cell] = usage.get(cell, 0) + 1
+
+    # 3. Resources.
+    for (cluster, kind, row), count in sorted(
+        usage.items(), key=lambda item: (item[0][0], item[0][1].value, item[0][2])
+    ):
+        capacity = machine.fu_in_cluster(cluster, kind)
+        if count > capacity:
+            report.problems.append(
+                f"MRT cell (c{cluster}, {kind.value}, row {row}) holds "
+                f"{count} ops, capacity {capacity}"
+            )
+
+    # 4. Dependences and 5. communication.
+    topology = machine.topology
+
+    def in_range(placement) -> bool:
+        return 0 <= placement.cluster < machine.n_clusters
+
+    for edge in ddg.edges():
+        if edge.src not in placements or edge.dst not in placements:
+            continue
+        src, dst = placements[edge.src], placements[edge.dst]
+        if not (in_range(src) and in_range(dst)):
+            continue  # already reported as an invalid cluster
+        latency = ddg.edge_latency(edge, result.latencies)
+        if dst.time < src.time + latency - ii * edge.omega:
+            report.problems.append(
+                f"dependence violated: {edge!r} with t({edge.src})={src.time}, "
+                f"t({edge.dst})={dst.time}, II={ii}"
+            )
+        if edge.communicates and edge.src != edge.dst:
+            if topology.distance(src.cluster, dst.cluster) > 1:
+                report.problems.append(
+                    f"communication conflict: flow {edge.src}->{edge.dst} "
+                    f"between clusters {src.cluster} and {dst.cluster}"
+                )
+
+    # 6. Fan-out discipline on clustered machines.
+    if machine.is_clustered:
+        for op_id in ddg.op_ids:
+            fanout = ddg.flow_fanout(op_id)
+            if fanout > 2:
+                report.problems.append(
+                    f"op {op_id} has fan-out {fanout} > 2 on a clustered machine"
+                )
+    return report
+
+
+def validate_schedule(result: ScheduleResult) -> None:
+    """Validate *result*, raising :class:`ValidationError` on any problem."""
+    check_schedule(result).raise_if_failed()

@@ -1,0 +1,350 @@
+"""Distributed Modulo Scheduling (DMS) — the paper's core contribution.
+
+DMS integrates cluster assignment into iterative modulo scheduling.  Every
+operation is scheduled by the first applicable of three strategies
+(paper figure 2):
+
+1. **Strategy 1** — find a slot in a *communication-compatible* cluster
+   (ring distance <= 1 to every scheduled flow predecessor and successor).
+   A clean resource-free slot in the II window is preferred; otherwise a
+   forced placement ejects the occupants of one MRT cell.  Ejections here
+   are only for resource conflicts and dependence conflicts with
+   successors — never communication conflicts.
+2. **Strategy 2** — when no compatible cluster exists, bridge the far
+   predecessors with **chains of move operations** through intermediate
+   clusters (two ring directions per predecessor).  Chains need clean
+   Copy-FU slots; the chosen option maximises the bottleneck Copy-FU
+   slack, tie-broken by fewest moves.  The DDG is updated with the new
+   moves, which are scheduled immediately, producer-side first.
+3. **Strategy 3** — when chains are impossible too, place the operation in
+   an arbitrarily chosen cluster IMS-style and additionally eject the
+   communication-conflicting partners.
+
+Backtracking is chain-aware: ejecting a chain's producer, any of its
+moves, or its consumer dismantles the chain (moves leave the schedule
+*and* the DDG, the original operand reference is restored); if a move is
+ejected while both endpoints remain scheduled on indirectly connected
+clusters, the consumer is ejected as well.  The partial schedule therefore
+never contains a communication conflict — an invariant the checker and the
+property tests enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import DEFAULT_CONFIG, SchedulerConfig
+from ..errors import IIOverflowError, SchedulingError
+from ..ir.ddg import DDG
+from ..ir.opcodes import DEFAULT_LATENCIES, FUKind, LatencyModel
+from ..machine.machine import MachineSpec
+from .chains import ChainPlanner, ChainRegistry, dismantle_chain
+from .heights import compute_heights
+from .mii import compute_mii
+from .result import ScheduleResult, SchedulerStats
+from .schedule import PartialSchedule
+
+#: Maximum operand references per value DMS accepts on clustered machines.
+_MAX_CLUSTERED_FANOUT = 2
+
+
+class DistributedModuloScheduler:
+    """DMS for the clustered ring VLIW machine."""
+
+    name = "dms"
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        latencies: LatencyModel = DEFAULT_LATENCIES,
+        config: SchedulerConfig = DEFAULT_CONFIG,
+    ):
+        self.machine = machine
+        self.latencies = latencies
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def schedule(self, ddg: DDG) -> ScheduleResult:
+        """Find the smallest feasible II for *ddg* and schedule it."""
+        if len(ddg) == 0:
+            raise SchedulingError(f"loop {ddg.name!r} has no operations")
+        self._check_fanout(ddg)
+        bounds = compute_mii(ddg, self.machine, self.latencies)
+        stats = SchedulerStats()
+        max_ii = self.config.max_ii(bounds.mii)
+        for ii in range(bounds.mii, max_ii + 1):
+            stats.ii_attempts += 1
+            schedule = None
+            work = ddg
+            for salt in range(self.config.restarts_per_ii):
+                # Each attempt works on a pristine copy: chains from failed
+                # attempts must not leak into the next one.  The salt
+                # rotates the cluster preference so restarts explore
+                # different greedy assignments (see SchedulerConfig).
+                work = ddg.copy()
+                attempt = _Attempt(self, work, ii, stats, salt)
+                schedule = attempt.run()
+                if schedule is not None:
+                    break
+            if schedule is not None:
+                return ScheduleResult(
+                    loop_name=ddg.name,
+                    machine=self.machine,
+                    scheduler=self.name,
+                    ii=ii,
+                    res_mii=bounds.res_mii,
+                    rec_mii=bounds.rec_mii,
+                    ddg=work,
+                    placements=schedule.placements(),
+                    latencies=self.latencies,
+                    stats=stats,
+                )
+        raise IIOverflowError(ddg.name, max_ii)
+
+    def _check_fanout(self, ddg: DDG) -> None:
+        if not self.machine.is_clustered:
+            return
+        for op_id in ddg.op_ids:
+            fanout = ddg.flow_fanout(op_id)
+            if fanout > _MAX_CLUSTERED_FANOUT:
+                raise SchedulingError(
+                    f"loop {ddg.name!r}: op {op_id} has fan-out {fanout}; "
+                    "apply the single-use transform before DMS "
+                    "(repro.ir.transforms.single_use_ddg)"
+                )
+
+
+class _Attempt:
+    """State of one II attempt (schedule, chains, budget)."""
+
+    def __init__(
+        self,
+        scheduler: DistributedModuloScheduler,
+        work: DDG,
+        ii: int,
+        stats: SchedulerStats,
+        salt: int = 0,
+    ):
+        self.machine = scheduler.machine
+        self.latencies = scheduler.latencies
+        self.config = scheduler.config
+        self.work = work
+        self.ii = ii
+        self.stats = stats
+        self.salt = salt
+        self.schedule = PartialSchedule(work, self.machine, ii, self.latencies)
+        self.registry = ChainRegistry()
+        self.planner = ChainPlanner(self.schedule, self.config)
+        self.unscheduled: Set[int] = set(work.op_ids)
+        self.last_time: Dict[int, int] = {}
+        self.force_counts: Dict[int, int] = {}
+        self.heights = compute_heights(work, self.latencies, ii)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Optional[PartialSchedule]:
+        budget = self.config.budget_ratio * len(self.work)
+        while self.unscheduled and budget > 0:
+            budget -= 1
+            self.stats.budget_used += 1
+            op_id = min(self.unscheduled, key=lambda i: (-self.heights[i], i))
+            self.unscheduled.remove(op_id)
+            self._schedule_op(op_id)
+        if self.unscheduled:
+            return None
+        return self.schedule
+
+    def _schedule_op(self, op_id: int) -> None:
+        estart = max(0, self.schedule.earliest_start(op_id))
+        kind = self.work.op(op_id).fu_kind
+        compatible = [
+            cluster
+            for cluster in self.schedule.comm_compatible_clusters(op_id)
+            if self.machine.fu_in_cluster(cluster, kind) > 0
+        ]
+        if compatible:
+            self.stats.strategy1 += 1
+            time, cluster = self._place_in_clusters(op_id, estart, compatible)
+        else:
+            plan = self.planner.plan(op_id)
+            if plan is not None:
+                self.stats.strategy2 += 1
+                self.stats.chains_built += len(plan.chains)
+                self.stats.moves_inserted += plan.n_moves
+                self.planner.apply(op_id, plan, self.registry)
+                # The moves are now scheduled predecessors of op_id.
+                estart = max(0, self.schedule.earliest_start(op_id))
+                time, cluster = self._place_in_clusters(
+                    op_id, estart, [plan.cluster]
+                )
+            else:
+                self.stats.strategy3 += 1
+                time, cluster = self._place_strategy3(op_id, estart, kind)
+        for victim in self.schedule.succ_violations(op_id, time):
+            self._eject(victim, "dependence")
+        self.schedule.place(op_id, time, cluster)
+        self.last_time[op_id] = time
+        self.stats.placements += 1
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+
+    def _place_in_clusters(
+        self, op_id: int, estart: int, clusters: List[int]
+    ) -> Tuple[int, int]:
+        """IMS-style placement restricted to *clusters* (strategies 1-2)."""
+        kind = self.work.op(op_id).fu_kind
+        ordered = self._cluster_preference(op_id, kind, clusters)
+        for time in range(estart, estart + self.ii):
+            for cluster in ordered:
+                if self.schedule.mrt.is_free(cluster, kind, time):
+                    return (time, cluster)
+        return self._force_in_clusters(op_id, estart, ordered, kind)
+
+    def _cluster_preference(
+        self, op_id: int, kind: FUKind, clusters: List[int]
+    ) -> List[int]:
+        """Order candidate clusters for the clean-slot scan.
+
+        Operations with scheduled flow partners stay close to them (chains
+        of dependent work settle on neighbouring clusters, using the
+        near-neighbour CQRFs the machine gives away for free); independent
+        operations are spread around the ring by a deterministic rotation
+        so parallel dependence chains claim different ring regions instead
+        of piling onto cluster 0.
+        """
+        topology = self.machine.topology
+        partner_clusters = [
+            self.schedule.cluster(p)
+            for p, _omega in self.schedule.scheduled_flow_preds(op_id)
+        ] + [
+            self.schedule.cluster(s)
+            for s in self.schedule.scheduled_flow_succs(op_id)
+        ]
+        if partner_clusters:
+            return sorted(
+                clusters,
+                key=lambda c: (
+                    sum(topology.distance(c, pc) for pc in partner_clusters),
+                    -self.schedule.free_slots(c, kind),
+                    c,
+                ),
+            )
+        # Spread partner-free operations proportionally to their position
+        # in the graph: parallel dependence chains (whose members have
+        # nearby ids) claim evenly spaced ring regions, leaving each
+        # region's units for the chain that starts there.
+        n = self.machine.n_clusters
+        rotation = (op_id * n) // max(1, len(self.work)) + self.salt
+        return sorted(clusters, key=lambda c: (c - rotation) % n)
+
+    def _force_in_clusters(
+        self, op_id: int, estart: int, clusters: List[int], kind: FUKind
+    ) -> Tuple[int, int]:
+        """Forced placement: evict the cheapest MRT cell among *clusters*."""
+        if op_id in self.last_time:
+            time = max(estart, self.last_time[op_id] + 1)
+        else:
+            time = estart
+        # Rotate the eviction target across retries: Rau's `prev + 1` time
+        # bump makes progress in *time*, but at small IIs (one or two MRT
+        # rows) cluster assignment is the real search space, so a repeated
+        # forced placement must not keep evicting the same cell.
+        retries = self.force_counts.get(op_id, 0)
+        self.force_counts[op_id] = retries + 1
+        ranked = sorted(
+            clusters,
+            key=lambda c: (len(self.schedule.mrt.occupants(c, kind, time)), c),
+        )
+        best_cluster = ranked[retries % len(ranked)]
+        for victim in self.schedule.mrt.occupants(best_cluster, kind, time):
+            self._eject(victim, "resource")
+        return (time, best_cluster)
+
+    def _place_strategy3(
+        self, op_id: int, estart: int, kind: FUKind
+    ) -> Tuple[int, int]:
+        """Arbitrary-cluster placement with communication ejections."""
+        candidates = [
+            c
+            for c in range(self.machine.n_clusters)
+            if self.machine.fu_in_cluster(c, kind) > 0
+        ]
+        if not candidates:
+            raise SchedulingError(
+                f"machine {self.machine.name!r} has no {kind.value} unit"
+            )
+        cluster = max(
+            candidates, key=lambda c: (self.schedule.free_slots(c, kind), -c)
+        )
+        # Communication conflicts do not depend on the slot; eject them now.
+        for victim in self.schedule.comm_conflicts(op_id, cluster):
+            self._eject(victim, "communication")
+        # IMS-like slot search within the chosen cluster.
+        for time in range(estart, estart + self.ii):
+            if self.schedule.mrt.is_free(cluster, kind, time):
+                return (time, cluster)
+        if op_id in self.last_time:
+            time = max(estart, self.last_time[op_id] + 1)
+        else:
+            time = estart
+        for victim in self.schedule.mrt.occupants(cluster, kind, time):
+            self._eject(victim, "resource")
+        return (time, cluster)
+
+    # ------------------------------------------------------------------
+    # Chain-aware backtracking
+    # ------------------------------------------------------------------
+
+    def _eject(self, op_id: int, cause: str) -> None:
+        """Unschedule *op_id*, handling chain membership (paper section 3).
+
+        Distinct actions by role: a *move* dismantles its chain (and the
+        consumer follows when the endpoints are left in conflict); an
+        *endpoint* (original producer or consumer) dismantles every chain
+        it participates in and returns to the unscheduled set.
+        """
+        if op_id not in self.work:
+            # A move already removed by an earlier dismantle this round.
+            return
+        chain = self.registry.chain_of_move(op_id)
+        if chain is not None:
+            self._dismantle(chain)
+            producer, consumer = chain.producer, chain.consumer
+            if self.schedule.is_scheduled(producer) and self.schedule.is_scheduled(
+                consumer
+            ):
+                distance = self.machine.topology.distance(
+                    self.schedule.cluster(producer),
+                    self.schedule.cluster(consumer),
+                )
+                if distance > 1:
+                    # Keep the partial schedule free of communication
+                    # conflicts: the consumer is rescheduled later.
+                    self._eject(consumer, "chain")
+            return
+        if self.schedule.is_scheduled(op_id):
+            self.schedule.remove(op_id)
+            self.unscheduled.add(op_id)
+            self._count(cause)
+        for endpoint_chain in self.registry.chains_of_endpoint(op_id):
+            self._dismantle(endpoint_chain)
+
+    def _dismantle(self, chain) -> None:
+        dismantle_chain(chain, self.schedule, self.registry)
+        self.stats.chains_dismantled += 1
+        self.stats.moves_removed += chain.n_moves
+
+    def _count(self, cause: str) -> None:
+        if cause == "resource":
+            self.stats.ejections_resource += 1
+        elif cause == "dependence":
+            self.stats.ejections_dependence += 1
+        elif cause == "communication":
+            self.stats.ejections_communication += 1
+        else:
+            self.stats.ejections_chain += 1

@@ -1,0 +1,138 @@
+"""Minimum initiation interval: resource bound and recurrence bound.
+
+``MII = max(ResMII, RecMII)`` (Rau, "Iterative Modulo Scheduling", 1996):
+
+* **ResMII** — for unit-occupancy fully pipelined FUs this is the largest
+  ``ceil(ops_of_kind / units_of_kind)`` over FU kinds.
+* **RecMII** — the smallest II such that no dependence circuit has
+  positive slack deficit, i.e. for every circuit
+  ``sum(latency) <= II * sum(omega)``.  Computed per strongly connected
+  component with a binary search whose feasibility test is a
+  Bellman-Ford-style positive-cycle detection on edge weights
+  ``latency - II * omega``.
+
+The scaled variant :func:`rec_mii_unrolled` evaluates the recurrence bound
+the graph would have *after* unrolling by ``u`` without building the
+unrolled graph: a circuit with latency L and distance W yields an unrolled
+ratio ``u * L / W``, so feasibility uses weights ``u * latency - II * omega``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..ir.ddg import DDG
+from ..ir.opcodes import FUKind, LatencyModel
+from ..machine.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class MIIResult:
+    """The three II lower bounds of a loop on a machine."""
+
+    res_mii: int
+    rec_mii: int
+
+    @property
+    def mii(self) -> int:
+        return max(self.res_mii, self.rec_mii, 1)
+
+
+def res_mii(ddg: DDG, machine: MachineSpec) -> int:
+    """Resource-constrained lower bound on the II."""
+    counts: Dict[FUKind, int] = {}
+    for op in ddg.operations():
+        counts[op.fu_kind] = counts.get(op.fu_kind, 0) + 1
+    bound = 1
+    for kind, count in counts.items():
+        units = machine.fu_count(kind)
+        if units == 0:
+            raise SchedulingError(
+                f"loop {ddg.name!r} uses {kind.value} ops but machine "
+                f"{machine.name!r} has no {kind.value} unit"
+            )
+        bound = max(bound, -(-count // units))
+    return bound
+
+
+def _scc_edges(
+    ddg: DDG, scc: Sequence[int], latencies: LatencyModel
+) -> List[Tuple[int, int, int, int]]:
+    """Edges internal to *scc* as (src, dst, latency, omega)."""
+    members = set(scc)
+    edges = []
+    for src in scc:
+        for edge in ddg.out_edges(src):
+            if edge.dst in members:
+                edges.append(
+                    (src, edge.dst, ddg.edge_latency(edge, latencies), edge.omega)
+                )
+    return edges
+
+
+def _has_positive_cycle(
+    nodes: Sequence[int],
+    edges: List[Tuple[int, int, int, int]],
+    ii: int,
+    scale: int,
+) -> bool:
+    """True when some cycle has positive total ``scale*lat - ii*omega``."""
+    dist = {node: 0 for node in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for src, dst, lat, omega in edges:
+            weight = scale * lat - ii * omega
+            candidate = dist[src] + weight
+            if candidate > dist[dst]:
+                dist[dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii(ddg: DDG, latencies: LatencyModel, unroll: int = 1) -> int:
+    """Recurrence-constrained lower bound on the II.
+
+    With ``unroll > 1`` this returns the RecMII the graph would have after
+    unrolling by that factor (see module docstring), used by the
+    auto-unroll policy to price candidate factors cheaply.
+    """
+    if unroll < 1:
+        raise SchedulingError(f"unroll must be >= 1, got {unroll}")
+    bound = 1
+    for scc in ddg.sccs():
+        edges = _scc_edges(ddg, scc, latencies)
+        total_omega = sum(e[3] for e in edges)
+        if total_omega == 0:
+            raise SchedulingError(
+                f"loop {ddg.name!r} has an omega-0 dependence circuit"
+            )
+        # Upper bound: sum of scaled latencies always admits every circuit.
+        high = max(1, unroll * sum(e[2] for e in edges))
+        low = 1
+        if not _has_positive_cycle(scc, edges, low, unroll):
+            bound = max(bound, 1)
+            continue
+        while low < high:
+            mid = (low + high) // 2
+            if _has_positive_cycle(scc, edges, mid, unroll):
+                low = mid + 1
+            else:
+                high = mid
+        bound = max(bound, low)
+    return bound
+
+
+def rec_mii_unrolled(ddg: DDG, latencies: LatencyModel, unroll: int) -> int:
+    """RecMII of the *unrolled-by-u* graph, computed on the base graph."""
+    return rec_mii(ddg, latencies, unroll=unroll)
+
+
+def compute_mii(
+    ddg: DDG, machine: MachineSpec, latencies: LatencyModel
+) -> MIIResult:
+    """Both II lower bounds for *ddg* on *machine*."""
+    return MIIResult(res_mii(ddg, machine), rec_mii(ddg, latencies))

@@ -1,0 +1,88 @@
+"""The Modulo Reservation Table (MRT).
+
+An operation issued at time ``t`` occupies its functional-unit kind in its
+cluster at row ``t mod II``; a schedule is resource-valid when no
+(cluster, kind, row) cell holds more operations than the cluster has units
+of that kind.  All FUs are fully pipelined with unit occupancy, matching
+the paper's machine model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import SchedulingError
+from ..ir.opcodes import FUKind
+from ..machine.machine import MachineSpec
+
+Cell = Tuple[int, FUKind, int]  # (cluster, kind, row)
+
+
+class ModuloReservationTable:
+    """Tracks FU occupancy modulo the initiation interval."""
+
+    def __init__(self, machine: MachineSpec, ii: int):
+        if ii < 1:
+            raise SchedulingError(f"ii must be >= 1, got {ii}")
+        self.machine = machine
+        self.ii = ii
+        self._cells: Dict[Cell, List[int]] = {}
+        self._used: Dict[Tuple[int, FUKind], int] = {}
+
+    def row(self, time: int) -> int:
+        """MRT row of an issue time."""
+        return time % self.ii
+
+    def capacity(self, cluster: int, kind: FUKind) -> int:
+        """Units of *kind* in *cluster*."""
+        return self.machine.fu_in_cluster(cluster, kind)
+
+    def occupants(self, cluster: int, kind: FUKind, time: int) -> Tuple[int, ...]:
+        """Operations occupying the cell covering *time* (sorted)."""
+        cell = (cluster, kind, self.row(time))
+        return tuple(sorted(self._cells.get(cell, ())))
+
+    def is_free(self, cluster: int, kind: FUKind, time: int) -> bool:
+        """True when one more *kind* op fits in *cluster* at *time*."""
+        cell = (cluster, kind, self.row(time))
+        return len(self._cells.get(cell, ())) < self.capacity(cluster, kind)
+
+    def place(self, op_id: int, cluster: int, kind: FUKind, time: int) -> None:
+        """Occupy a unit; caller must have ejected conflicts first."""
+        if not self.is_free(cluster, kind, time):
+            raise SchedulingError(
+                f"MRT cell (c{cluster}, {kind.value}, row {self.row(time)}) full"
+            )
+        cell = (cluster, kind, self.row(time))
+        self._cells.setdefault(cell, []).append(op_id)
+        self._used[cluster, kind] = self._used.get((cluster, kind), 0) + 1
+
+    def remove(self, op_id: int, cluster: int, kind: FUKind, time: int) -> None:
+        """Release the unit *op_id* held."""
+        cell = (cluster, kind, self.row(time))
+        occupants = self._cells.get(cell, [])
+        if op_id not in occupants:
+            raise SchedulingError(f"op {op_id} not in MRT cell {cell}")
+        occupants.remove(op_id)
+        if not occupants:
+            self._cells.pop(cell, None)
+        self._used[cluster, kind] -= 1
+
+    def used_slots(self, cluster: int, kind: FUKind) -> int:
+        """Occupied (kind) slots in *cluster* summed over all rows."""
+        return self._used.get((cluster, kind), 0)
+
+    def free_slots(self, cluster: int, kind: FUKind) -> int:
+        """Free (kind) slots in *cluster* summed over all rows."""
+        return self.ii * self.capacity(cluster, kind) - self.used_slots(cluster, kind)
+
+    def utilization(self, cluster: int, kind: FUKind) -> float:
+        """Fraction of (kind) issue slots used in *cluster*."""
+        total = self.ii * self.capacity(cluster, kind)
+        if total == 0:
+            return 0.0
+        return self.used_slots(cluster, kind) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        used = sum(len(v) for v in self._cells.values())
+        return f"<MRT ii={self.ii} occupied={used}>"

@@ -1,0 +1,213 @@
+"""Partial schedules: placements plus the queries schedulers need.
+
+A placement binds an operation to an issue ``time`` and a ``cluster``.
+The :class:`PartialSchedule` keeps the MRT in sync and answers the three
+conflict queries of the DMS paper:
+
+* resource conflicts (MRT cell occupancy),
+* dependence conflicts (edge timing),
+* communication conflicts (flow partners on indirectly connected clusters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SchedulingError
+from ..ir.ddg import DDG
+from ..ir.opcodes import FUKind, LatencyModel
+from ..machine.machine import MachineSpec
+from .mrt import ModuloReservationTable
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Issue time and cluster of one scheduled operation."""
+
+    time: int
+    cluster: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SchedulingError(f"issue time must be >= 0, got {self.time}")
+
+
+class PartialSchedule:
+    """Mutable schedule state for one II attempt.
+
+    The schedule holds a *live* reference to the DDG being scheduled: DMS
+    mutates the graph (move insertion, chain dismantling) while scheduling,
+    and every query below reads the current graph.
+    """
+
+    def __init__(
+        self,
+        ddg: DDG,
+        machine: MachineSpec,
+        ii: int,
+        latencies: LatencyModel,
+    ):
+        self.ddg = ddg
+        self.machine = machine
+        self.ii = ii
+        self.latencies = latencies
+        self.mrt = ModuloReservationTable(machine, ii)
+        self._placements: Dict[int, Placement] = {}
+
+    # ------------------------------------------------------------------
+    # Placement bookkeeping
+    # ------------------------------------------------------------------
+
+    def place(self, op_id: int, time: int, cluster: int) -> None:
+        """Schedule *op_id*; the MRT cell must be free."""
+        if op_id in self._placements:
+            raise SchedulingError(f"op {op_id} already scheduled")
+        op = self.ddg.op(op_id)
+        self.mrt.place(op_id, cluster, op.fu_kind, time)
+        self._placements[op_id] = Placement(time, cluster)
+
+    def remove(self, op_id: int) -> Placement:
+        """Unschedule *op_id*, returning its old placement."""
+        placement = self._placements.pop(op_id, None)
+        if placement is None:
+            raise SchedulingError(f"op {op_id} is not scheduled")
+        op = self.ddg.op(op_id)
+        self.mrt.remove(op_id, placement.cluster, op.fu_kind, placement.time)
+        return placement
+
+    def placement(self, op_id: int) -> Optional[Placement]:
+        """The placement of *op_id*, or None when unscheduled."""
+        return self._placements.get(op_id)
+
+    def is_scheduled(self, op_id: int) -> bool:
+        return op_id in self._placements
+
+    def time(self, op_id: int) -> int:
+        return self._placements[op_id].time
+
+    def cluster(self, op_id: int) -> int:
+        return self._placements[op_id].cluster
+
+    @property
+    def scheduled_ids(self) -> List[int]:
+        return sorted(self._placements)
+
+    @property
+    def n_scheduled(self) -> int:
+        return len(self._placements)
+
+    def placements(self) -> Dict[int, Placement]:
+        """Snapshot of all placements."""
+        return dict(self._placements)
+
+    # ------------------------------------------------------------------
+    # Timing queries
+    # ------------------------------------------------------------------
+
+    def earliest_start(self, op_id: int) -> int:
+        """Earliest issue time satisfying all *scheduled* predecessors."""
+        estart = 0
+        for edge in self.ddg.in_edges(op_id):
+            if edge.src == op_id:
+                continue  # self-recurrence: bounded by RecMII, not estart
+            src_placement = self._placements.get(edge.src)
+            if src_placement is None:
+                continue
+            lat = self.ddg.edge_latency(edge, self.latencies)
+            bound = src_placement.time + lat - self.ii * edge.omega
+            if bound > estart:
+                estart = bound
+        return estart
+
+    def succ_violations(self, op_id: int, time: int) -> List[int]:
+        """Scheduled consumers whose timing breaks if *op_id* issues at *time*."""
+        violated = []
+        for edge in self.ddg.out_edges(op_id):
+            if edge.dst == op_id:
+                continue
+            dst_placement = self._placements.get(edge.dst)
+            if dst_placement is None:
+                continue
+            lat = self.ddg.edge_latency(edge, self.latencies)
+            if dst_placement.time < time + lat - self.ii * edge.omega:
+                violated.append(edge.dst)
+        return sorted(set(violated))
+
+    # ------------------------------------------------------------------
+    # Communication queries (the DMS-specific part)
+    # ------------------------------------------------------------------
+
+    def comm_conflicts(self, op_id: int, cluster: int) -> List[int]:
+        """Scheduled flow partners indirectly connected to *cluster*.
+
+        These are the operations that would be in communication conflict
+        with *op_id* if it were placed on *cluster*.
+        """
+        topology = self.machine.topology
+        conflicts = set()
+        for edge in self.ddg.in_edges(op_id):
+            if not edge.communicates or edge.src == op_id:
+                continue
+            partner = self._placements.get(edge.src)
+            if partner is not None and topology.distance(partner.cluster, cluster) > 1:
+                conflicts.add(edge.src)
+        for edge in self.ddg.out_edges(op_id):
+            if not edge.communicates or edge.dst == op_id:
+                continue
+            partner = self._placements.get(edge.dst)
+            if partner is not None and topology.distance(cluster, partner.cluster) > 1:
+                conflicts.add(edge.dst)
+        return sorted(conflicts)
+
+    def comm_compatible_clusters(self, op_id: int) -> List[int]:
+        """Clusters where *op_id* conflicts with no scheduled flow partner."""
+        return [
+            cluster
+            for cluster in range(self.machine.n_clusters)
+            if not self.comm_conflicts(op_id, cluster)
+        ]
+
+    def scheduled_flow_preds(self, op_id: int) -> List[Tuple[int, int]]:
+        """Scheduled producers of *op_id* as (producer_id, omega) pairs."""
+        preds = []
+        for edge in self.ddg.in_edges(op_id):
+            if edge.communicates and edge.src != op_id and edge.src in self._placements:
+                preds.append((edge.src, edge.omega))
+        return sorted(set(preds))
+
+    def scheduled_flow_succs(self, op_id: int) -> List[int]:
+        """Scheduled consumers of *op_id*'s value."""
+        return sorted(
+            {
+                e.dst
+                for e in self.ddg.out_edges(op_id)
+                if e.communicates and e.dst != op_id and e.dst in self._placements
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Derived schedule shape
+    # ------------------------------------------------------------------
+
+    @property
+    def max_time(self) -> int:
+        """Largest issue time (0 when empty)."""
+        if not self._placements:
+            return 0
+        return max(p.time for p in self._placements.values())
+
+    @property
+    def stage_count(self) -> int:
+        """Number of kernel stages: ``floor(max_time / II) + 1``."""
+        return self.max_time // self.ii + 1
+
+    def free_slots(self, cluster: int, kind: FUKind) -> int:
+        """MRT passthrough used by chain scoring and strategy 3."""
+        return self.mrt.free_slots(cluster, kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PartialSchedule ii={self.ii} scheduled={self.n_scheduled}/"
+            f"{len(self.ddg)}>"
+        )

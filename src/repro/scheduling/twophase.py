@@ -1,0 +1,210 @@
+"""Two-phase baseline: partition first, then modulo-schedule.
+
+The paper's related work (section 2) describes schemes that "partition
+prior to scheduling, ensuring that no communication conflicts arise when
+operations are scheduled" (refs [1], [6], [12]) — the design DMS argues
+against by integrating both decisions.  This module implements that
+baseline so the integration claim can be measured:
+
+1. **Partition** — operations are laid out around the ring in dependence
+   order, balancing the bottleneck FU kind per cluster; every flow edge
+   spanning more than one hop is bridged *statically* with pinned move
+   operations along the shorter ring direction.
+2. **Schedule** — a pinned-cluster variant of IMS: identical II search,
+   priorities, window scan and forced ejection, but each operation may
+   only ever sit on its pre-assigned cluster.
+
+Because cluster assignment can no longer adapt to scheduling conflicts,
+every imbalance or badly placed chain becomes II overhead — exactly the
+phenomenon DMS's single-phase design removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import DEFAULT_CONFIG, SchedulerConfig
+from ..errors import IIOverflowError, SchedulingError
+from ..ir.ddg import DDG
+from ..ir.opcodes import DEFAULT_LATENCIES, FUKind, LatencyModel, OpCode
+from ..ir.operations import ValueUse
+from ..machine.machine import MachineSpec
+from .heights import compute_heights
+from .mii import compute_mii
+from .result import ScheduleResult, SchedulerStats
+from .schedule import PartialSchedule
+
+
+def partition_ring(
+    ddg: DDG, machine: MachineSpec, latencies: LatencyModel
+) -> Dict[int, int]:
+    """Assign every operation to a cluster before any scheduling.
+
+    Operations are visited in dependence-height order (critical chains
+    first) and greedily placed on the cluster that minimises ring
+    distance to already-assigned flow partners, then per-kind load,
+    preferring contiguous ring regions.  The result is a total map
+    op id -> cluster.
+    """
+    n = machine.n_clusters
+    if n == 1:
+        return {op_id: 0 for op_id in ddg.op_ids}
+    heights = compute_heights(ddg, latencies, ii=max(1, len(ddg)))
+    order = sorted(ddg.op_ids, key=lambda i: (-heights[i], i))
+    assignment: Dict[int, int] = {}
+    load: Dict[Tuple[int, FUKind], int] = {}
+    topology = machine.topology
+
+    for position, op_id in enumerate(order):
+        op = ddg.op(op_id)
+        partners = [
+            assignment[e.src]
+            for e in ddg.in_edges(op_id)
+            if e.is_flow and e.src in assignment and e.src != op_id
+        ] + [
+            assignment[e.dst]
+            for e in ddg.out_edges(op_id)
+            if e.is_flow and e.dst in assignment and e.dst != op_id
+        ]
+        candidates = [
+            c for c in range(n) if machine.fu_in_cluster(c, op.fu_kind) > 0
+        ]
+        if not candidates:
+            raise SchedulingError(
+                f"machine {machine.name!r} cannot execute {op.fu_kind.value}"
+            )
+        spread = (position * n) // max(1, len(order))
+
+        def cost(cluster: int) -> Tuple[int, int, int]:
+            distance = sum(topology.distance(cluster, p) for p in partners)
+            kind_load = load.get((cluster, op.fu_kind), 0)
+            return (distance, kind_load, (cluster - spread) % n)
+
+        chosen = min(candidates, key=cost)
+        assignment[op_id] = chosen
+        load[chosen, op.fu_kind] = load.get((chosen, op.fu_kind), 0) + 1
+    return assignment
+
+
+def insert_static_chains(
+    ddg: DDG, assignment: Dict[int, int], machine: MachineSpec
+) -> Dict[int, int]:
+    """Bridge far flow references with pinned moves (shorter direction).
+
+    Mutates *ddg* in place and returns the extended assignment including
+    the new move operations.  After this pass every flow reference spans
+    at most one ring hop, so the scheduling phase faces no communication
+    decisions at all — the two-phase premise.
+    """
+    topology = machine.topology
+    extended = dict(assignment)
+    for consumer_id in list(ddg.op_ids):
+        consumer = ddg.op(consumer_id)
+        for index, src in enumerate(consumer.srcs):
+            if src.is_external or src.producer == consumer_id:
+                continue
+            producer_cluster = extended[src.producer]
+            consumer_cluster = extended[consumer_id]
+            if topology.distance(producer_cluster, consumer_cluster) <= 1:
+                continue
+            path = topology.paths(producer_cluster, consumer_cluster)[0]
+            previous = ValueUse(src.producer, src.omega)
+            for hop_cluster in path.intermediates:
+                move = ddg.new_operation(
+                    OpCode.MOVE,
+                    (previous,),
+                    tag=f"mv2p(v{src.producer}->v{consumer_id})",
+                )
+                extended[move.op_id] = hop_cluster
+                previous = ValueUse(move.op_id, 0)
+            ddg.replace_operand(consumer_id, index, previous)
+    return extended
+
+
+class TwoPhaseScheduler:
+    """Partition-then-schedule baseline (related-work style)."""
+
+    name = "two-phase"
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        latencies: LatencyModel = DEFAULT_LATENCIES,
+        config: SchedulerConfig = DEFAULT_CONFIG,
+    ):
+        self.machine = machine
+        self.latencies = latencies
+        self.config = config
+
+    def schedule(self, ddg: DDG) -> ScheduleResult:
+        """Partition *ddg*, insert static chains, then pinned-IMS it."""
+        if len(ddg) == 0:
+            raise SchedulingError(f"loop {ddg.name!r} has no operations")
+        work = ddg.copy()
+        assignment = partition_ring(work, self.machine, self.latencies)
+        assignment = insert_static_chains(work, assignment, self.machine)
+        bounds = compute_mii(work, self.machine, self.latencies)
+        stats = SchedulerStats()
+        max_ii = self.config.max_ii(bounds.mii)
+        for ii in range(bounds.mii, max_ii + 1):
+            stats.ii_attempts += 1
+            schedule = self._attempt(work, assignment, ii, stats)
+            if schedule is not None:
+                return ScheduleResult(
+                    loop_name=work.name,
+                    machine=self.machine,
+                    scheduler=self.name,
+                    ii=ii,
+                    res_mii=bounds.res_mii,
+                    rec_mii=bounds.rec_mii,
+                    ddg=work,
+                    placements=schedule.placements(),
+                    latencies=self.latencies,
+                    stats=stats,
+                )
+        raise IIOverflowError(work.name, max_ii)
+
+    def _attempt(
+        self,
+        ddg: DDG,
+        assignment: Dict[int, int],
+        ii: int,
+        stats: SchedulerStats,
+    ) -> Optional[PartialSchedule]:
+        schedule = PartialSchedule(ddg, self.machine, ii, self.latencies)
+        heights = compute_heights(ddg, self.latencies, ii)
+        unscheduled: Set[int] = set(ddg.op_ids)
+        last_time: Dict[int, int] = {}
+        budget = self.config.budget_ratio * len(ddg)
+        while unscheduled and budget > 0:
+            budget -= 1
+            stats.budget_used += 1
+            op_id = min(unscheduled, key=lambda i: (-heights[i], i))
+            unscheduled.remove(op_id)
+            cluster = assignment[op_id]
+            kind = ddg.op(op_id).fu_kind
+            estart = max(0, schedule.earliest_start(op_id))
+            time = None
+            for t in range(estart, estart + ii):
+                if schedule.mrt.is_free(cluster, kind, t):
+                    time = t
+                    break
+            if time is None:
+                if op_id in last_time:
+                    time = max(estart, last_time[op_id] + 1)
+                else:
+                    time = estart
+                for victim in schedule.mrt.occupants(cluster, kind, time):
+                    schedule.remove(victim)
+                    unscheduled.add(victim)
+                    stats.ejections_resource += 1
+            for victim in schedule.succ_violations(op_id, time):
+                schedule.remove(victim)
+                unscheduled.add(victim)
+                stats.ejections_dependence += 1
+            schedule.place(op_id, time, cluster)
+            last_time[op_id] = time
+            stats.placements += 1
+        if unscheduled:
+            return None
+        return schedule

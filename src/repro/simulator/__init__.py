@@ -1,0 +1,22 @@
+"""Cycle-accurate validation simulator for pipelined schedules."""
+
+from .engine import SimReport, simulate
+from .semantics import (
+    SequentialRun,
+    assert_same_semantics,
+    sequential_run,
+    streams_equal,
+)
+from .trace import ExecutionTrace, TraceEntry, collect_trace
+
+__all__ = [
+    "SimReport",
+    "simulate",
+    "ExecutionTrace",
+    "TraceEntry",
+    "collect_trace",
+    "SequentialRun",
+    "assert_same_semantics",
+    "sequential_run",
+    "streams_equal",
+]

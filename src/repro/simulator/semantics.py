@@ -1,0 +1,237 @@
+"""Value-level semantics: do transformed graphs compute the same thing?
+
+The timing simulator proves a schedule *can* execute; this module proves
+the graph rewrites (unrolling, single-use copies, DMS move chains) did
+not change *what* is computed.  Every opcode gets a deterministic pure
+function over floats; loads and loop-carried seeds get reproducible
+hash-derived values; then two graphs are compared by their store value
+streams.
+
+Identity across graphs is handled by two hooks:
+
+* ``load_token(op)`` — a stable name for a load's input stream (defaults
+  to the op tag, falling back to ``v<id>``), so the "same" load in a
+  rewritten graph reads the same data;
+* ``iteration_of(op, j)`` — maps the graph's iteration ``j`` to the
+  *original* iteration space (an unrolled body's copy ``c`` executes
+  original iteration ``j * u + c``).
+
+With those hooks, ``sequential_run`` on a base graph over ``n``
+iterations and on its unrolled twin over ``n / u`` iterations must
+produce identical streams — the exact statement of transform
+correctness, enforced by the test suite and a hypothesis property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..ir.ddg import DDG
+from ..ir.opcodes import OpCode
+from ..ir.operations import Operation
+
+LoadToken = Callable[[Operation], str]
+IterationOf = Callable[[Operation, int], int]
+
+
+def _hash_unit(token: str, iteration: int, salt: str) -> float:
+    """Deterministic value in [1, 2) for a (token, iteration) pair.
+
+    The [1, 2) range keeps divisions and square roots well-conditioned,
+    so float round-off cannot blur an equivalence comparison.
+    """
+    digest = hashlib.blake2b(
+        f"{salt}|{token}|{iteration}".encode(), digest_size=8
+    ).digest()
+    return 1.0 + int.from_bytes(digest, "big") / 2**64
+
+
+def default_load_token(op: Operation) -> str:
+    """Stable stream name for a load: its tag, else its value name."""
+    return op.tag or f"v{op.op_id}"
+
+
+def base_iteration(op: Operation, iteration: int) -> int:
+    """Identity iteration mapping (graphs in the original space)."""
+    return iteration
+
+
+_TWO_ARG = {
+    OpCode.ADD: lambda a, b: a + b,
+    OpCode.SUB: lambda a, b: a - b,
+    OpCode.MUL: lambda a, b: a * b,
+    OpCode.DIV: lambda a, b: a / b,
+    OpCode.MIN: min,
+    OpCode.MAX: max,
+    OpCode.CMP: lambda a, b: 1.0 if a > b else 0.0,
+    # Bitwise ops get arbitrary-but-fixed arithmetic meanings: semantics
+    # only need determinism and sensitivity to both operands.
+    OpCode.AND: lambda a, b: (a * b) / (a + b),
+    OpCode.OR: lambda a, b: a + b - (a * b) / (a + b),
+    OpCode.XOR: lambda a, b: abs(a - b) + 1.0,
+    OpCode.SHL: lambda a, b: a * (1.0 + b / 8.0),
+    OpCode.SHR: lambda a, b: a / (1.0 + b / 8.0),
+}
+
+_ONE_ARG = {
+    OpCode.NEG: lambda a: -a,
+    OpCode.ABS: abs,
+    OpCode.SQRT: lambda a: math.sqrt(abs(a)),
+    OpCode.COPY: lambda a: a,
+    OpCode.MOVE: lambda a: a,
+}
+
+
+@dataclass
+class SequentialRun:
+    """Outcome of a value-level execution."""
+
+    iterations: int
+    store_streams: Dict[int, List[float]] = field(default_factory=dict)
+    store_tokens: Dict[int, str] = field(default_factory=dict)
+
+    def stream_by_token(self) -> Dict[str, List[float]]:
+        """Store streams keyed by store token (stable across rewrites)."""
+        streams: Dict[str, List[float]] = {}
+        for op_id, values in self.store_streams.items():
+            token = self.store_tokens[op_id]
+            if token in streams:
+                raise SimulationError(f"duplicate store token {token!r}")
+            streams[token] = values
+        return streams
+
+
+def sequential_run(
+    ddg: DDG,
+    iterations: int,
+    load_token: LoadToken = default_load_token,
+    iteration_of: IterationOf = base_iteration,
+    store_token: Optional[LoadToken] = None,
+    seed_salt: str = "seed",
+    input_salt: str = "in",
+) -> SequentialRun:
+    """Execute *ddg* sequentially for *iterations* iterations.
+
+    Operations evaluate in dependence order within each iteration;
+    loop-carried reads look up earlier iterations, with hash-derived
+    seeds for pre-loop values.  Returns the store value streams.
+    """
+    if iterations < 1:
+        raise SimulationError(f"iterations must be >= 1, got {iterations}")
+    store_token = store_token or default_load_token
+    order = _evaluation_order(ddg)
+    values: Dict[Tuple[int, int], float] = {}
+    run = SequentialRun(iterations)
+
+    def seed_value(op_id: int, iteration: int) -> float:
+        # Pre-loop values: resolve through identity operations (copies
+        # and moves forward whatever their source held), so a rewritten
+        # graph seeds its queues with the *original* producer's values.
+        op = ddg.op(op_id)
+        guard = 0
+        while op.opcode in (OpCode.COPY, OpCode.MOVE) and op.internal_srcs:
+            src = op.srcs[0]
+            iteration -= src.omega
+            op = ddg.op(src.producer)
+            guard += 1
+            if guard > len(ddg):
+                raise SimulationError("identity-op cycle while seeding")
+        token = load_token(op)
+        return _hash_unit(token, iteration_of(op, iteration), seed_salt)
+
+    def operand_value(op: Operation, index: int, iteration: int) -> float:
+        src = op.srcs[index]
+        if src.is_external:
+            return _hash_unit(src.symbol, 0, input_salt)
+        producer_iter = iteration - src.omega
+        key = (src.producer, producer_iter)
+        if producer_iter < 0:
+            return seed_value(src.producer, producer_iter)
+        if key not in values:
+            raise SimulationError(
+                f"value v{src.producer}@{producer_iter} read before computed"
+            )
+        return values[key]
+
+    for iteration in range(iterations):
+        for op_id in order:
+            op = ddg.op(op_id)
+            args = [
+                operand_value(op, index, iteration)
+                for index in range(len(op.srcs))
+            ]
+            if op.opcode == OpCode.LOAD:
+                token = load_token(op)
+                result = _hash_unit(
+                    token, iteration_of(op, iteration), input_salt
+                )
+            elif op.opcode == OpCode.STORE:
+                result = args[0]
+                run.store_streams.setdefault(op_id, []).append(result)
+                run.store_tokens[op_id] = store_token(op)
+                continue
+            elif op.opcode in _ONE_ARG:
+                result = _ONE_ARG[op.opcode](args[0])
+            elif op.opcode in _TWO_ARG:
+                result = _TWO_ARG[op.opcode](args[0], args[1])
+            elif op.opcode == OpCode.SELECT:
+                result = args[1] if args[0] > 0.5 else args[2]
+            else:  # pragma: no cover - new opcodes must be added here
+                raise SimulationError(f"no semantics for {op.opcode}")
+            values[(op_id, iteration)] = result
+    return run
+
+
+def _evaluation_order(ddg: DDG) -> List[int]:
+    """Topological order over omega-0 edges (valid within an iteration)."""
+    return ddg._topo_order_omega0()
+
+
+def streams_equal(
+    a: Dict[str, List[float]],
+    b: Dict[str, List[float]],
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Compare two token-keyed stream maps for (near-)equality."""
+    if set(a) != set(b):
+        return False
+    for token, left in a.items():
+        right = b[token]
+        if len(left) != len(right):
+            return False
+        for x, y in zip(left, right):
+            if not math.isclose(x, y, rel_tol=rel_tol, abs_tol=1e-12):
+                return False
+    return True
+
+
+def assert_same_semantics(
+    base: DDG,
+    rewritten: DDG,
+    iterations: int,
+    load_token: LoadToken = default_load_token,
+    iteration_of: IterationOf = base_iteration,
+    store_token: Optional[LoadToken] = None,
+) -> None:
+    """Raise :class:`SimulationError` unless the two graphs agree.
+
+    ``load_token``/``iteration_of``/``store_token`` apply to the
+    *rewritten* graph; the base graph uses the defaults.
+    """
+    reference = sequential_run(base, iterations).stream_by_token()
+    candidate = sequential_run(
+        rewritten,
+        iterations,
+        load_token=load_token,
+        iteration_of=iteration_of,
+        store_token=store_token,
+    ).stream_by_token()
+    if not streams_equal(reference, candidate):
+        raise SimulationError(
+            f"graphs {base.name!r} and {rewritten.name!r} disagree on "
+            "store streams"
+        )

@@ -1,0 +1,75 @@
+"""Human-readable execution traces for small simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ir.opcodes import FUKind
+from ..machine.fu import fu_name
+from ..scheduling.result import ScheduleResult
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One issued operation instance."""
+
+    cycle: int
+    op_id: int
+    opcode: str
+    iteration: int
+    cluster: int
+    kind: FUKind
+
+    def render(self) -> str:
+        return f"v{self.op_id}.{self.iteration}({self.opcode})@c{self.cluster}"
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-cycle issue listing of the first cycles of a pipelined loop."""
+
+    loop_name: str
+    ii: int
+    entries: List[TraceEntry]
+
+    def cycles(self) -> Dict[int, List[TraceEntry]]:
+        by_cycle: Dict[int, List[TraceEntry]] = {}
+        for entry in self.entries:
+            by_cycle.setdefault(entry.cycle, []).append(entry)
+        return by_cycle
+
+    def render(self) -> str:
+        lines = [f"trace of {self.loop_name!r} (II={self.ii})"]
+        for cycle, entries in sorted(self.cycles().items()):
+            ops = "  ".join(
+                e.render()
+                for e in sorted(entries, key=lambda e: (e.cluster, e.op_id))
+            )
+            lines.append(f"  cycle {cycle:4d}: {ops}")
+        return "\n".join(lines)
+
+
+def collect_trace(
+    result: ScheduleResult, iterations: int, max_cycles: int = 64
+) -> ExecutionTrace:
+    """Build a trace of the first *max_cycles* cycles of execution."""
+    entries: List[TraceEntry] = []
+    for op in result.ddg.operations():
+        placement = result.placements[op.op_id]
+        for iteration in range(iterations):
+            cycle = placement.time + iteration * result.ii
+            if cycle >= max_cycles:
+                break
+            entries.append(
+                TraceEntry(
+                    cycle=cycle,
+                    op_id=op.op_id,
+                    opcode=op.opcode.value,
+                    iteration=iteration,
+                    cluster=placement.cluster,
+                    kind=op.fu_kind,
+                )
+            )
+    entries.sort(key=lambda e: (e.cycle, e.cluster, e.op_id))
+    return ExecutionTrace(result.loop_name, result.ii, entries)

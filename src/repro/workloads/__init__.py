@@ -1,0 +1,25 @@
+"""Workloads: classic kernels, synthetic loops, the Perfect Club surrogate."""
+
+from .kernels import KERNELS, KernelInfo, make_kernel
+from .suite import (
+    PERFECT_CLUB_LOOP_COUNT,
+    SuiteStats,
+    perfect_club_surrogate,
+    split_sets,
+    suite_stats,
+)
+from .synthetic import DEFAULT_SPEC, SyntheticSpec, synthetic_loop
+
+__all__ = [
+    "KERNELS",
+    "KernelInfo",
+    "make_kernel",
+    "PERFECT_CLUB_LOOP_COUNT",
+    "SuiteStats",
+    "perfect_club_surrogate",
+    "split_sets",
+    "suite_stats",
+    "DEFAULT_SPEC",
+    "SyntheticSpec",
+    "synthetic_loop",
+]

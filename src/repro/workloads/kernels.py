@@ -1,0 +1,453 @@
+"""Classic innermost-loop kernels (DSP and numeric).
+
+These are the hand-written loops the paper's motivation talks about:
+vectorizable streaming/DSP kernels (set 2 material) and recurrence-bound
+loops (the rest of set 1).  Each factory returns a fresh
+:class:`~repro.ir.loop.Loop`; the registry at the bottom drives examples,
+tests and the kernel share of the Perfect Club surrogate suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..errors import WorkloadError
+from ..ir.builder import LoopBuilder
+
+LoopFactory = Callable[..., "object"]
+
+
+def vector_add(trip_count: int = 256) -> object:
+    """``a[i] = b[i] + c[i]`` — minimal vectorizable stream."""
+    b = LoopBuilder("vector_add")
+    x = b.load("b[i]")
+    y = b.load("c[i]")
+    b.store(b.add(x, y), "a[i]")
+    return b.build(trip_count, kernel="vector_add")
+
+
+def vector_scale(trip_count: int = 256) -> object:
+    """``a[i] = k * b[i]`` — stream with an invariant multiplier."""
+    b = LoopBuilder("vector_scale")
+    x = b.load("b[i]")
+    b.store(b.mul(x, "k"), "a[i]")
+    return b.build(trip_count, kernel="vector_scale")
+
+
+def daxpy(trip_count: int = 400) -> object:
+    """``y[i] = a * x[i] + y[i]`` — the BLAS-1 staple, vectorizable."""
+    b = LoopBuilder("daxpy")
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    b.store(b.add(b.mul(x, "a"), y), "y[i]")
+    return b.build(trip_count, kernel="daxpy")
+
+
+def dot_product(trip_count: int = 512) -> object:
+    """``acc += x[i] * y[i]`` — reduction recurrence on the accumulator."""
+    b = LoopBuilder("dot_product")
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    acc = b.placeholder()
+    total = b.add(b.mul(x, y), b.carried(acc, 1), tag="acc")
+    b.bind(acc, total)
+    return b.build(trip_count, kernel="dot_product")
+
+
+def sum_reduction(trip_count: int = 512) -> object:
+    """``acc += x[i]`` — the shortest recurrence circuit."""
+    b = LoopBuilder("sum_reduction")
+    x = b.load("x[i]")
+    acc = b.placeholder()
+    total = b.add(x, b.carried(acc, 1), tag="acc")
+    b.bind(acc, total)
+    return b.build(trip_count, kernel="sum_reduction")
+
+
+def fir_filter(taps: int = 8, trip_count: int = 1024) -> object:
+    """FIR filter with load reuse: ``y[i] = sum_j c_j * x[i-j]``.
+
+    One new sample is loaded per iteration; older samples are loop-carried
+    references to previous loads, so the load's value has fan-out *taps* —
+    prime material for the single-use transformation.
+    """
+    if taps < 2:
+        raise WorkloadError(f"fir_filter needs >= 2 taps, got {taps}")
+    b = LoopBuilder(f"fir{taps}")
+    x = b.load("x[i]")
+    terms = [b.mul(x, "c0", tag="t0")]
+    for j in range(1, taps):
+        terms.append(b.mul(b.carried(x, j), f"c{j}", tag=f"t{j}"))
+    total = terms[0]
+    for j in range(1, taps):
+        total = b.add(total, terms[j], tag=f"s{j}")
+    b.store(total, "y[i]")
+    return b.build(trip_count, kernel="fir_filter", taps=taps)
+
+
+def iir_biquad(trip_count: int = 1024) -> object:
+    """Direct-form-I biquad: output recurrence at distances 1 and 2."""
+    b = LoopBuilder("iir_biquad")
+    x = b.load("x[i]")
+    y = b.placeholder()
+    forward = b.add(
+        b.mul(x, "b0"),
+        b.add(b.mul(b.carried(x, 1), "b1"), b.mul(b.carried(x, 2), "b2")),
+        tag="ffwd",
+    )
+    feedback = b.add(
+        b.mul(b.carried(y, 1), "a1"), b.mul(b.carried(y, 2), "a2"), tag="fb"
+    )
+    out = b.sub(forward, feedback, tag="y")
+    b.bind(y, out)
+    b.store(out, "y[i]")
+    return b.build(trip_count, kernel="iir_biquad")
+
+
+def stencil3(trip_count: int = 512) -> object:
+    """3-point stencil with load reuse: ``b[i] = w*(a[i-1]+a[i]+a[i+1])``."""
+    b = LoopBuilder("stencil3")
+    x = b.load("a[i+1]")
+    centre = b.carried(x, 1)
+    left = b.carried(x, 2)
+    total = b.add(b.add(left, centre), x, tag="sum")
+    b.store(b.mul(total, "w"), "b[i]")
+    return b.build(trip_count, kernel="stencil3")
+
+
+def stencil5(trip_count: int = 512) -> object:
+    """5-point stencil with load reuse (fan-out 5 on the load)."""
+    b = LoopBuilder("stencil5")
+    x = b.load("a[i+2]")
+    taps = [x] + [b.carried(x, j) for j in range(1, 5)]
+    total = taps[0]
+    for tap in taps[1:]:
+        total = b.add(total, tap)
+    b.store(b.mul(total, "w"), "b[i]")
+    return b.build(trip_count, kernel="stencil5")
+
+
+def horner(trip_count: int = 256) -> object:
+    """Horner evaluation as a recurrence: ``p = p * x + c[i]``."""
+    b = LoopBuilder("horner")
+    c = b.load("c[i]")
+    p = b.placeholder()
+    nxt = b.add(b.mul(b.carried(p, 1), "x"), c, tag="p")
+    b.bind(p, nxt)
+    return b.build(trip_count, kernel="horner")
+
+
+def unrolled_dot(width: int = 4, trip_count: int = 512) -> object:
+    """Dot product with *width* source-level partial products feeding one
+    accumulator through an add chain — a wide reduction body."""
+    if width < 1:
+        raise WorkloadError(f"width must be >= 1, got {width}")
+    b = LoopBuilder(f"dotw{width}")
+    acc = b.placeholder()
+    partials = []
+    for j in range(width):
+        x = b.load(f"x[{j}]")
+        y = b.load(f"y[{j}]")
+        partials.append(b.mul(x, y))
+    total = b.carried(acc, 1)
+    for partial in partials:
+        total = b.add(total, partial)
+    b.bind(acc, total)
+    return b.build(trip_count, kernel="unrolled_dot", width=width)
+
+
+def complex_multiply(trip_count: int = 512) -> object:
+    """Element-wise complex product: 4 loads, 4 muls, 2 adds, 2 stores."""
+    b = LoopBuilder("complex_multiply")
+    ar = b.load("a.re")
+    ai = b.load("a.im")
+    br = b.load("b.re")
+    bi = b.load("b.im")
+    re = b.sub(b.mul(ar, br), b.mul(ai, bi), tag="re")
+    im = b.add(b.mul(ar, bi), b.mul(ai, br), tag="im")
+    b.store(re, "c.re")
+    b.store(im, "c.im")
+    return b.build(trip_count, kernel="complex_multiply")
+
+
+def rgb_to_yuv(trip_count: int = 640) -> object:
+    """Colour-space conversion: 3x3 matrix per pixel, MUL-heavy stream."""
+    b = LoopBuilder("rgb_to_yuv")
+    r = b.load("r[i]")
+    g = b.load("g[i]")
+    bl = b.load("b[i]")
+    for channel, coeffs in (("y", "yr yg yb"), ("u", "ur ug ub"), ("v", "vr vg vb")):
+        cr, cg, cb = coeffs.split()
+        value = b.add(
+            b.add(b.mul(r, cr), b.mul(g, cg)), b.mul(bl, cb), tag=channel
+        )
+        b.store(value, f"{channel}[i]")
+    return b.build(trip_count, kernel="rgb_to_yuv")
+
+
+def lms_update(taps: int = 4, trip_count: int = 1024) -> object:
+    """LMS adaptive filter step: FIR plus per-tap coefficient recurrences.
+
+    ``y = sum w_j * x[i-j]; e = d[i] - y; w_j += mu * e * x[i-j]``
+    """
+    if taps < 2:
+        raise WorkloadError(f"lms_update needs >= 2 taps, got {taps}")
+    b = LoopBuilder(f"lms{taps}")
+    x = b.load("x[i]")
+    d = b.load("d[i]")
+    weights = [b.placeholder() for _ in range(taps)]
+    samples = [x] + [b.carried(x, j) for j in range(1, taps)]
+    products = [
+        b.mul(b.carried(weights[j], 1), samples[j], tag=f"p{j}")
+        for j in range(taps)
+    ]
+    y = products[0]
+    for j in range(1, taps):
+        y = b.add(y, products[j], tag=f"y{j}")
+    err = b.sub(d, y, tag="e")
+    scaled = b.mul(err, "mu", tag="mu_e")
+    for j in range(taps):
+        delta = b.mul(scaled, samples[j], tag=f"d{j}")
+        new_w = b.add(b.carried(weights[j], 1), delta, tag=f"w{j}")
+        b.bind(weights[j], new_w)
+    b.store(err, "e[i]")
+    return b.build(trip_count, kernel="lms_update", taps=taps)
+
+
+def cumulative_sum(trip_count: int = 512) -> object:
+    """Prefix sum with stores: ``s += x[i]; y[i] = s``."""
+    b = LoopBuilder("cumulative_sum")
+    x = b.load("x[i]")
+    s = b.placeholder()
+    total = b.add(x, b.carried(s, 1), tag="s")
+    b.bind(s, total)
+    b.store(total, "y[i]")
+    return b.build(trip_count, kernel="cumulative_sum")
+
+
+def euclidean_norm(trip_count: int = 512) -> object:
+    """``acc += x[i] * x[i]`` — duplicate operand reference on the load."""
+    b = LoopBuilder("euclidean_norm")
+    x = b.load("x[i]")
+    acc = b.placeholder()
+    total = b.add(b.mul(x, x), b.carried(acc, 1), tag="acc")
+    b.bind(acc, total)
+    return b.build(trip_count, kernel="euclidean_norm")
+
+
+def max_reduction(trip_count: int = 512) -> object:
+    """Running maximum: ``m = max(m, x[i])``."""
+    b = LoopBuilder("max_reduction")
+    x = b.load("x[i]")
+    m = b.placeholder()
+    nxt = b.max(b.carried(m, 1), x, tag="m")
+    b.bind(m, nxt)
+    return b.build(trip_count, kernel="max_reduction")
+
+
+def geometric_scale(trip_count: int = 256) -> object:
+    """Long-latency recurrence: ``s = s * r; y[i] = s * x[i]``."""
+    b = LoopBuilder("geometric_scale")
+    x = b.load("x[i]")
+    s = b.placeholder()
+    nxt = b.mul(b.carried(s, 1), "r", tag="s")
+    b.bind(s, nxt)
+    b.store(b.mul(nxt, x), "y[i]")
+    return b.build(trip_count, kernel="geometric_scale")
+
+
+def element_divide(trip_count: int = 256) -> object:
+    """``a[i] = b[i] / c[i]`` — exercises the long-latency divide."""
+    b = LoopBuilder("element_divide")
+    x = b.load("b[i]")
+    y = b.load("c[i]")
+    b.store(b.div(x, y), "a[i]")
+    return b.build(trip_count, kernel="element_divide")
+
+
+def rms_normalize(trip_count: int = 256) -> object:
+    """Square-root in a stream: ``y[i] = x[i] / sqrt(w[i])``."""
+    b = LoopBuilder("rms_normalize")
+    x = b.load("x[i]")
+    w = b.load("w[i]")
+    b.store(b.div(x, b.sqrt(w)), "y[i]")
+    return b.build(trip_count, kernel="rms_normalize")
+
+
+def fft_butterfly(trip_count: int = 256) -> object:
+    """Radix-2 FFT butterfly over element streams (complex twiddle)."""
+    b = LoopBuilder("fft_butterfly")
+    ar = b.load("a.re")
+    ai = b.load("a.im")
+    br = b.load("b.re")
+    bi = b.load("b.im")
+    # t = w * b  (complex multiply by the twiddle factor)
+    tr = b.sub(b.mul(br, "w.re"), b.mul(bi, "w.im"), tag="t.re")
+    ti = b.add(b.mul(br, "w.im"), b.mul(bi, "w.re"), tag="t.im")
+    b.store(b.add(ar, tr), "x.re")
+    b.store(b.add(ai, ti), "x.im")
+    b.store(b.sub(ar, tr), "y.re")
+    b.store(b.sub(ai, ti), "y.im")
+    return b.build(trip_count, kernel="fft_butterfly")
+
+
+def matmul2x2(trip_count: int = 256) -> object:
+    """Stream of 2x2 matrix products: 8 muls, 4 adds, 8 loads, 4 stores."""
+    b = LoopBuilder("matmul2x2")
+    a = [[b.load(f"a{i}{j}") for j in range(2)] for i in range(2)]
+    c = [[b.load(f"b{i}{j}") for j in range(2)] for i in range(2)]
+    for i in range(2):
+        for j in range(2):
+            value = b.add(
+                b.mul(a[i][0], c[0][j]), b.mul(a[i][1], c[1][j]), tag=f"c{i}{j}"
+            )
+            b.store(value, f"out{i}{j}")
+    return b.build(trip_count, kernel="matmul2x2")
+
+
+def dct_row4(trip_count: int = 128) -> object:
+    """4-point DCT row pass: dense multiply-accumulate, vectorizable."""
+    b = LoopBuilder("dct_row4")
+    samples = [b.load(f"x{j}") for j in range(4)]
+    for k in range(4):
+        terms = [b.mul(samples[j], f"c{k}{j}") for j in range(4)]
+        value = b.add(b.add(terms[0], terms[1]), b.add(terms[2], terms[3]))
+        b.store(value, f"X{k}")
+    return b.build(trip_count, kernel="dct_row4")
+
+
+def complex_fir(taps: int = 4, trip_count: int = 512) -> object:
+    """Complex-valued FIR with load reuse on both components."""
+    if taps < 2:
+        raise WorkloadError(f"complex_fir needs >= 2 taps, got {taps}")
+    b = LoopBuilder(f"cfir{taps}")
+    xr = b.load("x.re")
+    xi = b.load("x.im")
+    re_terms = []
+    im_terms = []
+    for j in range(taps):
+        sr = xr if j == 0 else b.carried(xr, j)
+        si = xi if j == 0 else b.carried(xi, j)
+        re_terms.append(b.sub(b.mul(sr, f"h{j}.re"), b.mul(si, f"h{j}.im")))
+        im_terms.append(b.add(b.mul(sr, f"h{j}.im"), b.mul(si, f"h{j}.re")))
+    re = re_terms[0]
+    im = im_terms[0]
+    for j in range(1, taps):
+        re = b.add(re, re_terms[j])
+        im = b.add(im, im_terms[j])
+    b.store(re, "y.re")
+    b.store(im, "y.im")
+    return b.build(trip_count, kernel="complex_fir", taps=taps)
+
+
+def linear_interp(trip_count: int = 512) -> object:
+    """Linear interpolation between two streams: y = a + t*(b - a)."""
+    b = LoopBuilder("linear_interp")
+    a = b.load("a[i]")
+    c = b.load("b[i]")
+    t = b.load("t[i]")
+    b.store(b.add(a, b.mul(t, b.sub(c, a))), "y[i]")
+    return b.build(trip_count, kernel="linear_interp")
+
+
+def chebyshev_recurrence(trip_count: int = 256) -> object:
+    """Chebyshev polynomial recurrence: T[n] = 2x*T[n-1] - T[n-2]."""
+    b = LoopBuilder("chebyshev")
+    t = b.placeholder()
+    nxt = b.sub(
+        b.mul(b.carried(t, 1), "two_x"), b.carried(t, 2), tag="T"
+    )
+    b.bind(t, nxt)
+    b.store(nxt, "T[n]")
+    return b.build(trip_count, kernel="chebyshev_recurrence")
+
+
+def givens_rotation(trip_count: int = 256) -> object:
+    """Apply a Givens rotation to a pair of streams (QR-style update)."""
+    b = LoopBuilder("givens_rotation")
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    b.store(b.add(b.mul(x, "c"), b.mul(y, "s")), "x'[i]")
+    b.store(b.sub(b.mul(y, "c"), b.mul(x, "s")), "y'[i]")
+    return b.build(trip_count, kernel="givens_rotation")
+
+
+def alpha_blend(trip_count: int = 640) -> object:
+    """Pixel blend with clamping: out = min(max(a*src + (1-a)*dst, lo), hi)."""
+    b = LoopBuilder("alpha_blend")
+    src = b.load("src[i]")
+    dst = b.load("dst[i]")
+    blended = b.add(b.mul(src, "alpha"), b.mul(dst, "one_minus_alpha"))
+    clamped = b.min(b.max(blended, "lo"), "hi")
+    b.store(clamped, "out[i]")
+    return b.build(trip_count, kernel="alpha_blend")
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Registry entry for one kernel factory."""
+
+    name: str
+    factory: LoopFactory
+    vectorizable: bool
+    description: str
+    parameters: Tuple[str, ...] = ()
+
+
+KERNELS: Dict[str, KernelInfo] = {
+    info.name: info
+    for info in (
+        KernelInfo("vector_add", vector_add, True, "a[i] = b[i] + c[i]"),
+        KernelInfo("vector_scale", vector_scale, True, "a[i] = k * b[i]"),
+        KernelInfo("daxpy", daxpy, True, "y[i] = a*x[i] + y[i]"),
+        KernelInfo("dot_product", dot_product, False, "acc += x[i]*y[i]"),
+        KernelInfo("sum_reduction", sum_reduction, False, "acc += x[i]"),
+        KernelInfo(
+            "fir_filter", fir_filter, True, "FIR with load reuse", ("taps",)
+        ),
+        KernelInfo("iir_biquad", iir_biquad, False, "biquad IIR section"),
+        KernelInfo("stencil3", stencil3, True, "3-point stencil, load reuse"),
+        KernelInfo("stencil5", stencil5, True, "5-point stencil, load reuse"),
+        KernelInfo("horner", horner, False, "p = p*x + c[i]"),
+        KernelInfo(
+            "unrolled_dot", unrolled_dot, False, "wide reduction", ("width",)
+        ),
+        KernelInfo("complex_multiply", complex_multiply, True, "complex product"),
+        KernelInfo("rgb_to_yuv", rgb_to_yuv, True, "3x3 colour transform"),
+        KernelInfo(
+            "lms_update", lms_update, False, "LMS adaptive filter", ("taps",)
+        ),
+        KernelInfo("cumulative_sum", cumulative_sum, False, "prefix sum"),
+        KernelInfo("euclidean_norm", euclidean_norm, False, "acc += x[i]^2"),
+        KernelInfo("max_reduction", max_reduction, False, "running max"),
+        KernelInfo("geometric_scale", geometric_scale, False, "s = s*r stream"),
+        KernelInfo("element_divide", element_divide, True, "a[i] = b[i]/c[i]"),
+        KernelInfo("rms_normalize", rms_normalize, True, "x[i]/sqrt(w[i])"),
+        KernelInfo("fft_butterfly", fft_butterfly, True, "radix-2 butterfly"),
+        KernelInfo("matmul2x2", matmul2x2, True, "2x2 matrix product stream"),
+        KernelInfo("dct_row4", dct_row4, True, "4-point DCT row"),
+        KernelInfo(
+            "complex_fir", complex_fir, True, "complex FIR, load reuse", ("taps",)
+        ),
+        KernelInfo("linear_interp", linear_interp, True, "a + t*(b-a)"),
+        KernelInfo(
+            "chebyshev_recurrence",
+            chebyshev_recurrence,
+            False,
+            "T[n] = 2x*T[n-1] - T[n-2]",
+        ),
+        KernelInfo("givens_rotation", givens_rotation, True, "QR-style rotation"),
+        KernelInfo("alpha_blend", alpha_blend, True, "clamped pixel blend"),
+    )
+}
+
+
+def make_kernel(name: str, **params: object) -> object:
+    """Instantiate a registered kernel by name."""
+    info = KERNELS.get(name)
+    if info is None:
+        raise WorkloadError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        )
+    return info.factory(**params)

@@ -1,0 +1,52 @@
+"""Tests for the programmatic ablation studies."""
+
+import pytest
+
+from repro.experiments import (
+    ABLATIONS,
+    chain_policy_ablation,
+    copy_fu_ablation,
+    restart_ablation,
+    single_use_ablation,
+)
+from repro.workloads import perfect_club_surrogate
+
+
+@pytest.fixture(scope="module")
+def loops():
+    return perfect_club_surrogate(8, seed=21)
+
+
+class TestRegistry:
+    def test_all_ablations_registered(self):
+        assert set(ABLATIONS) == {
+            "copy_fus",
+            "chain_policy",
+            "single_use",
+            "restarts",
+            "topology",
+        }
+
+
+class TestShapes:
+    def test_copy_fu_ablation(self, loops):
+        figure = copy_fu_ablation(loops, cluster_counts=(4, 8))
+        assert set(figure.series) == {"copy_fus_1", "copy_fus_2"}
+        assert len(figure.x) == 2
+        for values in figure.series.values():
+            assert all(0.0 <= v <= 100.0 for v in values)
+
+    def test_chain_policy_ablation(self, loops):
+        figure = chain_policy_ablation(loops, cluster_counts=(6,))
+        assert set(figure.series) == {"paper_rule", "shortest_only"}
+
+    def test_single_use_ablation(self, loops):
+        figure = single_use_ablation(loops, cluster_counts=(4,))
+        assert set(figure.series) == {"copy_chain", "copy_tree"}
+
+    def test_restart_ablation_never_worse(self, loops):
+        figure = restart_ablation(loops, cluster_counts=(4, 8))
+        for single, multi in zip(
+            figure.series["restarts_1"], figure.series["restarts_3"]
+        ):
+            assert multi <= single + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for the fluent loop builder."""
+
+import pytest
+
+from repro.errors import DDGError
+from repro.ir import LoopBuilder, OpCode
+
+
+class TestBasicConstruction:
+    def test_simple_stream(self):
+        b = LoopBuilder("s")
+        x = b.load("x[i]")
+        y = b.add(x, "k")
+        b.store(y, "y[i]")
+        loop = b.build(trip_count=10)
+        assert loop.n_ops == 3
+        assert loop.trip_count == 10
+        assert not loop.ddg.has_recurrence()
+
+    def test_operand_kinds(self):
+        b = LoopBuilder("ops")
+        x = b.load()
+        value = b.add(x, 3)  # numeric literal becomes an external symbol
+        op = b.ddg.op(value.op_id)
+        assert op.srcs[0].producer == x.op_id
+        assert op.srcs[1].symbol == "#3"
+
+    def test_all_factories_emit_expected_opcodes(self):
+        b = LoopBuilder("f")
+        x = b.load()
+        y = b.load()
+        cases = [
+            (b.add(x, y), OpCode.ADD),
+            (b.sub(x, y), OpCode.SUB),
+            (b.mul(x, y), OpCode.MUL),
+            (b.div(x, y), OpCode.DIV),
+            (b.neg(x), OpCode.NEG),
+            (b.cmp(x, y), OpCode.CMP),
+            (b.min(x, y), OpCode.MIN),
+            (b.max(x, y), OpCode.MAX),
+            (b.sqrt(x), OpCode.SQRT),
+            (b.select(x, y, x), OpCode.SELECT),
+        ]
+        for value, opcode in cases:
+            assert b.ddg.op(value.op_id).opcode == opcode
+
+    def test_build_validates(self):
+        b = LoopBuilder("v")
+        x = b.load()
+        b.store(x)
+        loop = b.build()
+        loop.ddg.validate()
+
+    def test_build_twice_rejected(self):
+        b = LoopBuilder("t")
+        b.load()
+        b.build()
+        with pytest.raises(DDGError):
+            b.load()
+
+
+class TestRecurrences:
+    def test_placeholder_bind_creates_cycle(self):
+        b = LoopBuilder("rec")
+        x = b.load()
+        acc = b.placeholder()
+        total = b.add(x, b.carried(acc, 1))
+        b.bind(acc, total)
+        loop = b.build()
+        assert loop.ddg.has_recurrence()
+        edge = [e for e in loop.ddg.out_edges(total.op_id) if e.dst == total.op_id]
+        assert edge and edge[0].omega == 1
+
+    def test_unbound_placeholder_rejected(self):
+        b = LoopBuilder("unbound")
+        x = b.load()
+        ph = b.placeholder()
+        b.add(x, b.carried(ph, 1))
+        with pytest.raises(DDGError):
+            b.build()
+
+    def test_double_bind_rejected(self):
+        b = LoopBuilder("double")
+        ph = b.placeholder()
+        x = b.load()
+        value = b.add(x, b.carried(ph, 1))
+        b.bind(ph, value)
+        with pytest.raises(DDGError):
+            b.bind(ph, value)
+
+    def test_carried_distance_two(self):
+        b = LoopBuilder("d2")
+        ph = b.placeholder()
+        x = b.load()
+        value = b.add(b.carried(ph, 2), x)
+        b.bind(ph, value)
+        loop = b.build()
+        self_edges = [
+            e for e in loop.ddg.out_edges(value.op_id) if e.dst == value.op_id
+        ]
+        assert self_edges[0].omega == 2
+
+    def test_carried_requires_positive_distance(self):
+        b = LoopBuilder("bad")
+        x = b.load()
+        with pytest.raises(DDGError):
+            b.carried(x, 0)
+
+    def test_foreign_placeholder_rejected(self):
+        b1 = LoopBuilder("a")
+        b2 = LoopBuilder("b")
+        ph = b1.placeholder()
+        x = b2.load()
+        with pytest.raises(DDGError):
+            b2.add(x, b.carried(ph, 1)) if False else b2.add(x, ph)
+
+
+class TestMemDeps:
+    def test_mem_dep_edge(self):
+        b = LoopBuilder("mem")
+        x = b.load("a[i]")
+        st = b.store(x, "a[i+1]")
+        ld = b.load("a[i]")
+        b.mem_dep(st, ld, omega=1, latency=1)
+        loop = b.build()
+        mem_edges = [e for e in loop.ddg.edges() if not e.is_flow]
+        assert len(mem_edges) == 1
+        assert mem_edges[0].omega == 1

@@ -1,0 +1,133 @@
+"""Tests for the independent schedule validator."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir import DEFAULT_LATENCIES
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+    check_schedule,
+    validate_schedule,
+)
+from repro.scheduling.result import ScheduleResult
+from repro.scheduling.schedule import Placement
+
+from .conftest import build_fanout_loop, build_stream_loop
+
+
+def good_result():
+    loop = build_stream_loop()
+    return IterativeModuloScheduler(unclustered_vliw(2)).schedule(loop.ddg.copy())
+
+
+def tampered(result, placement_overrides=None):
+    placements = dict(result.placements)
+    placements.update(placement_overrides or {})
+    return ScheduleResult(
+        loop_name=result.loop_name,
+        machine=result.machine,
+        scheduler=result.scheduler,
+        ii=result.ii,
+        res_mii=result.res_mii,
+        rec_mii=result.rec_mii,
+        ddg=result.ddg,
+        placements=placements,
+        latencies=result.latencies,
+        stats=result.stats,
+    )
+
+
+class TestAccepts:
+    def test_valid_ims_schedule(self):
+        report = check_schedule(good_result())
+        assert report.ok
+        report.raise_if_failed()  # no exception
+
+    def test_valid_dms_schedule(self):
+        from repro.ir.transforms import single_use_ddg
+
+        loop = build_fanout_loop(consumers=6)
+        result = DistributedModuloScheduler(clustered_vliw(4)).schedule(
+            single_use_ddg(loop.ddg)
+        )
+        assert check_schedule(result).ok
+
+
+class TestRejects:
+    def test_missing_placement(self):
+        result = good_result()
+        placements = dict(result.placements)
+        del placements[0]
+        broken = tampered(result)
+        broken = ScheduleResult(
+            **{**broken.__dict__, "placements": placements}
+        )
+        report = check_schedule(broken)
+        assert not report.ok
+        assert any("not scheduled" in p for p in report.problems)
+
+    def test_dependence_violation(self):
+        result = good_result()
+        # Put the add (op 2) at time 0 while its producers finish later.
+        broken = tampered(result, {2: Placement(0, 0)})
+        report = check_schedule(broken)
+        assert any("dependence violated" in p for p in report.problems)
+
+    def test_resource_violation(self):
+        result = good_result()
+        # Pile all three memory ops (2 loads + 1 store) onto one cell of
+        # the 2-unit L/S cluster.
+        p0 = result.placements[0]
+        broken = tampered(
+            result,
+            {
+                1: Placement(p0.time, p0.cluster),
+                4: Placement(p0.time, p0.cluster),
+            },
+        )
+        report = check_schedule(broken)
+        assert any("holds" in p and "capacity" in p for p in report.problems)
+
+    def test_communication_violation(self):
+        from repro.ir.transforms import single_use_ddg
+
+        loop = build_fanout_loop(consumers=4)
+        result = DistributedModuloScheduler(clustered_vliw(6)).schedule(
+            single_use_ddg(loop.ddg)
+        )
+        # Move the producer load far from one consumer.
+        consumer = next(
+            e.dst for e in result.ddg.out_edges(0) if e.is_flow
+        )
+        target = (result.placements[consumer].cluster + 3) % 6
+        broken = tampered(
+            result, {0: Placement(result.placements[0].time, target)}
+        )
+        report = check_schedule(broken)
+        assert any("communication conflict" in p for p in report.problems)
+
+    def test_fanout_violation_on_clustered_machine(self):
+        loop = build_fanout_loop(consumers=5)
+        result = DistributedModuloScheduler(clustered_vliw(1)).schedule(
+            loop.ddg.copy()
+        )
+        # Re-interpret the same schedule on a clustered machine: fan-out 5.
+        broken = ScheduleResult(
+            **{**result.__dict__, "machine": clustered_vliw(2)}
+        )
+        report = check_schedule(broken)
+        assert any("fan-out" in p for p in report.problems)
+
+    def test_validate_raises(self):
+        result = good_result()
+        broken = tampered(result, {2: Placement(0, 0)})
+        with pytest.raises(ValidationError):
+            validate_schedule(broken)
+
+    def test_unknown_cluster_rejected(self):
+        result = good_result()
+        broken = tampered(result, {0: Placement(0, 99)})
+        report = check_schedule(broken)
+        assert any("invalid cluster" in p for p in report.problems)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "HPCA" in out
+        assert "fig4" in out
+
+
+class TestSuiteStats:
+    def test_stats_output(self, capsys):
+        assert main(["suite-stats", "--loops", "20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "loops:" in out
+        assert "vectorizable:" in out
+        assert "op mix:" in out
+
+
+class TestSchedule:
+    def test_schedule_clustered_kernel(self, capsys):
+        assert main(["schedule", "dot_product", "--clusters", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "DMS" in out
+        assert "kernel:" in out
+
+    def test_schedule_unclustered(self, capsys):
+        assert main(["schedule", "daxpy", "--clusters", "2", "--unclustered"]) == 0
+        out = capsys.readouterr().out
+        assert "IMS" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "nonsense"])
+
+
+class TestFigures:
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--loops", "6", "--clusters", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "ii_increase_pct" in out
+
+    def test_backtracking_small(self, capsys):
+        assert main(["backtracking", "--loops", "5", "--clusters", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "dms" in out
+
+    def test_csv_written(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "results")
+        assert (
+            main(
+                [
+                    "fig4",
+                    "--loops",
+                    "5",
+                    "--clusters",
+                    "1,2",
+                    "--csv",
+                    out_dir,
+                ]
+            )
+            == 0
+        )
+        assert os.path.exists(os.path.join(out_dir, "figure4.csv"))
+
+    def test_all_figures(self, capsys):
+        assert main(["all-figures", "--loops", "5", "--clusters", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Figure 5" in out
+        assert "Figure 6" in out
+        assert "Backtracking" in out
+
+    def test_runs_out_jsonl(self, capsys, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        assert (
+            main(
+                [
+                    "fig4",
+                    "--loops",
+                    "4",
+                    "--clusters",
+                    "1,2",
+                    "--runs-out",
+                    path,
+                ]
+            )
+            == 0
+        )
+        from repro.experiments import load_runs
+
+        assert len(load_runs(path)) == 4 * 2 * 2
+
+
+class TestSupplementaryCommands:
+    def test_storage(self, capsys):
+        assert main(["storage", "--loops", "4", "--clusters", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "central_rf_maxlive" in out
+
+    def test_ablation(self, capsys):
+        assert main(
+            ["ablation", "restarts", "--loops", "4", "--clusters", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "restarts_1" in out
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "--loops", "3", "--clusters", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "two_phase" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "--loops", "3", "--clusters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "unit_latency" in out
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "gravity"])

@@ -1,0 +1,136 @@
+"""Tests for VLIW program construction and assembly rendering."""
+
+import pytest
+
+from repro.codegen import assembly_for, build_program, render_program
+from repro.errors import CodegenError
+from repro.ir import OpCode
+from repro.ir.transforms import single_use_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.registers import allocate_queues
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+)
+from repro.workloads import make_kernel
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def ims_program(loop=None, k=2):
+    result = IterativeModuloScheduler(unclustered_vliw(k)).schedule(
+        (loop or build_stream_loop()).ddg.copy()
+    )
+    return build_program(result), result
+
+
+def dms_program(loop, clusters=4, transform=True):
+    ddg = single_use_ddg(loop.ddg) if transform else loop.ddg.copy()
+    result = DistributedModuloScheduler(clustered_vliw(clusters)).schedule(ddg)
+    allocation = allocate_queues(result)
+    return build_program(result, allocation), result
+
+
+class TestKernelTable:
+    def test_every_op_appears_once(self):
+        program, result = ims_program()
+        op_ids = [b.op_id for row in program.kernel for b in row]
+        assert sorted(op_ids) == result.ddg.op_ids
+
+    def test_rows_match_modulo_time(self):
+        program, result = ims_program()
+        for row_index in range(program.ii):
+            for binding in program.row(row_index):
+                assert result.placements[binding.op_id].time % result.ii == row_index
+
+    def test_stage_annotation(self):
+        program, result = ims_program()
+        for row in program.kernel:
+            for binding in row:
+                assert binding.stage == result.placements[binding.op_id].time // result.ii
+
+    def test_fu_bindings_unique(self):
+        program, _ = ims_program()
+        for row in program.kernel:
+            slots = [str(b.fu) for b in row]
+            assert len(slots) == len(set(slots))
+
+    def test_fu_capacity_respected(self):
+        loop = make_kernel("fir_filter", taps=6)
+        program, result = dms_program(loop, clusters=4)
+        for row in program.kernel:
+            for binding in row:
+                capacity = result.machine.fu_in_cluster(
+                    binding.fu.cluster, binding.fu.kind
+                )
+                assert binding.fu.index < capacity
+
+    def test_row_bounds(self):
+        program, _ = ims_program()
+        with pytest.raises(CodegenError):
+            program.row(program.ii)
+
+
+class TestRamp:
+    def test_prologue_cycle_count(self):
+        program, result = ims_program()
+        assert program.prologue_cycles == (result.stage_count - 1) * result.ii
+        for issue in program.prologue:
+            assert issue.cycle < program.prologue_cycles
+
+    def test_prologue_plus_kernel_reaches_steady_state(self):
+        program, result = ims_program(build_reduction_loop())
+        # Every op must have issued at least once during the ramp + first
+        # kernel copy.
+        seen = {b.op_id for issue in program.prologue for b in issue.bindings}
+        seen.update(b.op_id for row in program.kernel for b in row)
+        assert seen == set(result.ddg.op_ids)
+
+    def test_epilogue_nonempty_for_multistage(self):
+        program, result = ims_program()
+        if result.stage_count > 1:
+            assert program.epilogue
+
+
+class TestOperandLabels:
+    def test_external_symbols_shown(self):
+        program, _ = ims_program()
+        rendered = render_program(program)
+        assert "k" in rendered
+
+    def test_queue_annotations_present_with_allocation(self):
+        loop = make_kernel("fir_filter", taps=4)
+        program, _ = dms_program(loop, clusters=4)
+        rendered = render_program(program, show_ramp=False)
+        assert "lrf[" in rendered or "cqrf[" in rendered
+
+    def test_loop_carried_marker(self):
+        program, _ = ims_program(build_reduction_loop())
+        rendered = render_program(program)
+        assert "@-1" in rendered
+
+
+class TestRendering:
+    def test_header_mentions_ii_and_stages(self):
+        program, result = ims_program()
+        rendered = render_program(program)
+        assert f"II={result.ii}" in rendered
+        assert "kernel:" in rendered
+
+    def test_assembly_for_convenience(self):
+        loop = build_stream_loop()
+        result = IterativeModuloScheduler(unclustered_vliw(2)).schedule(
+            loop.ddg.copy()
+        )
+        text = assembly_for(result)
+        assert "kernel:" in text
+        assert "prologue:" not in text  # ramp hidden by default
+
+    def test_empty_rows_render_nop(self):
+        loop = build_reduction_loop()
+        result = IterativeModuloScheduler(unclustered_vliw(4)).schedule(
+            loop.ddg.copy()
+        )
+        rendered = render_program(build_program(result), show_ramp=False)
+        # Wide machine, small loop: some rows may be empty.
+        assert "kernel:" in rendered

@@ -1,0 +1,47 @@
+"""Tests for the scheduler configuration."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SchedulerConfig
+from repro.errors import SchedulingError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        assert DEFAULT_CONFIG.budget_ratio == 6
+
+    def test_bad_budget(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(budget_ratio=0)
+
+    def test_bad_ii_bounds(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(max_ii_factor=0)
+
+    def test_bad_restarts(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(restarts_per_ii=0)
+
+    def test_bad_single_use_strategy(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(single_use_strategy="mesh")
+
+    def test_bad_unroll_cap(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(unroll_cap=0)
+
+
+class TestBehaviour:
+    def test_max_ii(self):
+        config = SchedulerConfig(max_ii_factor=4, max_ii_extra=32)
+        assert config.max_ii(1) == 33
+        assert config.max_ii(20) == 80
+
+    def test_with_override(self):
+        modified = DEFAULT_CONFIG.with_(budget_ratio=12)
+        assert modified.budget_ratio == 12
+        assert DEFAULT_CONFIG.budget_ratio == 6  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.budget_ratio = 9

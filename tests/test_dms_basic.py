@@ -1,0 +1,117 @@
+"""Tests for DMS fundamentals: strategy 1, validity, parity with IMS."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.errors import SchedulingError
+from repro.ir import DEFAULT_LATENCIES, LoopBuilder, OpCode
+from repro.ir.transforms import single_use_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+    validate_schedule,
+)
+
+from .conftest import build_fanout_loop, build_reduction_loop, build_stream_loop
+
+
+def dms_schedule(ddg, clusters=4, config=None):
+    scheduler = DistributedModuloScheduler(
+        clustered_vliw(clusters), DEFAULT_LATENCIES, config or SchedulerConfig()
+    )
+    return scheduler.schedule(ddg.copy())
+
+
+class TestValidity:
+    @pytest.mark.parametrize("clusters", [1, 2, 3, 4, 6, 8, 10])
+    def test_stream_schedules_on_any_ring(self, clusters):
+        result = dms_schedule(build_stream_loop().ddg, clusters)
+        validate_schedule(result)
+
+    @pytest.mark.parametrize("clusters", [2, 4, 8])
+    def test_reduction_schedules(self, clusters):
+        result = dms_schedule(build_reduction_loop().ddg, clusters)
+        validate_schedule(result)
+        assert result.ii >= result.rec_mii
+
+    def test_fanout_graph_requires_single_use(self):
+        loop = build_fanout_loop(consumers=5)
+        with pytest.raises(SchedulingError):
+            dms_schedule(loop.ddg, clusters=4)
+
+    def test_fanout_graph_after_transform(self):
+        loop = build_fanout_loop(consumers=5)
+        result = dms_schedule(single_use_ddg(loop.ddg), clusters=4)
+        validate_schedule(result)
+
+    def test_single_cluster_accepts_fanout(self):
+        # Fan-out only matters with inter-cluster queues.
+        loop = build_fanout_loop(consumers=5)
+        result = dms_schedule(loop.ddg, clusters=1)
+        validate_schedule(result)
+
+    def test_deterministic(self):
+        ddg = single_use_ddg(build_fanout_loop(consumers=6).ddg)
+        a = dms_schedule(ddg, 5)
+        b = dms_schedule(ddg, 5)
+        assert a.placements == b.placements
+
+
+class TestCommunicationInvariant:
+    @pytest.mark.parametrize("clusters", [4, 6, 8])
+    def test_all_flow_edges_adjacent(self, clusters):
+        ddg = single_use_ddg(build_fanout_loop(consumers=8).ddg)
+        result = dms_schedule(ddg, clusters)
+        topology = result.machine.topology
+        for edge in result.ddg.edges():
+            if edge.is_flow and edge.src != edge.dst:
+                src = result.placements[edge.src].cluster
+                dst = result.placements[edge.dst].cluster
+                assert topology.distance(src, dst) <= 1
+
+    def test_moves_only_on_clustered_machines(self):
+        result = dms_schedule(build_stream_loop().ddg, clusters=1)
+        assert result.n_moves == 0
+
+
+class TestParityWithIMS:
+    @pytest.mark.parametrize(
+        "make_loop", [build_stream_loop, build_reduction_loop]
+    )
+    def test_single_cluster_ii_matches_unclustered(self, make_loop):
+        loop = make_loop()
+        dms = dms_schedule(loop.ddg, clusters=1)
+        ims = IterativeModuloScheduler(unclustered_vliw(1)).schedule(
+            loop.ddg.copy()
+        )
+        assert dms.ii == ims.ii
+
+    def test_small_ring_overhead_only_from_copies(self):
+        # 2-3 clusters are fully connected: a loop that needs no copies
+        # must match the unclustered II exactly (paper section 4).
+        loop = build_stream_loop()
+        for clusters in (2, 3):
+            dms = dms_schedule(loop.ddg, clusters=clusters)
+            ims = IterativeModuloScheduler(
+                unclustered_vliw(clusters)
+            ).schedule(loop.ddg.copy())
+            assert dms.ii == ims.ii
+            assert dms.n_moves == 0
+
+
+class TestStatistics:
+    def test_strategy1_dominates_easy_loops(self):
+        result = dms_schedule(build_stream_loop().ddg, clusters=4)
+        assert result.stats.strategy1 > 0
+        assert result.stats.strategy3 == 0
+
+    def test_summary_mentions_scheduler(self):
+        result = dms_schedule(build_stream_loop().ddg, clusters=4)
+        assert "DMS" in result.summary()
+
+    def test_cluster_histogram_covers_machine(self):
+        result = dms_schedule(build_stream_loop().ddg, clusters=4)
+        hist = result.cluster_histogram()
+        assert set(hist) == {0, 1, 2, 3}
+        assert sum(hist.values()) == len(result.ddg)

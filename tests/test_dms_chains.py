@@ -1,0 +1,198 @@
+"""Tests for chain planning and application (DMS strategy 2)."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.ir import DDG, DEFAULT_LATENCIES, LoopBuilder, OpCode, use
+from repro.ir.operations import Operation, external
+from repro.machine import ClusterSpec, clustered_vliw
+from repro.scheduling import (
+    ChainPlanner,
+    ChainRegistry,
+    DistributedModuloScheduler,
+    PartialSchedule,
+    validate_schedule,
+)
+from repro.scheduling.chains import dismantle_chain
+
+
+def far_pred_graph():
+    """q = add(p1, p2) with the producers to be placed far apart."""
+    ddg = DDG("far")
+    ddg.add_operation(Operation(0, OpCode.LOAD, (), "p1"))
+    ddg.add_operation(Operation(1, OpCode.LOAD, (), "p2"))
+    ddg.add_operation(Operation(2, OpCode.ADD, (use(0), use(1)), "q"))
+    return ddg
+
+
+def planner_setup(ii=4, clusters=6, ddg=None):
+    ddg = ddg or far_pred_graph()
+    schedule = PartialSchedule(ddg, clustered_vliw(clusters), ii, DEFAULT_LATENCIES)
+    planner = ChainPlanner(schedule, SchedulerConfig())
+    return ddg, schedule, planner
+
+
+class TestPlanning:
+    def test_chain_free_clusters_are_not_planned(self):
+        ddg, schedule, planner = planner_setup()
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 1)
+        # Clusters 0/1 need no chains (strategy-1 territory), so any plan
+        # the planner produces targets a cluster with a far predecessor.
+        plan = planner.plan(2)
+        assert plan is None or plan.cluster not in (0, 1)
+
+    def test_plan_bridges_far_predecessor(self):
+        ddg, schedule, planner = planner_setup(clusters=6)
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 3)
+        plan = planner.plan(2)
+        assert plan is not None
+        assert len(plan.chains) == 1
+        chain = plan.chains[0]
+        assert chain.n_moves == 1  # distance 2 -> one intermediate cluster
+        # The op lands adjacent to one producer and chains to the other.
+        assert plan.cluster in (1, 2, 4, 5)
+
+    def test_plan_respects_move_timing(self):
+        ddg, schedule, planner = planner_setup(clusters=6, ii=3)
+        schedule.place(0, 0, 0)
+        schedule.place(1, 1, 3)
+        plan = planner.plan(2)
+        assert plan is not None
+        chain = plan.chains[0]
+        producer_time = schedule.time(chain.producer)
+        # First move cannot issue before the producer's result is ready.
+        assert chain.move_times[0] >= producer_time + 2  # load latency
+
+    def test_plan_covers_both_far_preds(self):
+        ddg, schedule, planner = planner_setup(clusters=8)
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 4)
+        plan = planner.plan(2)
+        assert plan is not None
+        # Wherever the op lands, at least one pred is > 1 away; all far
+        # preds get chains.
+        far = [c.producer for c in plan.chains]
+        assert far  # at least one chain
+        total_moves = plan.n_moves
+        assert total_moves >= 1
+
+    def test_no_plan_without_copy_units(self):
+        ddg = far_pred_graph()
+        machine = clustered_vliw(6, cluster=ClusterSpec(copy=0))
+        schedule = PartialSchedule(ddg, machine, 4, DEFAULT_LATENCIES)
+        planner = ChainPlanner(schedule, SchedulerConfig())
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 3)
+        assert planner.plan(2) is None
+
+    def test_no_plan_when_copy_units_saturated(self):
+        from repro.ir.opcodes import FUKind
+
+        ddg, schedule, planner = planner_setup(clusters=5, ii=2)
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 2)
+        # Fill every Copy-FU slot of every cluster: no clean move slots.
+        filler = 100
+        for cluster in range(5):
+            for row in range(2):
+                schedule.mrt.place(filler, cluster, FUKind.COPY, row)
+                filler += 1
+        assert planner.plan(2) is None
+
+    def test_mrt_state_unchanged_after_planning(self):
+        ddg, schedule, planner = planner_setup(clusters=6)
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 3)
+        from repro.ir.opcodes import FUKind
+
+        before = [schedule.free_slots(c, FUKind.COPY) for c in range(6)]
+        planner.plan(2)
+        after = [schedule.free_slots(c, FUKind.COPY) for c in range(6)]
+        assert before == after
+
+
+class TestApplication:
+    def apply_plan(self, clusters=6):
+        ddg, schedule, planner = planner_setup(clusters=clusters)
+        schedule.place(0, 0, 0)
+        schedule.place(1, 0, 3)
+        plan = planner.plan(2)
+        registry = ChainRegistry()
+        chains = planner.apply(2, plan, registry)
+        return ddg, schedule, registry, chains, plan
+
+    def test_moves_inserted_and_scheduled(self):
+        ddg, schedule, registry, chains, plan = self.apply_plan()
+        for chain in chains:
+            for move_id in chain.move_ids:
+                assert ddg.op(move_id).opcode == OpCode.MOVE
+                assert schedule.is_scheduled(move_id)
+
+    def test_consumer_operand_rewired(self):
+        ddg, schedule, registry, chains, plan = self.apply_plan()
+        chain = chains[0]
+        consumer = ddg.op(2)
+        rewired = [s.producer for s in consumer.srcs]
+        assert chain.move_ids[-1] in rewired
+
+    def test_chain_is_ring_path(self):
+        ddg, schedule, registry, chains, plan = self.apply_plan()
+        chain = chains[0]
+        clusters = [schedule.cluster(m) for m in chain.move_ids]
+        assert tuple(clusters) == chain.path.intermediates
+
+    def test_registry_tracks_membership(self):
+        ddg, schedule, registry, chains, plan = self.apply_plan()
+        chain = chains[0]
+        assert registry.chain_of_move(chain.move_ids[0]) == chain
+        assert chain in registry.membership(chain.producer)
+        assert chain in registry.membership(2)
+
+    def test_dismantle_restores_graph(self):
+        ddg, schedule, registry, chains, plan = self.apply_plan()
+        chain = chains[0]
+        n_ops_before = len(ddg)
+        dismantle_chain(chain, schedule, registry)
+        assert len(ddg) == n_ops_before - chain.n_moves
+        consumer = ddg.op(2)
+        producers = sorted(s.producer for s in consumer.srcs)
+        assert producers == [0, 1]
+        assert registry.n_live == 0
+        for move_id in chain.move_ids:
+            assert move_id not in ddg
+
+
+class TestEndToEnd:
+    def test_forced_far_communication_uses_chains(self):
+        # Eight parallel loads combined pairwise across the ring: some
+        # adds must bridge indirectly connected clusters.
+        b = LoopBuilder("spread")
+        loads = [b.load(f"x{j}") for j in range(8)]
+        for j in range(4):
+            b.store(b.add(loads[j], loads[j + 4]), f"y{j}")
+        loop = b.build()
+        scheduler = DistributedModuloScheduler(clustered_vliw(8))
+        result = scheduler.schedule(loop.ddg.copy())
+        validate_schedule(result)
+        # Whatever the placement, the schedule must be communication-clean
+        # (checker verifies) and any chains must appear in the stats.
+        assert result.stats.strategy1 > 0
+
+    def test_surviving_moves_execute_on_copy_units(self):
+        b = LoopBuilder("spread2")
+        loads = [b.load(f"x{j}") for j in range(10)]
+        for j in range(5):
+            b.store(b.add(loads[j], loads[j + 5]), f"y{j}")
+        loop = b.build()
+        scheduler = DistributedModuloScheduler(clustered_vliw(10))
+        result = scheduler.schedule(loop.ddg.copy())
+        validate_schedule(result)
+        for op in result.ddg.operations():
+            if op.opcode == OpCode.MOVE:
+                placement = result.placements[op.op_id]
+                capacity = result.machine.fu_in_cluster(
+                    placement.cluster, op.fu_kind
+                )
+                assert capacity >= 1

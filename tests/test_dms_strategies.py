@@ -1,0 +1,113 @@
+"""Focused tests of DMS's strategy selection and cluster preference."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.ir import DEFAULT_LATENCIES, LoopBuilder, OpCode
+from repro.ir.transforms import single_use_ddg
+from repro.machine import ClusterSpec, MachineSpec, clustered_vliw
+from repro.scheduling import DistributedModuloScheduler, validate_schedule
+
+from .conftest import build_stream_loop
+
+
+class TestCapabilityFiltering:
+    def test_heterogeneous_clusters(self):
+        # Cluster 1 has no multiplier and no L/S: everything that needs
+        # them must land elsewhere, with communication still legal.
+        machine = MachineSpec(
+            name="hetero",
+            clusters=(
+                ClusterSpec(mem=1, alu=1, mul=1, copy=1),
+                ClusterSpec(mem=0, alu=2, mul=0, copy=1),
+                ClusterSpec(mem=1, alu=1, mul=1, copy=1),
+            ),
+        )
+        loop = build_stream_loop()
+        result = DistributedModuloScheduler(machine).schedule(loop.ddg.copy())
+        validate_schedule(result)
+        for op in result.ddg.operations():
+            placement = result.placements[op.op_id]
+            assert machine.fu_in_cluster(placement.cluster, op.fu_kind) >= 1
+
+    def test_mul_only_island(self):
+        # A machine where multipliers exist only on cluster 2.
+        machine = MachineSpec(
+            name="mul-island",
+            clusters=(
+                ClusterSpec(mem=2, alu=1, mul=0, copy=1),
+                ClusterSpec(mem=1, alu=2, mul=0, copy=1),
+                ClusterSpec(mem=0, alu=0, mul=2, copy=1),
+                ClusterSpec(mem=1, alu=1, mul=0, copy=1),
+            ),
+        )
+        loop = build_stream_loop()
+        result = DistributedModuloScheduler(machine).schedule(loop.ddg.copy())
+        validate_schedule(result)
+        muls = [
+            result.placements[op.op_id].cluster
+            for op in result.ddg.operations()
+            if op.opcode == OpCode.MUL
+        ]
+        assert set(muls) == {2}
+
+
+class TestStrategySelection:
+    def test_easy_loops_never_reach_strategy3(self):
+        loop = build_stream_loop()
+        result = DistributedModuloScheduler(clustered_vliw(4)).schedule(
+            loop.ddg.copy()
+        )
+        assert result.stats.strategy3 == 0
+
+    def test_strategy2_requires_no_compatible_cluster(self):
+        # A loop whose structure spreads producers far apart on a wide
+        # ring: chains appear; everything still validates.
+        b = LoopBuilder("wide_join")
+        loads = [b.load(f"x{j}") for j in range(12)]
+        for j in range(6):
+            b.store(b.add(loads[j], loads[j + 6]), f"y{j}")
+        loop = b.build()
+        result = DistributedModuloScheduler(clustered_vliw(12)).schedule(
+            loop.ddg.copy()
+        )
+        validate_schedule(result)
+        if result.stats.strategy2:
+            assert result.stats.chains_built >= 1
+
+    def test_strategy_counts_sum_to_placements(self):
+        loop = build_stream_loop()
+        result = DistributedModuloScheduler(clustered_vliw(4)).schedule(
+            loop.ddg.copy()
+        )
+        stats = result.stats
+        assert (
+            stats.strategy1 + stats.strategy2 + stats.strategy3
+            == stats.placements
+        )
+
+
+class TestDeterminismAcrossConfigs:
+    @pytest.mark.parametrize("clusters", [3, 5, 7])
+    def test_same_input_same_schedule(self, clusters):
+        loop = build_stream_loop()
+        first = DistributedModuloScheduler(clustered_vliw(clusters)).schedule(
+            loop.ddg.copy()
+        )
+        second = DistributedModuloScheduler(clustered_vliw(clusters)).schedule(
+            loop.ddg.copy()
+        )
+        assert first.placements == second.placements
+        assert first.stats.budget_used == second.stats.budget_used
+
+    def test_salt_changes_exploration_not_validity(self):
+        from repro.workloads import make_kernel
+
+        loop = make_kernel("complex_multiply")
+        ddg = single_use_ddg(loop.ddg)
+        for restarts in (1, 2, 5):
+            config = SchedulerConfig(restarts_per_ii=restarts)
+            result = DistributedModuloScheduler(
+                clustered_vliw(8), DEFAULT_LATENCIES, config
+            ).schedule(ddg.copy())
+            validate_schedule(result)

@@ -1,0 +1,101 @@
+"""Tests for the Gantt renderer and DOT export."""
+
+import pytest
+
+from repro.codegen import kernel_gantt, utilization_summary
+from repro.ir import ddg_to_dot
+from repro.ir.transforms import single_use_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+)
+from repro.workloads import make_kernel
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+@pytest.fixture(scope="module")
+def dms_result():
+    loop = make_kernel("fir_filter", taps=6)
+    return DistributedModuloScheduler(clustered_vliw(4)).schedule(
+        single_use_ddg(loop.ddg)
+    )
+
+
+class TestGantt:
+    def test_all_ops_present(self, dms_result):
+        chart = kernel_gantt(dms_result)
+        for op_id in dms_result.ddg.op_ids:
+            assert f"v{op_id}" in chart
+
+    def test_one_line_per_fu(self, dms_result):
+        chart = kernel_gantt(dms_result)
+        machine = dms_result.machine
+        fu_lines = [
+            line for line in chart.splitlines() if line.startswith("c")
+        ]
+        expected = sum(
+            machine.cluster(c).total_fus for c in range(machine.n_clusters)
+        )
+        assert len(fu_lines) == expected
+
+    def test_header_shows_ii(self, dms_result):
+        chart = kernel_gantt(dms_result)
+        assert f"II={dms_result.ii}" in chart
+
+    def test_utilization_summary(self, dms_result):
+        text = utilization_summary(dms_result)
+        assert "mem" in text and "%" in text
+
+    def test_unclustered_gantt(self):
+        result = IterativeModuloScheduler(unclustered_vliw(2)).schedule(
+            build_stream_loop().ddg.copy()
+        )
+        chart = kernel_gantt(result)
+        assert "c0.mem0" in chart
+        assert "c0.mem1" in chart
+
+
+class TestDot:
+    def test_nodes_and_edges_rendered(self):
+        loop = build_reduction_loop()
+        dot = ddg_to_dot(loop.ddg)
+        assert dot.startswith("digraph")
+        for op_id in loop.ddg.op_ids:
+            assert f"v{op_id} [" in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_loop_carried_edge_labelled(self):
+        loop = build_reduction_loop()
+        dot = ddg_to_dot(loop.ddg)
+        assert 'label="1"' in dot
+
+    def test_mem_edges_dashed(self):
+        from repro.ir import LoopBuilder
+
+        b = LoopBuilder("mem")
+        x = b.load("a")
+        st = b.store(x, "b")
+        ld = b.load("b")
+        b.store(ld, "c")
+        b.mem_dep(st, ld, latency=1)
+        dot = ddg_to_dot(b.build().ddg)
+        assert "style=dashed" in dot
+
+    def test_cluster_grouping(self, dms_result):
+        clusters = {
+            op_id: p.cluster for op_id, p in dms_result.placements.items()
+        }
+        dot = ddg_to_dot(dms_result.ddg, clusters)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_3" in dot
+
+    def test_quotes_escaped(self):
+        from repro.ir import LoopBuilder
+
+        b = LoopBuilder('with"quote')
+        b.load('x"y')
+        dot = ddg_to_dot(b.build().ddg)
+        assert r"\"" in dot

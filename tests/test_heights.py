@@ -1,0 +1,60 @@
+"""Tests for the height-based priority function."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir import DEFAULT_LATENCIES, LoopBuilder
+from repro.scheduling import compute_heights, priority_order
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+class TestHeights:
+    def test_sinks_have_height_zero(self):
+        loop = build_stream_loop()
+        heights = compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=4)
+        # The store feeds nothing.
+        assert heights[4] == 0
+
+    def test_height_accumulates_latency(self):
+        loop = build_stream_loop()  # ld(2) -> add(1) -> mul(3) -> st
+        heights = compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=4)
+        # store=0; mul = 0 + 3; add = mul + 1; load = add + 2.
+        assert heights[3] == 3
+        assert heights[2] == 4
+        assert heights[0] == 6
+
+    def test_loop_carried_edges_discounted(self):
+        loop = build_reduction_loop()
+        low = compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=10)
+        high = compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=2)
+        # Larger II discounts loop-carried paths more.
+        assert low[3] <= high[3]
+
+    def test_priority_order_sorts_by_height(self):
+        loop = build_stream_loop()
+        heights = compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=4)
+        order = priority_order(heights)
+        assert heights[order[0]] == max(heights.values())
+        assert heights[order[-1]] == min(heights.values())
+
+    def test_priority_ties_break_by_id(self):
+        loop = build_stream_loop()
+        heights = compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=4)
+        # Both loads have the same height; the smaller id comes first.
+        order = priority_order(heights)
+        assert order.index(0) < order.index(1)
+
+    def test_ii_below_rec_mii_detected(self):
+        b = LoopBuilder("tight")
+        s = b.placeholder()
+        nxt = b.mul(b.carried(s, 1), "r")  # RecMII = 3
+        b.bind(s, nxt)
+        loop = b.build()
+        with pytest.raises(SchedulingError):
+            compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=2)
+
+    def test_invalid_ii(self):
+        loop = build_stream_loop()
+        with pytest.raises(SchedulingError):
+            compute_heights(loop.ddg, DEFAULT_LATENCIES, ii=0)

@@ -1,0 +1,104 @@
+"""Tests for the IMS baseline scheduler."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.errors import SchedulingError
+from repro.ir import DDG, DEFAULT_LATENCIES, LoopBuilder
+from repro.machine import unclustered_vliw
+from repro.scheduling import IterativeModuloScheduler, validate_schedule
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def schedule(loop, k=1, config=None):
+    scheduler = IterativeModuloScheduler(
+        unclustered_vliw(k), DEFAULT_LATENCIES, config or SchedulerConfig()
+    )
+    return scheduler.schedule(loop.ddg.copy())
+
+
+class TestBasics:
+    def test_stream_achieves_mii(self):
+        result = schedule(build_stream_loop(), k=1)
+        assert result.ii == result.mii == 3  # 3 mem ops / 1 L/S unit
+        validate_schedule(result)
+
+    def test_wide_machine_achieves_ii_one(self):
+        result = schedule(build_stream_loop(), k=3)
+        assert result.ii == 1
+        validate_schedule(result)
+
+    def test_reduction_respects_recurrence(self):
+        result = schedule(build_reduction_loop(), k=4)
+        assert result.ii >= result.rec_mii
+        validate_schedule(result)
+
+    def test_empty_graph_rejected(self):
+        scheduler = IterativeModuloScheduler(unclustered_vliw(1))
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(DDG("empty"))
+
+    def test_result_metadata(self):
+        result = schedule(build_stream_loop())
+        assert result.scheduler == "ims"
+        assert result.loop_name == "stream"
+        assert result.stats.placements >= len(result.ddg)
+        assert set(result.placements) == set(result.ddg.op_ids)
+
+    def test_deterministic(self):
+        a = schedule(build_stream_loop())
+        b = schedule(build_stream_loop())
+        assert a.placements == b.placements
+        assert a.ii == b.ii
+
+
+class TestSchedulingQuality:
+    def test_dependence_chain_is_tight(self):
+        # A pure chain ld -> mul -> st should schedule at the latency sum.
+        b = LoopBuilder("chain")
+        x = b.load()
+        y = b.mul(x, "k")
+        b.store(y)
+        loop = b.build()
+        result = schedule(loop, k=1)
+        times = {i: p.time for i, p in result.placements.items()}
+        assert times[1] == times[0] + 2
+        assert times[2] == times[1] + 3
+
+    def test_saturated_mul_unit(self):
+        b = LoopBuilder("muls")
+        for j in range(5):
+            b.store(b.mul(b.load(), "k"))
+        loop = b.build()
+        result = schedule(loop, k=2)
+        # 10 mem ops / 2 units = 5 dominates 5 muls / 2 units = 3.
+        assert result.ii == 5
+        validate_schedule(result)
+
+    def test_backtracking_loop_schedules(self):
+        # Interlocking recurrences force ejections but must still settle.
+        b = LoopBuilder("inter")
+        s1 = b.placeholder()
+        s2 = b.placeholder()
+        a = b.add(b.carried(s1, 1), b.carried(s2, 1))
+        m = b.mul(a, "k")
+        n1 = b.add(m, "c1")
+        n2 = b.add(m, "c2")
+        b.bind(s1, n1)
+        b.bind(s2, n2)
+        loop = b.build()
+        result = schedule(loop, k=1)
+        validate_schedule(result)
+        assert result.ii >= result.rec_mii
+
+    def test_budget_exhaustion_raises_ii(self):
+        # With an absurdly small budget the first II fails but a later
+        # one (with more slack) succeeds.
+        tight = SchedulerConfig(budget_ratio=1)
+        result = schedule(build_stream_loop(), k=1, config=tight)
+        validate_schedule(result)
+
+    def test_ii_attempts_counted(self):
+        result = schedule(build_stream_loop(), k=1)
+        assert result.stats.ii_attempts >= 1

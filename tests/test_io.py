@@ -1,0 +1,59 @@
+"""Tests for run persistence (JSONL)."""
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    SweepConfig,
+    dump_runs,
+    figure4,
+    load_runs,
+    run_sweep,
+)
+from repro.workloads import perfect_club_surrogate
+
+
+@pytest.fixture(scope="module")
+def runs():
+    loops = perfect_club_surrogate(5, seed=8)
+    return run_sweep(loops, SweepConfig(cluster_counts=[1, 3]))
+
+
+class TestRoundtrip:
+    def test_dump_load_identity(self, runs, tmp_path):
+        path = os.path.join(tmp_path, "runs.jsonl")
+        dump_runs(runs, path)
+        loaded = load_runs(path)
+        assert loaded == runs
+
+    def test_figures_from_loaded_runs(self, runs, tmp_path):
+        path = os.path.join(tmp_path, "runs.jsonl")
+        dump_runs(runs, path)
+        original = figure4(runs)
+        recreated = figure4(load_runs(path))
+        assert original.series == recreated.series
+
+    def test_blank_lines_ignored(self, runs, tmp_path):
+        path = os.path.join(tmp_path, "runs.jsonl")
+        dump_runs(runs, path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert load_runs(path) == runs
+
+
+class TestErrors:
+    def test_invalid_json_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(ReproError):
+            load_runs(path)
+
+    def test_field_mismatch_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "mismatch.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"loop_name": "x"}\n')
+        with pytest.raises(ReproError):
+            load_runs(path)

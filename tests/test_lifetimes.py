@@ -1,0 +1,85 @@
+"""Tests for lifetime extraction and register pressure."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.ir import DEFAULT_LATENCIES, LoopBuilder, OpCode
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.machine.cqrf import CQRFId, LRFId
+from repro.registers import extract_lifetimes, register_pressure
+from repro.scheduling import DistributedModuloScheduler, IterativeModuloScheduler
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def ims_result(loop, k=2):
+    return IterativeModuloScheduler(unclustered_vliw(k)).schedule(loop.ddg.copy())
+
+
+def dms_result(loop, clusters=4):
+    return DistributedModuloScheduler(clustered_vliw(clusters)).schedule(
+        loop.ddg.copy()
+    )
+
+
+class TestExtraction:
+    def test_one_lifetime_per_internal_reference(self):
+        loop = build_stream_loop()  # v2=add(v0,v1), v3=mul(v2,k), v4=st(v3)
+        result = ims_result(loop)
+        lifetimes = extract_lifetimes(result)
+        assert len(lifetimes) == 4  # add reads 2, mul reads 1, store reads 1
+
+    def test_birth_death_ordering(self):
+        result = ims_result(build_stream_loop())
+        for lt in extract_lifetimes(result):
+            assert lt.death >= lt.birth
+            assert lt.duration == lt.death - lt.birth
+
+    def test_loop_carried_lifetime_spans_iterations(self):
+        loop = build_reduction_loop()
+        result = ims_result(loop)
+        carried = [
+            lt for lt in extract_lifetimes(result) if lt.omega == 1
+        ]
+        assert carried
+        for lt in carried:
+            assert lt.death == result.placements[lt.consumer].time + result.ii
+
+    def test_depth_counts_overlap(self):
+        # A value read D cycles after writing overlaps floor(D/II)+1 copies.
+        result = ims_result(build_stream_loop())
+        for lt in extract_lifetimes(result):
+            assert lt.depth == lt.duration // result.ii + 1
+            assert lt.depth >= 1
+
+    def test_file_routing(self):
+        result = dms_result(build_stream_loop())
+        for lt in extract_lifetimes(result):
+            file_id = lt.file_id
+            if lt.src_cluster == lt.dst_cluster:
+                assert isinstance(file_id, LRFId)
+            else:
+                assert isinstance(file_id, CQRFId)
+                assert file_id.writer == lt.src_cluster
+
+
+class TestRegisterPressure:
+    def test_pressure_positive(self):
+        result = ims_result(build_stream_loop())
+        assert register_pressure(result) >= 1
+
+    def test_pressure_grows_with_width(self):
+        # Wider machines overlap more iterations: MaxLive must not shrink.
+        loop = build_stream_loop()
+        narrow = register_pressure(ims_result(loop, k=1))
+        wide = register_pressure(ims_result(loop, k=3))
+        assert wide >= narrow or narrow - wide <= 1
+
+    def test_pressure_counts_live_values_not_refs(self):
+        b = LoopBuilder("twouse")
+        x = b.load()
+        b.store(b.add(x, "k1"), "a")
+        b.store(b.add(x, "k2"), "b")
+        loop = b.build()
+        result = ims_result(loop, k=2)
+        assert register_pressure(result) >= 1

@@ -1,0 +1,87 @@
+"""Tests for the linear-array topology extension."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir.transforms import single_use_ddg
+from repro.machine import LinearTopology, clustered_vliw
+from repro.scheduling import DistributedModuloScheduler, validate_schedule
+from repro.workloads import make_kernel
+
+from .conftest import build_stream_loop
+
+
+class TestDistances:
+    def test_no_wraparound(self):
+        linear = LinearTopology(8)
+        assert linear.distance(0, 7) == 7
+        assert linear.distance(3, 5) == 2
+
+    def test_end_clusters_have_one_neighbor(self):
+        linear = LinearTopology(5)
+        assert linear.neighbors(0) == (1,)
+        assert linear.neighbors(4) == (3,)
+        assert linear.neighbors(2) == (1, 3)
+
+    def test_single_path_between_pairs(self):
+        linear = LinearTopology(6)
+        paths = linear.paths(1, 4)
+        assert len(paths) == 1
+        assert paths[0].clusters == (1, 2, 3, 4)
+        assert linear.paths(4, 1)[0].clusters == (4, 3, 2, 1)
+
+    def test_trivial_path(self):
+        linear = LinearTopology(4)
+        assert linear.paths(2, 2)[0].clusters == (2,)
+
+    def test_wrong_direction_rejected(self):
+        linear = LinearTopology(4)
+        with pytest.raises(MachineError):
+            linear.path(0, 3, -1)
+
+    def test_directed_pairs_exclude_wraparound(self):
+        linear = LinearTopology(4)
+        machine = clustered_vliw(4, topology="linear")
+        ids = machine.cqrf_ids()
+        writers_readers = {(c.writer, c.reader) for c in ids}
+        assert (0, 3) not in writers_readers
+        assert (3, 0) not in writers_readers
+        assert (0, 1) in writers_readers
+
+
+class TestMachines:
+    def test_topology_kind_selects_class(self):
+        ring = clustered_vliw(6)
+        linear = clustered_vliw(6, topology="linear")
+        assert ring.topology.distance(0, 5) == 1
+        assert linear.topology.distance(0, 5) == 5
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(MachineError):
+            clustered_vliw(4, topology="torus")
+
+    def test_name_mentions_topology(self):
+        assert "linear" in clustered_vliw(4, topology="linear").name
+
+
+class TestScheduling:
+    @pytest.mark.parametrize("clusters", [2, 4, 6])
+    def test_dms_on_linear_array(self, clusters):
+        machine = clustered_vliw(clusters, topology="linear")
+        loop = build_stream_loop()
+        result = DistributedModuloScheduler(machine).schedule(loop.ddg.copy())
+        validate_schedule(result)
+
+    def test_chains_on_linear_array(self):
+        machine = clustered_vliw(6, topology="linear")
+        loop = make_kernel("fir_filter", taps=8)
+        result = DistributedModuloScheduler(machine).schedule(
+            single_use_ddg(loop.ddg)
+        )
+        validate_schedule(result)
+        # Every flow edge must satisfy the *linear* adjacency.
+        for edge in result.ddg.edges():
+            if edge.is_flow and edge.src != edge.dst:
+                src = result.placements[edge.src].cluster
+                dst = result.placements[edge.dst].cluster
+                assert abs(src - dst) <= 1

@@ -1,0 +1,47 @@
+"""Tests for the Loop container."""
+
+import pytest
+
+from repro.errors import DDGError
+from repro.ir import Loop
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+class TestMetadata:
+    def test_kernel_iterations(self):
+        loop = build_stream_loop(trip_count=100)
+        assert loop.kernel_iterations == 100
+        unrolled = loop.with_ddg(loop.ddg, unroll_factor=8)
+        assert unrolled.kernel_iterations == 13  # ceil(100 / 8)
+
+    def test_vectorizable_flag(self):
+        assert build_stream_loop().is_vectorizable
+        assert not build_reduction_loop().is_vectorizable
+
+    def test_invalid_trip_count(self):
+        loop = build_stream_loop()
+        with pytest.raises(DDGError):
+            Loop("bad", loop.ddg, trip_count=0)
+
+    def test_invalid_unroll_factor(self):
+        loop = build_stream_loop()
+        with pytest.raises(DDGError):
+            Loop("bad", loop.ddg, unroll_factor=0)
+
+    def test_with_ddg_preserves_fields(self):
+        loop = build_stream_loop(trip_count=77)
+        replaced = loop.with_ddg(loop.ddg.copy())
+        assert replaced.trip_count == 77
+        assert replaced.name == loop.name
+        assert replaced.unroll_factor == loop.unroll_factor
+
+    def test_origin_metadata(self):
+        loop = build_stream_loop()
+        assert isinstance(loop.origin, dict)
+
+    def test_n_ops(self):
+        assert build_stream_loop().n_ops == 5
+
+    def test_repr_mentions_name(self):
+        assert "stream" in repr(build_stream_loop())

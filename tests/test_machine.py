@@ -1,0 +1,124 @@
+"""Tests for machine descriptions and the paper presets."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir import FUKind
+from repro.machine import (
+    ClusterSpec,
+    PAPER_CLUSTER,
+    QueueFileSpec,
+    clustered_vliw,
+    paper_machine_pair,
+    unclustered_vliw,
+)
+from repro.machine.cqrf import CQRFId, LRFId, queue_file_for
+from repro.machine.fu import fu_name
+
+
+class TestClusterSpec:
+    def test_paper_cluster_shape(self):
+        assert PAPER_CLUSTER.mem == 1
+        assert PAPER_CLUSTER.alu == 1
+        assert PAPER_CLUSTER.mul == 1
+        assert PAPER_CLUSTER.copy == 1
+        assert PAPER_CLUSTER.useful_fus == 3
+        assert PAPER_CLUSTER.total_fus == 4
+
+    def test_fu_count_lookup(self):
+        spec = ClusterSpec(mem=2, alu=1, mul=3, copy=0)
+        assert spec.fu_count(FUKind.MEM) == 2
+        assert spec.fu_count(FUKind.MUL) == 3
+        assert spec.fu_count(FUKind.COPY) == 0
+
+    def test_iter_fus_order(self):
+        spec = ClusterSpec(mem=1, alu=2, mul=1, copy=1)
+        kinds = [kind for kind, _ in spec.iter_fus()]
+        assert kinds == [FUKind.MEM, FUKind.ALU, FUKind.ALU, FUKind.MUL, FUKind.COPY]
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(MachineError):
+            ClusterSpec(mem=0, alu=0, mul=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MachineError):
+            ClusterSpec(mem=-1)
+
+
+class TestMachines:
+    def test_clustered_preset(self):
+        machine = clustered_vliw(4)
+        assert machine.n_clusters == 4
+        assert machine.is_clustered
+        assert machine.useful_fus == 12
+        assert machine.fu_count(FUKind.COPY) == 4
+
+    def test_unclustered_preset(self):
+        machine = unclustered_vliw(4)
+        assert machine.n_clusters == 1
+        assert not machine.is_clustered
+        assert machine.useful_fus == 12
+        assert machine.fu_count(FUKind.COPY) == 0
+
+    def test_paper_pair_matches_fu_totals(self):
+        for k in range(1, 11):
+            clustered, unclustered = paper_machine_pair(k)
+            assert clustered.useful_fus == unclustered.useful_fus == 3 * k
+
+    def test_single_cluster_machine_is_not_clustered(self):
+        assert not clustered_vliw(1).is_clustered
+
+    def test_cqrf_ids(self):
+        machine = clustered_vliw(4)
+        ids = machine.cqrf_ids()
+        assert CQRFId(0, 1) in ids
+        assert CQRFId(1, 0) in ids
+        assert len(ids) == 8
+
+    def test_no_cqrfs_on_single_cluster(self):
+        assert clustered_vliw(1).cqrf_ids() == ()
+
+    def test_supports(self):
+        machine = unclustered_vliw(2)
+        assert machine.supports(FUKind.MEM)
+        assert not machine.supports(FUKind.COPY)
+
+    def test_describe_mentions_shape(self):
+        text = clustered_vliw(3).describe()
+        assert "3 cluster" in text
+        assert "9 useful FUs" in text
+
+    def test_invalid_sizes(self):
+        with pytest.raises(MachineError):
+            clustered_vliw(0)
+        with pytest.raises(MachineError):
+            unclustered_vliw(0)
+
+    def test_cluster_index_bounds(self):
+        machine = clustered_vliw(2)
+        with pytest.raises(MachineError):
+            machine.cluster(2)
+
+
+class TestQueueFiles:
+    def test_queue_file_routing(self):
+        assert queue_file_for(2, 2) == LRFId(2)
+        assert queue_file_for(1, 2) == CQRFId(1, 2)
+
+    def test_cqrf_needs_distinct_clusters(self):
+        with pytest.raises(MachineError):
+            CQRFId(3, 3)
+
+    def test_queue_spec_validation(self):
+        with pytest.raises(MachineError):
+            QueueFileSpec(n_queues=0)
+        with pytest.raises(MachineError):
+            QueueFileSpec(queue_depth=0)
+
+    def test_queue_spec_capacity(self):
+        assert QueueFileSpec(n_queues=8, queue_depth=4).capacity == 32
+
+    def test_names(self):
+        assert str(LRFId(1)) == "lrf[c1]"
+        assert str(CQRFId(0, 1)) == "cqrf[c0->c1]"
+        assert fu_name(2, FUKind.ALU, 0) == "c2.alu0"

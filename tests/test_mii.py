@@ -1,0 +1,135 @@
+"""Tests for the ResMII / RecMII lower bounds."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir import DEFAULT_LATENCIES, LatencyModel, LoopBuilder, OpCode
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import compute_mii, rec_mii, res_mii
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+class TestResMII:
+    def test_stream_on_wide_machine(self):
+        loop = build_stream_loop()  # 2 ld, 1 add, 1 mul, 1 st
+        assert res_mii(loop.ddg, unclustered_vliw(1)) == 3  # 3 mem ops / 1 unit
+        assert res_mii(loop.ddg, unclustered_vliw(3)) == 1
+
+    def test_counts_cluster_totals(self):
+        loop = build_stream_loop()
+        assert res_mii(loop.ddg, clustered_vliw(3)) == 1
+
+    def test_copy_ops_count_against_copy_units(self):
+        loop = build_stream_loop()
+        ddg = loop.ddg.copy()
+        from repro.ir import use
+
+        for _ in range(5):
+            ddg.new_operation(OpCode.COPY, (use(0),))
+        # 5 copies on 2 copy units -> bound 3.
+        assert res_mii(ddg, clustered_vliw(2)) == 3
+
+    def test_missing_unit_kind_rejected(self):
+        loop = build_stream_loop()
+        ddg = loop.ddg.copy()
+        from repro.ir import use
+
+        ddg.new_operation(OpCode.COPY, (use(0),))
+        with pytest.raises(SchedulingError):
+            res_mii(ddg, unclustered_vliw(2))  # no copy FU
+
+
+class TestRecMII:
+    def test_stream_has_rec_mii_one(self):
+        loop = build_stream_loop()
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 1
+
+    def test_simple_accumulator(self):
+        loop = build_reduction_loop()
+        # add latency 1, omega 1 -> RecMII 1.
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 1
+
+    def test_long_latency_recurrence(self):
+        b = LoopBuilder("mulrec")
+        s = b.placeholder()
+        nxt = b.mul(b.carried(s, 1), "r")
+        b.bind(s, nxt)
+        loop = b.build()
+        # mul latency 3, omega 1.
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 3
+
+    def test_distance_divides_the_bound(self):
+        b = LoopBuilder("d2")
+        s = b.placeholder()
+        nxt = b.mul(b.carried(s, 2), "r")
+        b.bind(s, nxt)
+        loop = b.build()
+        # latency 3 over distance 2 -> ceil(3/2) = 2.
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 2
+
+    def test_two_op_circuit(self):
+        b = LoopBuilder("two")
+        s = b.placeholder()
+        m = b.mul(b.carried(s, 1), "a")  # 3 cycles
+        nxt = b.add(m, "b")  # 1 cycle
+        b.bind(s, nxt)
+        loop = b.build()
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 4
+
+    def test_latency_model_matters(self):
+        b = LoopBuilder("lat")
+        s = b.placeholder()
+        nxt = b.mul(b.carried(s, 1), "r")
+        b.bind(s, nxt)
+        loop = b.build()
+        assert rec_mii(loop.ddg, LatencyModel(mul=7)) == 7
+
+    def test_max_over_circuits(self):
+        b = LoopBuilder("multi")
+        s1 = b.placeholder()
+        n1 = b.add(b.carried(s1, 1), "a")  # RecMII 1
+        b.bind(s1, n1)
+        s2 = b.placeholder()
+        n2 = b.div(b.carried(s2, 1), "b")  # RecMII 8
+        b.bind(s2, n2)
+        loop = b.build()
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 8
+
+    def test_scaled_variant_monotone(self):
+        loop = build_reduction_loop()
+        values = [rec_mii(loop.ddg, DEFAULT_LATENCIES, unroll=u) for u in (1, 2, 4)]
+        assert values == sorted(values)
+
+    def test_invalid_unroll(self):
+        loop = build_reduction_loop()
+        with pytest.raises(SchedulingError):
+            rec_mii(loop.ddg, DEFAULT_LATENCIES, unroll=0)
+
+    def test_mem_edges_participate(self):
+        b = LoopBuilder("memrec")
+        x = b.load("a[i]")
+        st = b.store(x, "a[i+1]")
+        b.mem_dep(st, x, omega=1, latency=1)
+        loop = b.build()
+        # Circuit: load(2) -> store, store -(mem,1)-> load: ceil(3/1) = 3.
+        assert rec_mii(loop.ddg, DEFAULT_LATENCIES) == 3
+
+
+class TestCombined:
+    def test_mii_is_max_of_bounds(self):
+        loop = build_reduction_loop()
+        result = compute_mii(loop.ddg, unclustered_vliw(1), DEFAULT_LATENCIES)
+        assert result.mii == max(result.res_mii, result.rec_mii)
+        assert result.res_mii == 2  # 2 mem ops on 1 unit
+        assert result.rec_mii == 1
+
+    def test_wide_machine_exposes_recurrence_bound(self):
+        b = LoopBuilder("recbound")
+        x = b.load()
+        s = b.placeholder()
+        nxt = b.mul(b.carried(s, 1), x)
+        b.bind(s, nxt)
+        loop = b.build()
+        result = compute_mii(loop.ddg, unclustered_vliw(8), DEFAULT_LATENCIES)
+        assert result.mii == result.rec_mii == 3

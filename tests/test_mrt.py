@@ -1,0 +1,90 @@
+"""Tests for the modulo reservation table."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir import FUKind
+from repro.machine import ClusterSpec, clustered_vliw, unclustered_vliw
+from repro.scheduling import ModuloReservationTable
+
+
+def mrt(ii=4, clusters=2):
+    return ModuloReservationTable(clustered_vliw(clusters), ii)
+
+
+class TestBasics:
+    def test_row_wraps_modulo_ii(self):
+        table = mrt(ii=3)
+        assert table.row(0) == 0
+        assert table.row(3) == 0
+        assert table.row(7) == 1
+
+    def test_place_and_occupants(self):
+        table = mrt()
+        table.place(7, 0, FUKind.ALU, 2)
+        assert table.occupants(0, FUKind.ALU, 2) == (7,)
+        assert table.occupants(0, FUKind.ALU, 6) == (7,)  # same row
+        assert table.occupants(1, FUKind.ALU, 2) == ()
+
+    def test_capacity_enforced(self):
+        table = mrt()
+        table.place(1, 0, FUKind.MEM, 0)
+        assert not table.is_free(0, FUKind.MEM, 0)
+        with pytest.raises(SchedulingError):
+            table.place(2, 0, FUKind.MEM, 4)  # row 0 again
+
+    def test_multi_unit_capacity(self):
+        machine = unclustered_vliw(3)
+        table = ModuloReservationTable(machine, 2)
+        for op_id in range(3):
+            table.place(op_id, 0, FUKind.MEM, 0)
+        assert not table.is_free(0, FUKind.MEM, 0)
+        assert table.is_free(0, FUKind.MEM, 1)
+
+    def test_remove_releases_slot(self):
+        table = mrt()
+        table.place(9, 1, FUKind.MUL, 5)
+        table.remove(9, 1, FUKind.MUL, 5)
+        assert table.is_free(1, FUKind.MUL, 5)
+
+    def test_remove_unknown_rejected(self):
+        table = mrt()
+        with pytest.raises(SchedulingError):
+            table.remove(1, 0, FUKind.ALU, 0)
+
+    def test_invalid_ii(self):
+        with pytest.raises(SchedulingError):
+            ModuloReservationTable(clustered_vliw(1), 0)
+
+
+class TestAccounting:
+    def test_free_slots(self):
+        table = mrt(ii=4)
+        assert table.free_slots(0, FUKind.COPY) == 4
+        table.place(1, 0, FUKind.COPY, 1)
+        assert table.free_slots(0, FUKind.COPY) == 3
+        assert table.free_slots(1, FUKind.COPY) == 4
+
+    def test_used_slots_tracks_removal(self):
+        table = mrt(ii=4)
+        table.place(1, 0, FUKind.ALU, 0)
+        table.place(2, 0, FUKind.ALU, 1)
+        assert table.used_slots(0, FUKind.ALU) == 2
+        table.remove(1, 0, FUKind.ALU, 0)
+        assert table.used_slots(0, FUKind.ALU) == 1
+
+    def test_utilization(self):
+        table = mrt(ii=4)
+        table.place(1, 0, FUKind.MEM, 0)
+        table.place(2, 0, FUKind.MEM, 1)
+        assert table.utilization(0, FUKind.MEM) == pytest.approx(0.5)
+
+    def test_utilization_of_absent_kind_is_zero(self):
+        machine = unclustered_vliw(1)  # no copy units
+        table = ModuloReservationTable(machine, 3)
+        assert table.utilization(0, FUKind.COPY) == 0.0
+
+    def test_zero_capacity_never_free(self):
+        machine = unclustered_vliw(1)
+        table = ModuloReservationTable(machine, 3)
+        assert not table.is_free(0, FUKind.COPY, 0)

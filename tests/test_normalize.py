@@ -1,0 +1,92 @@
+"""Tests for DDG normalisation (dead ops, renumbering, stats)."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir import LoopBuilder, OpCode
+from repro.ir.transforms import (
+    ddg_stats,
+    live_roots,
+    remove_dead_ops,
+    renumber,
+)
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def loop_with_dead_code():
+    b = LoopBuilder("dead")
+    x = b.load("x")
+    y = b.load("y")
+    b.store(b.add(x, "k"), "out")
+    b.mul(y, "c")  # feeds nothing
+    return b.build()
+
+
+class TestDeadCode:
+    def test_unused_chain_removed(self):
+        loop = loop_with_dead_code()
+        cleaned = remove_dead_ops(loop.ddg)
+        opcodes = [op.opcode for op in cleaned.operations()]
+        assert OpCode.MUL not in opcodes
+        # The dead multiply's load is also dead.
+        assert opcodes.count(OpCode.LOAD) == 1
+
+    def test_recurrences_are_roots(self):
+        loop = build_reduction_loop()
+        cleaned = remove_dead_ops(loop.ddg)
+        # The accumulator has no store, but it is a recurrence: kept.
+        assert len(cleaned) == len(loop.ddg)
+
+    def test_custom_roots(self):
+        loop = loop_with_dead_code()
+        cleaned = remove_dead_ops(loop.ddg, roots=set(loop.ddg.op_ids))
+        assert len(cleaned) == len(loop.ddg)
+
+    def test_unknown_roots_rejected(self):
+        loop = build_stream_loop()
+        with pytest.raises(TransformError):
+            remove_dead_ops(loop.ddg, roots={99})
+
+    def test_live_roots_contents(self):
+        loop = build_reduction_loop()
+        roots = live_roots(loop.ddg)
+        assert roots  # the accumulator circuit
+        loop2 = build_stream_loop()
+        roots2 = live_roots(loop2.ddg)
+        stores = {
+            op.op_id
+            for op in loop2.ddg.operations()
+            if op.opcode == OpCode.STORE
+        }
+        assert stores <= roots2
+
+
+class TestRenumber:
+    def test_ids_compacted(self):
+        loop = loop_with_dead_code()
+        cleaned = remove_dead_ops(loop.ddg)
+        renumbered, mapping = renumber(cleaned)
+        assert renumbered.op_ids == list(range(len(cleaned)))
+        assert set(mapping) == set(cleaned.op_ids)
+
+    def test_structure_preserved(self):
+        loop = build_reduction_loop()
+        renumbered, _mapping = renumber(loop.ddg)
+        renumbered.validate()
+        assert renumbered.has_recurrence()
+        assert len(renumbered) == len(loop.ddg)
+
+
+class TestStats:
+    def test_stream_stats(self):
+        stats = ddg_stats(build_stream_loop().ddg)
+        assert stats.n_ops == 5
+        assert not stats.has_recurrence
+        assert stats.largest_scc == 0
+
+    def test_reduction_stats(self):
+        stats = ddg_stats(build_reduction_loop().ddg)
+        assert stats.has_recurrence
+        assert stats.n_recurrences == 1
+        assert stats.largest_scc == 1

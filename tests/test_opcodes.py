@@ -1,0 +1,86 @@
+"""Tests for opcode classification and the latency model."""
+
+import pytest
+
+from repro.ir.opcodes import (
+    DEFAULT_LATENCIES,
+    FUKind,
+    LatencyModel,
+    OpCode,
+    USEFUL_FU_KINDS,
+    fu_kind_of,
+    is_useful,
+    produces_value,
+)
+
+
+class TestFUClassification:
+    def test_memory_ops_use_mem_unit(self):
+        assert fu_kind_of(OpCode.LOAD) == FUKind.MEM
+        assert fu_kind_of(OpCode.STORE) == FUKind.MEM
+
+    def test_arithmetic_ops_use_alu(self):
+        for opcode in (OpCode.ADD, OpCode.SUB, OpCode.CMP, OpCode.MIN, OpCode.MAX):
+            assert fu_kind_of(opcode) == FUKind.ALU
+
+    def test_multiplier_ops(self):
+        for opcode in (OpCode.MUL, OpCode.DIV, OpCode.SQRT):
+            assert fu_kind_of(opcode) == FUKind.MUL
+
+    def test_copy_ops_use_copy_unit(self):
+        assert fu_kind_of(OpCode.COPY) == FUKind.COPY
+        assert fu_kind_of(OpCode.MOVE) == FUKind.COPY
+
+    def test_every_opcode_is_classified(self):
+        for opcode in OpCode:
+            assert fu_kind_of(opcode) in FUKind
+
+    def test_useful_fu_kinds_exclude_copy(self):
+        assert FUKind.COPY not in USEFUL_FU_KINDS
+        assert len(USEFUL_FU_KINDS) == 3
+
+
+class TestUsefulness:
+    def test_copy_and_move_are_not_useful(self):
+        # The paper excludes copy/move work from performance figures.
+        assert not is_useful(OpCode.COPY)
+        assert not is_useful(OpCode.MOVE)
+
+    def test_computation_is_useful(self):
+        assert is_useful(OpCode.LOAD)
+        assert is_useful(OpCode.ADD)
+        assert is_useful(OpCode.MUL)
+
+    def test_store_produces_no_value(self):
+        assert not produces_value(OpCode.STORE)
+        assert produces_value(OpCode.LOAD)
+        assert produces_value(OpCode.COPY)
+
+
+class TestLatencyModel:
+    def test_default_latencies_are_positive(self):
+        for opcode in OpCode:
+            assert DEFAULT_LATENCIES.latency(opcode) >= 1
+
+    def test_defaults_match_documented_profile(self):
+        assert DEFAULT_LATENCIES[OpCode.LOAD] == 2
+        assert DEFAULT_LATENCIES[OpCode.ADD] == 1
+        assert DEFAULT_LATENCIES[OpCode.MUL] == 3
+        assert DEFAULT_LATENCIES[OpCode.DIV] == 8
+
+    def test_custom_profile(self):
+        model = LatencyModel(load=4, mul=5)
+        assert model[OpCode.LOAD] == 4
+        assert model[OpCode.MUL] == 5
+        assert model[OpCode.ADD] == 1  # unchanged default
+
+    def test_alu_ops_share_alu_latency(self):
+        model = LatencyModel(alu=2)
+        for opcode in (OpCode.ADD, OpCode.SUB, OpCode.SELECT, OpCode.ABS):
+            assert model[opcode] == 2
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(load=0)
+        with pytest.raises(ValueError):
+            LatencyModel(mul=-1)

@@ -1,0 +1,90 @@
+"""Tests for queue allocation."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.ir import DEFAULT_LATENCIES
+from repro.ir.transforms import single_use_ddg
+from repro.machine import ClusterSpec, QueueFileSpec, clustered_vliw
+from repro.machine.cqrf import CQRFId, LRFId
+from repro.registers import allocate_queues
+from repro.scheduling import DistributedModuloScheduler
+
+from .conftest import build_fanout_loop, build_stream_loop
+
+
+def allocation_for(loop, clusters=4, cluster_spec=None, transform=False):
+    machine = clustered_vliw(clusters, cluster=cluster_spec or ClusterSpec())
+    ddg = single_use_ddg(loop.ddg) if transform else loop.ddg.copy()
+    result = DistributedModuloScheduler(machine).schedule(ddg)
+    return allocate_queues(result), result
+
+
+class TestAllocation:
+    def test_every_lifetime_assigned(self):
+        allocation, result = allocation_for(build_stream_loop())
+        refs = sum(
+            len(op.internal_srcs) for op in result.ddg.operations()
+        )
+        assert len(allocation.assignments) == refs
+
+    def test_queue_indexes_unique_per_file(self):
+        allocation, _ = allocation_for(build_fanout_loop(6), transform=True)
+        seen = set()
+        for assignment in allocation.assignments:
+            key = (str(assignment.file_id), assignment.queue_index)
+            assert key not in seen
+            seen.add(key)
+
+    def test_fits_generous_hardware(self):
+        allocation, _ = allocation_for(build_stream_loop())
+        assert allocation.fits
+        allocation.raise_if_overflow()
+
+    def test_overflow_detected(self):
+        tiny = ClusterSpec(lrf=QueueFileSpec(n_queues=1, queue_depth=1))
+        machine = clustered_vliw(1, cluster=tiny)
+        result = DistributedModuloScheduler(machine).schedule(
+            build_stream_loop().ddg.copy()
+        )
+        allocation = allocate_queues(result)
+        assert not allocation.fits
+        with pytest.raises(AllocationError):
+            allocation.raise_if_overflow()
+
+    def test_file_usage_totals(self):
+        allocation, _ = allocation_for(build_fanout_loop(8), transform=True)
+        for usage in allocation.files:
+            assert usage.queues_used >= 1
+            assert usage.max_depth >= 1
+            assert usage.total_values >= usage.queues_used
+
+    def test_lookup_by_lifetime(self):
+        allocation, result = allocation_for(build_stream_loop())
+        table = allocation.by_lifetime()
+        for assignment in allocation.assignments:
+            lt = assignment.lifetime
+            assert table[(lt.producer, lt.consumer, lt.operand_index)] == assignment
+
+    def test_label_format(self):
+        allocation, _ = allocation_for(build_stream_loop())
+        labels = {a.label for a in allocation.assignments}
+        assert all(":q" in label for label in labels)
+
+
+class TestCrossClusterRouting:
+    def test_cqrf_files_used_only_for_adjacent_pairs(self):
+        allocation, result = allocation_for(build_fanout_loop(8), clusters=6, transform=True)
+        topology = result.machine.topology
+        for usage in allocation.files:
+            if isinstance(usage.file_id, CQRFId):
+                assert topology.adjacent(usage.file_id.writer, usage.file_id.reader)
+
+    def test_total_queue_accounting(self):
+        allocation, _ = allocation_for(build_stream_loop())
+        assert allocation.total_queues == sum(
+            f.queues_used for f in allocation.files
+        )
+        assert allocation.max_queue_depth == max(
+            f.max_depth for f in allocation.files
+        )

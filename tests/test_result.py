@@ -1,0 +1,63 @@
+"""Tests for schedule results, stats and derived metrics."""
+
+import pytest
+
+from repro.ir import DEFAULT_LATENCIES
+from repro.machine import unclustered_vliw
+from repro.scheduling import IterativeModuloScheduler, SchedulerStats
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def result_for(loop, k=1):
+    return IterativeModuloScheduler(unclustered_vliw(k)).schedule(loop.ddg.copy())
+
+
+class TestScheduleResult:
+    def test_cycle_model(self):
+        result = result_for(build_stream_loop())
+        sc, ii = result.stage_count, result.ii
+        assert result.cycles(1) == sc * ii
+        assert result.cycles(10) == (10 + sc - 1) * ii
+
+    def test_cycles_requires_positive_iterations(self):
+        result = result_for(build_stream_loop())
+        with pytest.raises(ValueError):
+            result.cycles(0)
+
+    def test_ipc_converges_to_ops_over_ii(self):
+        result = result_for(build_stream_loop())
+        asymptotic = result.n_useful_ops / result.ii
+        assert result.ipc(10_000) == pytest.approx(asymptotic, rel=0.01)
+        assert result.ipc(1) < asymptotic
+
+    def test_ii_overhead(self):
+        result = result_for(build_stream_loop())
+        assert result.ii_overhead == result.ii - result.mii
+
+    def test_stage_count_definition(self):
+        result = result_for(build_reduction_loop())
+        assert result.stage_count == result.max_time // result.ii + 1
+
+    def test_useful_instances(self):
+        result = result_for(build_stream_loop())
+        assert result.useful_instances(7) == 7 * result.n_useful_ops
+
+
+class TestSchedulerStats:
+    def test_total_ejections_sums_causes(self):
+        stats = SchedulerStats(
+            ejections_resource=2,
+            ejections_dependence=3,
+            ejections_communication=4,
+            ejections_chain=1,
+        )
+        assert stats.total_ejections == 10
+
+    def test_merge_accumulates(self):
+        a = SchedulerStats(placements=5, strategy1=2)
+        b = SchedulerStats(placements=7, strategy2=3)
+        a.merge(b)
+        assert a.placements == 12
+        assert a.strategy1 == 2
+        assert a.strategy2 == 3

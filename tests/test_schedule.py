@@ -1,0 +1,154 @@
+"""Tests for the partial schedule and its conflict queries."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir import DEFAULT_LATENCIES, LoopBuilder
+from repro.machine import clustered_vliw
+from repro.scheduling import PartialSchedule
+
+from .conftest import build_stream_loop
+
+
+def make_schedule(loop=None, ii=4, clusters=4):
+    loop = loop or build_stream_loop()
+    return PartialSchedule(loop.ddg.copy(), clustered_vliw(clusters), ii, DEFAULT_LATENCIES)
+
+
+class TestPlacement:
+    def test_place_remove_roundtrip(self):
+        schedule = make_schedule()
+        schedule.place(0, 3, 1)
+        assert schedule.is_scheduled(0)
+        assert schedule.time(0) == 3
+        assert schedule.cluster(0) == 1
+        placement = schedule.remove(0)
+        assert placement.time == 3
+        assert not schedule.is_scheduled(0)
+
+    def test_double_place_rejected(self):
+        schedule = make_schedule()
+        schedule.place(0, 0, 0)
+        with pytest.raises(SchedulingError):
+            schedule.place(0, 1, 1)
+
+    def test_remove_unscheduled_rejected(self):
+        schedule = make_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.remove(0)
+
+    def test_negative_time_rejected(self):
+        schedule = make_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.place(0, -1, 0)
+
+    def test_mrt_follows_placements(self):
+        schedule = make_schedule(ii=2)
+        schedule.place(0, 0, 0)  # load on c0 mem
+        assert not schedule.mrt.is_free(0, schedule.ddg.op(0).fu_kind, 0)
+        schedule.remove(0)
+        assert schedule.mrt.is_free(0, schedule.ddg.op(0).fu_kind, 0)
+
+
+class TestTimingQueries:
+    def test_earliest_start_from_scheduled_preds(self):
+        # stream: v0=load, v1=load, v2=add(v0,v1), v3=mul, v4=store
+        schedule = make_schedule(ii=4)
+        schedule.place(0, 0, 0)
+        # load latency 2 -> add can start at 2.
+        assert schedule.earliest_start(2) == 2
+        schedule.place(1, 3, 1)
+        assert schedule.earliest_start(2) == 5
+
+    def test_earliest_start_ignores_unscheduled(self):
+        schedule = make_schedule()
+        assert schedule.earliest_start(2) == 0
+
+    def test_earliest_start_discounts_loop_carried(self):
+        b = LoopBuilder("carried")
+        x = b.load()
+        y = b.add(b.carried(x, 2), "k")
+        b.store(y)
+        loop = b.build()
+        schedule = PartialSchedule(
+            loop.ddg.copy(), clustered_vliw(2), 4, DEFAULT_LATENCIES
+        )
+        schedule.place(0, 5, 0)
+        # 5 + 2 - 4*2 < 0 -> clamps at 0 via max with other edges.
+        assert schedule.earliest_start(1) == 0
+
+    def test_succ_violations(self):
+        schedule = make_schedule(ii=4)
+        schedule.place(2, 3, 0)  # the add issued at 3
+        # Load latency is 2: issuing the load at 3 pushes the add to >= 5.
+        assert schedule.succ_violations(0, 3) == [2]
+        # At time 1 the add's start (1 + 2 = 3) is still honoured.
+        assert schedule.succ_violations(0, 1) == []
+
+
+class TestCommunicationQueries:
+    def test_conflicts_with_far_predecessor(self):
+        schedule = make_schedule(clusters=6)
+        schedule.place(0, 0, 0)  # producer on cluster 0
+        assert schedule.comm_conflicts(2, 3) == [0]
+        assert schedule.comm_conflicts(2, 1) == []
+
+    def test_conflicts_with_far_successor(self):
+        schedule = make_schedule(clusters=6)
+        schedule.place(2, 5, 3)  # the add (consumer of load 0)
+        assert schedule.comm_conflicts(0, 0) == [2]
+        assert schedule.comm_conflicts(0, 2) == []
+
+    def test_compatible_clusters(self):
+        schedule = make_schedule(clusters=6)
+        schedule.place(0, 0, 0)
+        assert schedule.comm_compatible_clusters(2) == [0, 1, 5]
+
+    def test_everything_compatible_when_no_partners(self):
+        schedule = make_schedule(clusters=5)
+        assert schedule.comm_compatible_clusters(2) == list(range(5))
+
+    def test_small_rings_never_conflict(self):
+        for clusters in (1, 2, 3):
+            schedule = make_schedule(clusters=clusters)
+            schedule.place(0, 0, 0)
+            assert schedule.comm_compatible_clusters(2) == list(range(clusters))
+
+    def test_mem_edges_do_not_communicate(self):
+        b = LoopBuilder("mem")
+        x = b.load("a")
+        st = b.store(x, "b")
+        ld = b.load("b")
+        b.store(ld, "c")
+        b.mem_dep(st, ld, omega=0, latency=1)
+        loop = b.build()
+        schedule = PartialSchedule(
+            loop.ddg.copy(), clustered_vliw(6), 4, DEFAULT_LATENCIES
+        )
+        schedule.place(st.op_id, 4, 0)
+        # The dependent load may sit anywhere: memory is shared.
+        assert schedule.comm_conflicts(ld.op_id, 3) == []
+
+    def test_scheduled_flow_partner_lists(self):
+        schedule = make_schedule(clusters=4)
+        schedule.place(0, 0, 0)
+        schedule.place(4, 9, 1)  # store, consumer of mul 3
+        assert schedule.scheduled_flow_preds(2) == [(0, 0)]
+        assert schedule.scheduled_flow_succs(3) == [4]
+
+
+class TestShape:
+    def test_stage_count(self):
+        schedule = make_schedule(ii=3)
+        schedule.place(0, 0, 0)
+        assert schedule.stage_count == 1
+        schedule.place(1, 7, 1)
+        assert schedule.max_time == 7
+        assert schedule.stage_count == 3
+
+    def test_free_slots_passthrough(self):
+        schedule = make_schedule(ii=5)
+        kind = schedule.ddg.op(0).fu_kind
+        before = schedule.free_slots(0, kind)
+        schedule.place(0, 0, 0)
+        assert schedule.free_slots(0, kind) == before - 1

@@ -1,0 +1,31 @@
+"""Tests for the latency-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import LATENCY_PROFILES, latency_sensitivity
+from repro.workloads import perfect_club_surrogate
+
+
+class TestProfiles:
+    def test_profiles_registered(self):
+        assert "default" in LATENCY_PROFILES
+        assert "unit_latency" in LATENCY_PROFILES
+        assert len(LATENCY_PROFILES) >= 3
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        loops = perfect_club_surrogate(6, seed=17)
+        return latency_sensitivity(loops, cluster_counts=(2, 6))
+
+    def test_series_per_profile(self, figure):
+        assert set(figure.series) == set(LATENCY_PROFILES)
+
+    def test_small_rings_stay_clean_under_all_profiles(self, figure):
+        for name in LATENCY_PROFILES:
+            assert figure.series_value(name, 2.0) <= 20.0
+
+    def test_values_are_percentages(self, figure):
+        for values in figure.series.values():
+            assert all(0.0 <= v <= 100.0 for v in values)

@@ -1,0 +1,148 @@
+"""Tests for the cycle-accurate validation simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import DEFAULT_LATENCIES, LoopBuilder
+from repro.ir.transforms import single_use_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+)
+from repro.scheduling.result import ScheduleResult
+from repro.scheduling.schedule import Placement
+from repro.simulator import collect_trace, simulate
+from repro.workloads import make_kernel
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def ims_result(loop, k=2):
+    return IterativeModuloScheduler(unclustered_vliw(k)).schedule(loop.ddg.copy())
+
+
+def dms_result(loop, clusters=4, transform=False):
+    ddg = single_use_ddg(loop.ddg) if transform else loop.ddg.copy()
+    return DistributedModuloScheduler(clustered_vliw(clusters)).schedule(ddg)
+
+
+class TestExecution:
+    def test_cycle_model_agrees_with_span(self):
+        result = ims_result(build_stream_loop())
+        for iterations in (1, 3, 10, 50):
+            report = simulate(result, iterations)
+            assert report.ok
+            # The analytic ramp model and the measured makespan agree to
+            # within one (drain) latency.
+            assert report.cycles_span <= report.cycles_model + 8
+            assert report.cycles_model >= report.cycles_span - 8
+
+    def test_issue_counts(self):
+        loop = build_stream_loop()
+        result = ims_result(loop)
+        report = simulate(result, 10)
+        assert report.issued_total == 10 * loop.n_ops
+        assert report.issued_useful == 10 * loop.n_ops  # no copies/moves
+
+    def test_useful_excludes_moves_and_copies(self):
+        loop = make_kernel("fir_filter", taps=6)
+        result = dms_result(loop, clusters=6, transform=True)
+        report = simulate(result, 8)
+        assert report.issued_total > report.issued_useful
+
+    def test_recurrence_streams_seeded(self):
+        result = ims_result(build_reduction_loop())
+        report = simulate(result, 20)
+        assert report.ok
+
+    def test_clustered_schedule_passes_fifo_checks(self):
+        loop = make_kernel("iir_biquad")
+        result = dms_result(loop, clusters=5, transform=True)
+        report = simulate(result, 16)
+        assert report.ok
+        assert report.max_queue_occupancy >= 1
+
+    def test_ipc_model_matches_result(self):
+        loop = build_stream_loop()
+        result = ims_result(loop)
+        iterations = 25
+        report = simulate(result, iterations)
+        assert report.ipc_model == pytest.approx(result.ipc(iterations))
+
+    def test_invalid_iterations(self):
+        result = ims_result(build_stream_loop())
+        with pytest.raises(SimulationError):
+            simulate(result, 0)
+
+
+class TestViolationDetection:
+    def test_broken_dependence_caught(self):
+        result = ims_result(build_stream_loop())
+        placements = dict(result.placements)
+        placements[2] = Placement(0, 0)  # add before its loads complete
+        broken = ScheduleResult(
+            **{**result.__dict__, "placements": placements}
+        )
+        with pytest.raises(SimulationError):
+            simulate(broken, 4)
+
+    def test_non_strict_reports_instead(self):
+        result = ims_result(build_stream_loop())
+        placements = dict(result.placements)
+        placements[2] = Placement(0, 0)
+        broken = ScheduleResult(
+            **{**result.__dict__, "placements": placements}
+        )
+        report = simulate(broken, 4, strict=False)
+        assert not report.ok
+        assert report.problems
+
+    def test_resource_overflow_caught(self):
+        result = ims_result(build_stream_loop())
+        placements = dict(result.placements)
+        p0 = placements[0]
+        placements[1] = Placement(p0.time, p0.cluster)
+        placements[4] = Placement(p0.time, p0.cluster)
+        broken = ScheduleResult(
+            **{**result.__dict__, "placements": placements}
+        )
+        report = simulate(broken, 2, strict=False)
+        assert any("issues on cluster" in p for p in report.problems)
+
+
+class TestUtilization:
+    def test_fu_busy_accounting(self):
+        loop = build_stream_loop()
+        result = ims_result(loop)
+        report = simulate(result, 10)
+        from repro.ir import FUKind
+
+        assert report.fu_busy[FUKind.MEM] == 30  # 3 mem ops x 10 iterations
+        assert report.fu_busy[FUKind.ALU] == 10
+        assert report.fu_busy[FUKind.MUL] == 10
+
+    def test_utilization_bounded(self):
+        result = ims_result(build_stream_loop())
+        report = simulate(result, 10)
+        from repro.ir import FUKind
+
+        for kind in (FUKind.MEM, FUKind.ALU, FUKind.MUL):
+            capacity = result.machine.fu_count(kind)
+            assert 0.0 <= report.utilization(kind, capacity) <= 1.0
+
+
+class TestTrace:
+    def test_trace_lists_early_cycles(self):
+        result = ims_result(build_stream_loop())
+        trace = collect_trace(result, iterations=4, max_cycles=12)
+        assert trace.entries
+        assert all(e.cycle < 12 for e in trace.entries)
+        text = trace.render()
+        assert "cycle" in text
+
+    def test_trace_iteration_annotation(self):
+        result = ims_result(build_stream_loop())
+        trace = collect_trace(result, iterations=3, max_cycles=50)
+        iterations = {e.iteration for e in trace.entries}
+        assert iterations == {0, 1, 2}

@@ -1,0 +1,116 @@
+"""Failure injection: the simulator must catch what the checker catches.
+
+Every sabotage below produces a schedule the static checker would
+reject; the dynamic simulator must independently detect it (different
+code path, different evidence), proving the two validators are not just
+mirrors of the schedulers' own bookkeeping.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.transforms import single_use_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import (
+    DistributedModuloScheduler,
+    IterativeModuloScheduler,
+    check_schedule,
+)
+from repro.scheduling.result import ScheduleResult
+from repro.scheduling.schedule import Placement
+from repro.simulator import simulate
+from repro.workloads import make_kernel
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+def rebuild(result, placements):
+    return ScheduleResult(
+        **{**result.__dict__, "placements": placements}
+    )
+
+
+@pytest.fixture()
+def clustered_result():
+    loop = make_kernel("fir_filter", taps=5)
+    return DistributedModuloScheduler(clustered_vliw(4)).schedule(
+        single_use_ddg(loop.ddg)
+    )
+
+
+class TestInjections:
+    def test_swapped_producer_consumer_times(self, clustered_result):
+        result = clustered_result
+        edge = next(
+            e
+            for e in result.ddg.edges()
+            if e.is_flow and e.omega == 0 and e.src != e.dst
+        )
+        placements = dict(result.placements)
+        placements[edge.src], placements[edge.dst] = (
+            placements[edge.dst],
+            placements[edge.src],
+        )
+        broken = rebuild(result, placements)
+        report = simulate(broken, 4, strict=False)
+        assert not report.ok
+        assert not check_schedule(broken).ok
+
+    def test_delayed_producer_starves_consumer(self):
+        # Delaying a producer past its consumer's issue leaves the
+        # consumer reading a value that does not exist yet; the simulator
+        # sees an empty (or misordered) stream.
+        loop = build_reduction_loop()
+        result = IterativeModuloScheduler(unclustered_vliw(2)).schedule(
+            loop.ddg.copy()
+        )
+        edge = next(
+            e
+            for e in result.ddg.edges()
+            if e.is_flow and e.omega == 0 and e.src != e.dst
+        )
+        placements = dict(result.placements)
+        old = placements[edge.src]
+        placements[edge.src] = Placement(
+            old.time + 5 * result.ii + 1, old.cluster
+        )
+        broken = rebuild(result, placements)
+        report = simulate(broken, 6, strict=False)
+        assert not report.ok
+
+    def test_cluster_teleport_breaks_fifo_routing(self, clustered_result):
+        result = clustered_result
+        # Move a producer two hops away: its consumers' queues go silent.
+        edge = next(
+            e
+            for e in result.ddg.edges()
+            if e.is_flow and e.src != e.dst
+        )
+        placements = dict(result.placements)
+        old = placements[edge.src]
+        placements[edge.src] = Placement(
+            old.time, (old.cluster + 2) % result.machine.n_clusters
+        )
+        broken = rebuild(result, placements)
+        # Static checker flags the communication conflict.
+        assert not check_schedule(broken).ok
+
+    def test_strict_mode_raises(self, clustered_result):
+        result = clustered_result
+        edge = next(
+            e
+            for e in result.ddg.edges()
+            if e.is_flow and e.omega == 0 and e.src != e.dst
+        )
+        placements = dict(result.placements)
+        placements[edge.src], placements[edge.dst] = (
+            placements[edge.dst],
+            placements[edge.src],
+        )
+        with pytest.raises(SimulationError):
+            simulate(rebuild(result, placements), 4, strict=True)
+
+    def test_untouched_schedule_stays_clean(self, clustered_result):
+        report = simulate(clustered_result, 8)
+        assert report.ok
+        assert check_schedule(clustered_result).ok

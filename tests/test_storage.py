@@ -1,0 +1,72 @@
+"""Tests for the storage-requirements experiment (paper section 1)."""
+
+import pytest
+
+from repro.experiments import (
+    StoragePoint,
+    storage_point,
+    storage_report,
+    storage_sweep,
+)
+from repro.workloads import make_kernel, perfect_club_surrogate
+
+
+@pytest.fixture(scope="module")
+def points():
+    loops = perfect_club_surrogate(6, seed=13)
+    return storage_sweep(loops, cluster_counts=(1, 4, 8))
+
+
+class TestStoragePoint:
+    def test_single_kernel(self):
+        point = storage_point(make_kernel("fir_filter", taps=6), 4)
+        assert point.clusters == 4
+        assert point.unclustered_maxlive >= 1
+        assert point.lrf_queues_max >= 0
+        assert point.largest_clustered_file >= 1
+
+    def test_no_cqrfs_on_single_cluster(self):
+        point = storage_point(make_kernel("daxpy"), 1)
+        assert point.cqrf_queues_max == 0
+        assert point.cqrf_depth_max == 0
+
+
+class TestSweep:
+    def test_point_count(self, points):
+        assert len(points) == 6 * 3
+
+    def test_maxlive_grows_with_width(self, points):
+        """The paper's premise: central RF pressure scales with FUs."""
+        def mean_maxlive(k):
+            at_k = [p for p in points if p.clusters == k]
+            return sum(p.unclustered_maxlive for p in at_k) / len(at_k)
+
+        assert mean_maxlive(8) > mean_maxlive(1)
+
+    def test_cluster_files_stay_small(self, points):
+        """The clustered design's payoff: per-file demand stays bounded
+        while the machine widens."""
+        def mean_largest(k):
+            at_k = [p for p in points if p.clusters == k]
+            return sum(p.largest_clustered_file for p in at_k) / len(at_k)
+
+        def mean_maxlive(k):
+            at_k = [p for p in points if p.clusters == k]
+            return sum(p.unclustered_maxlive for p in at_k) / len(at_k)
+
+        # At 8 clusters, the biggest file any cluster owns is much
+        # smaller than the monolithic register file would need to be.
+        assert mean_largest(8) < mean_maxlive(8)
+
+
+class TestReport:
+    def test_report_shape(self, points):
+        figure = storage_report(points)
+        assert figure.x == [1.0, 4.0, 8.0]
+        assert set(figure.series) == {
+            "central_rf_maxlive",
+            "largest_cluster_file",
+            "cqrf_depth_max",
+        }
+        text = figure.render_table()
+        assert "central_rf_maxlive" in text

@@ -1,0 +1,118 @@
+"""Tests for the bi-directional ring topology."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import RingTopology
+
+
+class TestDistance:
+    def test_single_cluster(self):
+        ring = RingTopology(1)
+        assert ring.distance(0, 0) == 0
+        assert ring.neighbors(0) == ()
+
+    def test_two_clusters(self):
+        ring = RingTopology(2)
+        assert ring.distance(0, 1) == 1
+        assert ring.neighbors(0) == (1,)
+
+    def test_wraparound(self):
+        ring = RingTopology(8)
+        assert ring.distance(0, 7) == 1
+        assert ring.distance(1, 6) == 3
+        assert ring.distance(0, 4) == 4
+
+    def test_symmetry(self):
+        ring = RingTopology(7)
+        for a in range(7):
+            for b in range(7):
+                assert ring.distance(a, b) == ring.distance(b, a)
+
+    def test_triangle_inequality(self):
+        ring = RingTopology(9)
+        for a in range(9):
+            for b in range(9):
+                for c in range(9):
+                    assert ring.distance(a, c) <= ring.distance(a, b) + ring.distance(b, c)
+
+    def test_adjacency_is_distance_at_most_one(self):
+        ring = RingTopology(6)
+        assert ring.adjacent(2, 2)
+        assert ring.adjacent(2, 3)
+        assert ring.adjacent(0, 5)
+        assert not ring.adjacent(0, 2)
+
+    def test_three_cluster_ring_is_fully_connected(self):
+        # The paper: "no communication conflicts occur" for 2-3 clusters.
+        ring = RingTopology(3)
+        for a in range(3):
+            for b in range(3):
+                assert ring.adjacent(a, b)
+
+    def test_out_of_range_rejected(self):
+        ring = RingTopology(4)
+        with pytest.raises(MachineError):
+            ring.distance(0, 4)
+        with pytest.raises(MachineError):
+            ring.neighbors(-1)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(MachineError):
+            RingTopology(0)
+
+
+class TestPaths:
+    def test_trivial_path(self):
+        ring = RingTopology(5)
+        paths = ring.paths(2, 2)
+        assert len(paths) == 1
+        assert paths[0].clusters == (2,)
+        assert paths[0].n_moves == 0
+
+    def test_two_directions(self):
+        ring = RingTopology(6)
+        paths = ring.paths(0, 3)
+        assert len(paths) == 2
+        hops = sorted(p.hops for p in paths)
+        assert hops == [3, 3]
+        sequences = {p.clusters for p in paths}
+        assert (0, 1, 2, 3) in sequences
+        assert (0, 5, 4, 3) in sequences
+
+    def test_move_counts(self):
+        ring = RingTopology(8)
+        short, long_ = ring.paths(0, 2)
+        assert short.hops == 2 and short.n_moves == 1
+        assert long_.hops == 6 and long_.n_moves == 5
+        assert short.intermediates == (1,)
+
+    def test_two_cluster_ring_single_path(self):
+        ring = RingTopology(2)
+        paths = ring.paths(0, 1)
+        assert len(paths) == 1
+        assert paths[0].hops == 1
+
+    def test_paths_sorted_shortest_first(self):
+        ring = RingTopology(10)
+        paths = ring.paths(1, 4)
+        assert paths[0].hops <= paths[1].hops
+
+    def test_path_direction_walks(self):
+        ring = RingTopology(5)
+        path = ring.path(3, 1, 1)
+        assert path.clusters == (3, 4, 0, 1)
+        path = ring.path(3, 1, -1)
+        assert path.clusters == (3, 2, 1)
+
+    def test_invalid_direction(self):
+        ring = RingTopology(4)
+        with pytest.raises(MachineError):
+            ring.path(0, 1, 2)
+
+    def test_directed_pairs_cover_both_directions(self):
+        ring = RingTopology(4)
+        pairs = ring.directed_pairs()
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (0, 3) in pairs and (3, 0) in pairs
+        assert len(pairs) == 8  # 4 adjacent pairs x 2 directions

@@ -1,0 +1,144 @@
+"""Tests for the single-use (copy insertion) transformation."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir import LoopBuilder, OpCode
+from repro.ir.transforms import (
+    copy_count,
+    max_fanout,
+    single_use_ddg,
+    single_use_loop,
+)
+
+from .conftest import build_fanout_loop, build_reduction_loop, build_stream_loop
+
+
+class TestFanoutLimit:
+    @pytest.mark.parametrize("consumers", [3, 4, 5, 8, 12])
+    @pytest.mark.parametrize("strategy", ["chain", "tree"])
+    def test_fanout_bounded_by_two(self, consumers, strategy):
+        loop = build_fanout_loop(consumers=consumers)
+        result = single_use_ddg(loop.ddg, strategy)
+        assert max_fanout(result) <= 2
+        result.validate()
+
+    def test_low_fanout_untouched(self):
+        loop = build_stream_loop()
+        result = single_use_ddg(loop.ddg)
+        assert copy_count(result) == 0
+        assert len(result) == loop.n_ops
+
+    def test_copy_count_chain(self):
+        # n consumers served by a linear chain need n-2 copies.
+        loop = build_fanout_loop(consumers=6)
+        result = single_use_ddg(loop.ddg, "chain")
+        assert copy_count(result) == 4
+
+    def test_unknown_strategy_rejected(self):
+        loop = build_fanout_loop()
+        with pytest.raises(TransformError):
+            single_use_ddg(loop.ddg, "spiral")
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("strategy", ["chain", "tree"])
+    def test_consumers_still_reach_producer(self, strategy):
+        loop = build_fanout_loop(consumers=7)
+        result = single_use_ddg(loop.ddg, strategy)
+        # Every original multiply must transitively read the load (op 0)
+        # through copies only.
+        for op in result.operations():
+            if op.opcode != OpCode.MUL:
+                continue
+            current = op.srcs[0].producer
+            hops = 0
+            while result.op(current).opcode == OpCode.COPY:
+                current = result.op(current).srcs[0].producer
+                hops += 1
+                assert hops < 20
+            assert current == 0
+
+    def test_duplicate_operand_split(self):
+        # x * x: both references count toward fan-out.
+        b = LoopBuilder("sq")
+        x = b.load()
+        b.store(b.mul(x, x))
+        b.store(b.add(x, "k"))  # third reference
+        loop = b.build()
+        assert loop.ddg.flow_fanout(x.op_id) == 3
+        result = single_use_ddg(loop.ddg)
+        assert max_fanout(result) <= 2
+        result.validate()
+
+    def test_loop_carried_references_preserved(self):
+        # A value consumed at omegas 0,1,2,3 keeps per-reference omegas.
+        b = LoopBuilder("taps")
+        x = b.load()
+        total = b.add(x, b.carried(x, 1))
+        total = b.add(total, b.carried(x, 2))
+        total = b.add(total, b.carried(x, 3))
+        b.store(total)
+        loop = b.build()
+        result = single_use_ddg(loop.ddg)
+        assert max_fanout(result) <= 2
+        omegas = sorted(
+            src.omega
+            for op in result.operations()
+            if op.opcode == OpCode.ADD
+            for src in op.srcs
+            if not src.is_external and result.op(src.producer).opcode != OpCode.ADD
+        )
+        # The four original sample references still carry 0..3 total.
+        assert omegas.count(0) >= 1
+
+    def test_self_recurrence_copy_extends_cycle(self):
+        # acc consumed by itself + 2 stores -> copies join the circuit
+        # or hang off it, but the recurrence must survive.
+        b = LoopBuilder("rec_fan")
+        x = b.load()
+        acc = b.placeholder()
+        total = b.add(x, b.carried(acc, 1), tag="acc")
+        b.bind(acc, total)
+        b.store(total, "a")
+        b.store(total, "b")
+        loop = b.build()
+        result = single_use_ddg(loop.ddg)
+        assert max_fanout(result) <= 2
+        assert result.has_recurrence()
+        result.validate()
+
+    def test_useful_op_count_unchanged(self):
+        loop = build_fanout_loop(consumers=9)
+        result = single_use_ddg(loop.ddg)
+        assert result.n_useful_ops() == loop.ddg.n_useful_ops()
+
+
+class TestStrategies:
+    def test_tree_no_deeper_than_chain(self):
+        loop = build_fanout_loop(consumers=10)
+        chain = single_use_ddg(loop.ddg, "chain")
+        tree = single_use_ddg(loop.ddg, "tree")
+
+        def copy_depth(ddg):
+            depth = {}
+            for op in ddg.operations():
+                if op.opcode == OpCode.COPY:
+                    src = op.srcs[0].producer
+                    depth[op.op_id] = depth.get(src, 0) + 1
+            return max(depth.values(), default=0)
+
+        assert copy_depth(tree) <= copy_depth(chain)
+
+    def test_loop_wrapper(self):
+        loop = build_fanout_loop(consumers=5)
+        transformed = single_use_loop(loop)
+        assert transformed.name == loop.name
+        assert transformed.trip_count == loop.trip_count
+        assert max_fanout(transformed.ddg) <= 2
+
+    def test_idempotent(self):
+        loop = build_fanout_loop(consumers=8)
+        once = single_use_ddg(loop.ddg)
+        twice = single_use_ddg(once)
+        assert len(twice) == len(once)

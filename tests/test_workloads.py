@@ -1,0 +1,154 @@
+"""Tests for kernels, the synthetic generator and the surrogate suite."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir.transforms import ddg_stats
+from repro.workloads import (
+    KERNELS,
+    PERFECT_CLUB_LOOP_COUNT,
+    SyntheticSpec,
+    make_kernel,
+    perfect_club_surrogate,
+    split_sets,
+    suite_stats,
+    synthetic_loop,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_every_kernel_builds_and_validates(self, name):
+        loop = make_kernel(name)
+        loop.ddg.validate()
+        assert loop.n_ops >= 1
+        assert loop.trip_count >= 1
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_vectorizable_flag_matches_graph(self, name):
+        loop = make_kernel(name)
+        assert KERNELS[name].vectorizable == loop.is_vectorizable
+
+    def test_fir_taps_parameter(self):
+        small = make_kernel("fir_filter", taps=3)
+        large = make_kernel("fir_filter", taps=10)
+        assert large.n_ops > small.n_ops
+        # Load reuse: fan-out of the sample load equals the tap count.
+        assert large.ddg.flow_fanout(0) == 10
+
+    def test_fir_requires_two_taps(self):
+        with pytest.raises(WorkloadError):
+            make_kernel("fir_filter", taps=1)
+
+    def test_lms_recurrences_couple_through_error(self):
+        # Every weight update reads the shared error term, which reads
+        # every weight: one large strongly connected component.
+        loop = make_kernel("lms_update", taps=4)
+        sccs = loop.ddg.sccs()
+        assert len(sccs) == 1
+        assert len(sccs[0]) >= 2 * 4  # products + updates for 4 taps
+        assert not loop.is_vectorizable
+
+    def test_euclidean_norm_duplicate_operand(self):
+        loop = make_kernel("euclidean_norm")
+        assert loop.ddg.flow_fanout(0) == 2  # x used twice by the square
+
+    def test_unknown_kernel(self):
+        with pytest.raises(WorkloadError):
+            make_kernel("fizzbuzz")
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = synthetic_loop(7, seed=42)
+        b = synthetic_loop(7, seed=42)
+        assert a.ddg.op_ids == b.ddg.op_ids
+        assert [op.opcode for op in a.ddg.operations()] == [
+            op.opcode for op in b.ddg.operations()
+        ]
+
+    def test_different_indexes_differ(self):
+        a = synthetic_loop(1, seed=42)
+        b = synthetic_loop(2, seed=42)
+        assert (
+            a.n_ops != b.n_ops
+            or [op.opcode for op in a.ddg.operations()]
+            != [op.opcode for op in b.ddg.operations()]
+        )
+
+    @pytest.mark.parametrize("index", range(0, 40, 7))
+    def test_generated_loops_validate(self, index):
+        loop = synthetic_loop(index, seed=3)
+        loop.ddg.validate()
+        assert loop.trip_count >= SyntheticSpec().min_trip
+
+    def test_recurrence_fraction_controllable(self):
+        none = SyntheticSpec(p_recurrent_loop=0.0)
+        all_ = SyntheticSpec(p_recurrent_loop=1.0)
+        vec = [synthetic_loop(i, seed=5, spec=none).is_vectorizable for i in range(30)]
+        rec = [synthetic_loop(i, seed=5, spec=all_).is_vectorizable for i in range(30)]
+        assert all(vec)
+        assert not any(rec)
+
+    def test_invalid_spec(self):
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(p_recurrent_loop=1.5)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(min_trip=0)
+
+
+class TestSuite:
+    def test_default_size_matches_paper(self):
+        # Only check the constant; building 1258 loops is done in the CLI
+        # and benchmarks.
+        assert PERFECT_CLUB_LOOP_COUNT == 1258
+
+    def test_suite_is_deterministic(self):
+        a = perfect_club_surrogate(30, seed=11)
+        b = perfect_club_surrogate(30, seed=11)
+        assert [l.name for l in a] == [l.name for l in b]
+        assert [l.n_ops for l in a] == [l.n_ops for l in b]
+
+    def test_unique_names(self):
+        loops = perfect_club_surrogate(60, seed=2)
+        names = [l.name for l in loops]
+        assert len(names) == len(set(names))
+
+    def test_sets_split(self):
+        loops = perfect_club_surrogate(50, seed=2)
+        set1, set2 = split_sets(loops)
+        assert len(set1) == 50
+        assert 0 < len(set2) < 50
+        assert all(l.is_vectorizable for l in set2)
+
+    def test_vectorizable_share_plausible(self):
+        loops = perfect_club_surrogate(150, seed=1999)
+        stats = suite_stats(loops)
+        # Scientific inner loops: a solid majority vectorizable.
+        assert 0.4 <= stats.vectorizable_fraction <= 0.8
+
+    def test_op_mix_plausible(self):
+        loops = perfect_club_surrogate(150, seed=1999)
+        stats = suite_stats(loops)
+        assert 0.2 <= stats.fu_mix["mem"] <= 0.5
+        assert stats.fu_mix["alu"] >= 0.15
+        assert stats.fu_mix["mul"] >= 0.15
+        assert stats.fu_mix["copy"] == 0.0  # copies only appear post-transform
+
+    def test_stats_totals(self):
+        loops = perfect_club_surrogate(25, seed=4)
+        stats = suite_stats(loops)
+        assert stats.n_loops == 25
+        assert stats.total_ops == sum(l.n_ops for l in loops)
+        assert stats.max_ops == max(l.n_ops for l in loops)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            suite_stats([])
+        with pytest.raises(WorkloadError):
+            perfect_club_surrogate(0)
+
+    def test_all_loops_validate(self):
+        for loop in perfect_club_surrogate(40, seed=9):
+            loop.ddg.validate()
+            assert ddg_stats(loop.ddg).n_ops == loop.n_ops
