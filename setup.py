@@ -1,17 +1,10 @@
-"""Setuptools shim for environments without PEP 660 editable support."""
+"""Setuptools shim for environments without PEP 660 editable support.
 
-from setuptools import find_packages, setup
+All project metadata — including the version, single-sourced from
+``repro.__version__`` — lives in ``pyproject.toml``; this file exists
+only so legacy ``python setup.py``-style tooling keeps working.
+"""
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Distributed Modulo Scheduling (DMS) for clustered VLIW architectures "
-        "- reproduction of Fernandes, Llosa & Topham, HPCA 1999"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["networkx>=3.0", "numpy>=1.24"],
-    entry_points={"console_scripts": ["repro = repro.cli:main"]},
-)
+from setuptools import setup
+
+setup()

@@ -14,11 +14,22 @@ Quickstart::
     loop = make_kernel("fir_filter", taps=8)
     compiled = compile_loop(loop, clustered_vliw(4), equivalent_k=4)
     print(compiled.result.summary(), compiled.ipc)
+
+Or, through the compilation-session API (pass pipeline, structured
+reports, batch/parallel compilation with on-disk memoisation)::
+
+    from repro import CompilationRequest, Toolchain, compile_many
+
+    report = Toolchain.default().compile(
+        CompilationRequest(loop=loop, machine=clustered_vliw(4), equivalent_k=4)
+    )
+    print(report.summary(), report.pass_seconds())
 """
 
 from .config import DEFAULT_CONFIG, SchedulerConfig
 from .errors import (
     AllocationError,
+    CacheError,
     CodegenError,
     DDGError,
     IIOverflowError,
@@ -26,6 +37,7 @@ from .errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+    ToolchainError,
     TransformError,
     ValidationError,
     WorkloadError,
@@ -62,6 +74,17 @@ from .scheduling import (
     validate_schedule,
 )
 from .scheduling.pipeline import CompiledLoop, choose_unroll_factor, compile_loop
+from .api import (
+    BatchCompiler,
+    CompilationCache,
+    CompilationReport,
+    CompilationRequest,
+    Pass,
+    Toolchain,
+    compile_many,
+    register_pass,
+    schedule_fingerprint,
+)
 from .simulator import simulate
 from .codegen import assembly_for, build_program
 from .workloads import (
@@ -73,12 +96,13 @@ from .workloads import (
     suite_stats,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SchedulerConfig",
     "AllocationError",
+    "CacheError",
     "CodegenError",
     "DDGError",
     "IIOverflowError",
@@ -86,6 +110,7 @@ __all__ = [
     "ReproError",
     "SchedulingError",
     "SimulationError",
+    "ToolchainError",
     "TransformError",
     "ValidationError",
     "WorkloadError",
@@ -119,6 +144,15 @@ __all__ = [
     "CompiledLoop",
     "choose_unroll_factor",
     "compile_loop",
+    "BatchCompiler",
+    "CompilationCache",
+    "CompilationReport",
+    "CompilationRequest",
+    "Pass",
+    "Toolchain",
+    "compile_many",
+    "register_pass",
+    "schedule_fingerprint",
     "simulate",
     "assembly_for",
     "build_program",

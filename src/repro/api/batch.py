@@ -1,0 +1,133 @@
+"""Batch compilation: fan jobs across processes, memoise on disk.
+
+``compile_many`` takes a list of :class:`CompilationRequest` jobs and
+returns their reports in the same order.  Jobs found in the cache are
+answered immediately; the misses are compiled either serially or across
+a process pool (pure-Python scheduling is CPU-bound, so processes — not
+threads — are the unit of parallelism).
+
+Compilation is a deterministic pure function of the request, so parallel
+results are bit-identical to serial ones; ``tests/test_api_batch.py``
+holds that property over the whole kernel suite.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import ReproError
+from .cache import CompilationCache, content_hash
+from .request import CompilationReport, CompilationRequest
+from .toolchain import Toolchain
+
+ProgressFn = Callable[[str], None]
+
+#: Default worker count: leave one core for the parent process.
+DEFAULT_WORKERS = max(1, (os.cpu_count() or 2) - 1)
+
+
+def _compile_job(job) -> Union[CompilationReport, ReproError]:
+    """Pool worker: compile one request (module-level for picklability)."""
+    toolchain, request, return_errors = job
+    try:
+        return toolchain.compile(request)
+    except ReproError as err:
+        if return_errors:
+            return err
+        raise
+
+
+class BatchCompiler:
+    """Compile many requests through one toolchain, cache and pool."""
+
+    def __init__(
+        self,
+        toolchain: Optional[Toolchain] = None,
+        cache: Union[CompilationCache, os.PathLike, None] = None,
+        workers: Optional[int] = None,
+    ):
+        self.toolchain = toolchain or Toolchain.default()
+        if cache is not None and not isinstance(cache, CompilationCache):
+            cache = CompilationCache(cache)
+        self.cache = cache
+        self.workers = workers
+
+    def compile_many(
+        self,
+        requests: Sequence[CompilationRequest],
+        progress: Optional[ProgressFn] = None,
+        return_errors: bool = False,
+    ) -> List[Union[CompilationReport, ReproError]]:
+        """Compile every request; results come back in request order.
+
+        With ``return_errors=True`` a job that fails with a
+        :class:`~repro.errors.ReproError` (e.g. the two-phase baseline
+        hitting its II ceiling) yields the exception object in its result
+        slot instead of aborting the whole batch.
+        """
+        requests = list(requests)
+        reports: List[Optional[Union[CompilationReport, ReproError]]] = [
+            None
+        ] * len(requests)
+        keys: List[Optional[str]] = [None] * len(requests)
+        pending: List[int] = []
+        pipeline = self.toolchain.pass_names
+        for index, request in enumerate(requests):
+            if self.cache is not None:
+                keys[index] = content_hash(request, pipeline=pipeline)
+                hit = self.cache.get(keys[index])
+                if hit is not None:
+                    reports[index] = hit
+                    continue
+            pending.append(index)
+        done = len(requests) - len(pending)
+        if progress and done:
+            progress(f"{done}/{len(requests)} jobs served from cache")
+
+        workers = self.workers if self.workers is not None else 1
+        jobs = [
+            (self.toolchain, requests[i], return_errors) for i in pending
+        ]
+        if workers > 1 and len(pending) > 1:
+            chunksize = max(1, len(pending) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = pool.map(_compile_job, jobs, chunksize=chunksize)
+                for index, outcome in zip(pending, outcomes):
+                    reports[index] = self._finish(keys[index], outcome)
+                    done += 1
+                    if progress and done % 50 == 0:
+                        progress(f"compiled {done}/{len(requests)} jobs")
+        else:
+            for index, job in zip(pending, jobs):
+                reports[index] = self._finish(keys[index], _compile_job(job))
+                done += 1
+                if progress and done % 50 == 0:
+                    progress(f"compiled {done}/{len(requests)} jobs")
+        return reports
+
+    def _finish(
+        self,
+        key: Optional[str],
+        outcome: Union[CompilationReport, ReproError],
+    ) -> Union[CompilationReport, ReproError]:
+        if self.cache is not None and isinstance(outcome, CompilationReport):
+            outcome.cache_key = key
+            self.cache.put(key, outcome)
+        return outcome
+
+
+def compile_many(
+    requests: Sequence[CompilationRequest],
+    toolchain: Optional[Toolchain] = None,
+    cache: Union[CompilationCache, os.PathLike, None] = None,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    return_errors: bool = False,
+) -> List[Union[CompilationReport, ReproError]]:
+    """One-shot convenience wrapper around :class:`BatchCompiler`."""
+    compiler = BatchCompiler(toolchain=toolchain, cache=cache, workers=workers)
+    return compiler.compile_many(
+        requests, progress=progress, return_errors=return_errors
+    )

@@ -1,0 +1,239 @@
+"""Content-addressed on-disk memoisation for compilation results.
+
+The cache key is a SHA-256 over a canonical serialisation of everything a
+compilation depends on: the DDG (operations, operands, explicit edges),
+the loop metadata, the machine specification, the latency model, the
+scheduler configuration and the request knobs.  Two requests with the
+same key are guaranteed to produce bit-identical schedules (compilation
+is deterministic), so re-running a figure sweep against a warm cache is
+near-instant.
+
+Entries are pickled :class:`~repro.api.request.CompilationReport` objects
+written atomically (tmp file + rename), so a cache directory can be
+shared by the worker processes of a :class:`~repro.api.batch.BatchCompiler`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..errors import CacheError
+from ..ir.ddg import DDG
+from ..machine.machine import MachineSpec
+from ..scheduling.result import ScheduleResult
+from .request import CompilationReport, CompilationRequest
+
+#: Bump when the canonical serialisation (or result semantics) change, so
+#: stale cache directories invalidate themselves instead of lying.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Canonical content hashing
+# ----------------------------------------------------------------------
+
+
+def ddg_signature(ddg: DDG) -> Tuple:
+    """Canonical, order-independent description of a dependence graph."""
+    ops = tuple(
+        (
+            op.op_id,
+            op.opcode.value,
+            tuple((s.producer, s.omega, s.symbol) for s in op.srcs),
+            op.tag,
+        )
+        for op in ddg.operations()
+    )
+    explicit = tuple(
+        (e.src, e.dst, e.kind.value, e.omega, e.latency)
+        for e in ddg.edges()
+        if not e.is_flow
+    )
+    return (ddg.name, ops, explicit)
+
+
+def machine_signature(machine: MachineSpec) -> Tuple:
+    """Canonical description of a machine specification."""
+    return (
+        machine.name,
+        machine.topology_kind,
+        (machine.cqrf.n_queues, machine.cqrf.queue_depth),
+        tuple(
+            (c.mem, c.alu, c.mul, c.copy, c.lrf.n_queues, c.lrf.queue_depth)
+            for c in machine.clusters
+        ),
+    )
+
+
+def content_hash(
+    request: CompilationRequest, pipeline: Optional[Tuple[str, ...]] = None
+) -> str:
+    """SHA-256 content hash identifying *request*'s compilation result.
+
+    *pipeline* is the pass-name tuple of the toolchain that will run the
+    request (``None`` = the default pipeline): two toolchains with
+    different pipelines must never share a cache entry, or a baseline
+    sweep could silently read its competitor's schedules.  Pass names
+    are the identity here because the registry enforces one pass per
+    name.
+    """
+    from .toolchain import DEFAULT_PASSES
+
+    loop = request.loop
+    latencies = request.latencies
+    config = request.config
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "pipeline": list(pipeline if pipeline is not None else DEFAULT_PASSES),
+        "loop": {
+            "name": loop.name,
+            "trip_count": loop.trip_count,
+            "unroll_factor": loop.unroll_factor,
+            "ddg": ddg_signature(loop.ddg),
+        },
+        "machine": machine_signature(request.machine),
+        "latencies": [
+            latencies.load,
+            latencies.store,
+            latencies.alu,
+            latencies.mul,
+            latencies.div,
+            latencies.sqrt,
+            latencies.copy,
+            latencies.move,
+        ],
+        "config": [
+            [f.name, getattr(config, f.name)]
+            for f in dataclasses.fields(config)
+            if f.init
+        ],
+        "unroll": request.unroll,
+        "equivalent_k": request.equivalent_k,
+        "allocate": request.allocate,
+        "validate": request.validate,
+        "scheduler": request.scheduler,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def schedule_fingerprint(result: ScheduleResult) -> Tuple:
+    """Canonical deep value of a schedule, for bit-identity comparisons.
+
+    Two results with equal fingerprints encode the same schedule: same
+    loop, machine, II/bounds, final graph and per-op placements.
+    """
+    return (
+        result.loop_name,
+        machine_signature(result.machine),
+        result.scheduler,
+        result.ii,
+        result.res_mii,
+        result.rec_mii,
+        ddg_signature(result.ddg),
+        tuple(
+            (op_id, p.time, p.cluster)
+            for op_id, p in sorted(result.placements.items())
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# On-disk store
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def summary(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses, {self.writes} writes"
+
+
+class CompilationCache:
+    """A directory of pickled compilation reports, keyed by content hash."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root).expanduser()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as err:
+            raise CacheError(f"cannot create cache directory {self.root}: {err}")
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for *key* (two-level fan-out to keep dirs small)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CompilationReport]:
+        """Load the report for *key*, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss and is deleted, so
+        a damaged cache degrades to recompilation instead of failing.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                report = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        if not isinstance(report, CompilationReport):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        report.cache_hit = True
+        report.cache_key = key
+        return report
+
+    def put(self, key: str, report: CompilationReport) -> None:
+        """Store *report* under *key* atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        report.cache_key = key
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(report, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CompilationCache {str(self.root)!r} entries={len(self)}>"

@@ -5,22 +5,27 @@ Commands:
 * ``info``          — machine/paper overview;
 * ``suite-stats``   — shape statistics of the Perfect Club surrogate;
 * ``schedule``      — compile one named kernel and print its assembly;
+* ``batch``         — batch-compile kernels through the session API
+  (process pool + on-disk cache);
 * ``fig4|fig5|fig6``— regenerate a paper figure over the surrogate suite;
 * ``backtracking``  — the IMS-vs-DMS backtracking comparison;
 * ``all-figures``   — everything above in one sweep.
 
 Figures accept ``--loops N`` to subsample the 1258-loop suite (a full run
-takes tens of minutes in pure Python) and ``--csv DIR`` to persist data.
+takes tens of minutes in pure Python), ``--workers N`` to fan the sweep
+across processes, and ``--csv DIR`` to persist data.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from typing import List, Optional
 
+from .api import BatchCompiler, CompilationRequest, Toolchain, compile_many
 from .config import DEFAULT_CONFIG
 from .experiments import (
     FigureData,
@@ -30,10 +35,10 @@ from .experiments import (
     figure5,
     figure6,
     moves_report,
+    pass_timing_figure,
     run_sweep,
 )
 from .machine import clustered_vliw, unclustered_vliw
-from .scheduling.pipeline import compile_loop
 from .codegen import assembly_for
 from .workloads import (
     KERNELS,
@@ -64,6 +69,41 @@ def _parser() -> argparse.ArgumentParser:
     sched.add_argument("--clusters", type=int, default=4)
     sched.add_argument("--unclustered", action="store_true")
     sched.add_argument("--ramp", action="store_true", help="show prologue/epilogue")
+    sched.add_argument(
+        "--timings", action="store_true", help="print per-pass wall-clock times"
+    )
+
+    batch = sub.add_parser(
+        "batch", help="batch-compile kernels via the session API"
+    )
+    batch.add_argument(
+        "--kernels",
+        type=str,
+        default="all",
+        help="comma-separated kernel names (default: all)",
+    )
+    batch.add_argument(
+        "--clusters",
+        type=str,
+        default="1,2,3,4,5,6,7,8,9,10",
+        help="comma-separated cluster counts",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="process-pool width (default: serial)"
+    )
+    batch.add_argument(
+        "--cache", type=str, default=None, help="on-disk compilation cache directory"
+    )
+    batch.add_argument(
+        "--clear-cache", action="store_true", help="empty the cache before compiling"
+    )
+    batch.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="write one JSON report per job (JSON lines)",
+    )
+    batch.add_argument(
+        "--timings", action="store_true", help="print the per-pass timing figure"
+    )
 
     for name in ("fig4", "fig5", "fig6", "backtracking", "moves", "all-figures"):
         fig = sub.add_parser(name, help=f"regenerate {name}")
@@ -77,6 +117,12 @@ def _parser() -> argparse.ArgumentParser:
         fig.add_argument("--csv", type=str, default=None, help="output directory")
         fig.add_argument(
             "--runs-out", type=str, default=None, help="persist runs as JSONL"
+        )
+        fig.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="process-pool width for the sweep (default: serial)",
         )
 
     storage = sub.add_parser(
@@ -146,14 +192,76 @@ def _schedule_command(args: argparse.Namespace) -> int:
         machine = unclustered_vliw(args.clusters)
     else:
         machine = clustered_vliw(args.clusters)
-    compiled = compile_loop(loop, machine, equivalent_k=args.clusters)
+    report = Toolchain.default().compile(
+        CompilationRequest(loop=loop, machine=machine, equivalent_k=args.clusters)
+    )
+    compiled = report.compiled
     result = compiled.result
     print(result.summary())
     print(
         f"unroll={compiled.unroll_factor} cycles={compiled.cycles} "
         f"ipc={compiled.ipc:.2f}"
     )
+    if args.timings:
+        for name, seconds in report.pass_seconds().items():
+            print(f"  {name:<12} {1e3 * seconds:8.2f} ms")
     print(assembly_for(result, compiled.allocation, show_ramp=args.ramp))
+    return 0
+
+
+def _batch_command(args: argparse.Namespace) -> int:
+    if args.kernels == "all":
+        names = sorted(KERNELS)
+    else:
+        names = [n for n in args.kernels.split(",") if n]
+        unknown = sorted(set(names) - set(KERNELS))
+        if unknown:
+            print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+    requests = [
+        CompilationRequest(
+            loop=make_kernel(name),
+            machine=clustered_vliw(k),
+            equivalent_k=k,
+            allocate=False,
+            validate=True,
+        )
+        for name in names
+        for k in cluster_counts
+    ]
+    compiler = BatchCompiler(cache=args.cache, workers=args.workers)
+    if args.clear_cache and compiler.cache is not None:
+        removed = compiler.cache.clear()
+        print(f"# cleared {removed} cache entries", file=sys.stderr)
+    started = time.time()
+    reports = compiler.compile_many(
+        requests, progress=lambda msg: print(f"  {msg}", file=sys.stderr)
+    )
+    elapsed = time.time() - started
+    for report in reports:
+        print(report.summary())
+    hits = sum(1 for r in reports if r.cache_hit)
+    print(
+        f"# {len(reports)} jobs ({len(names)} kernels x "
+        f"{len(cluster_counts)} cluster counts) in {elapsed:.2f}s, "
+        f"{hits} cache hits",
+        file=sys.stderr,
+    )
+    if compiler.cache is not None:
+        print(f"# {compiler.cache.stats.summary()}", file=sys.stderr)
+    if args.timings:
+        cold = [r for r in reports if not r.cache_hit]
+        if cold:
+            print(pass_timing_figure(cold).render_table())
+        else:
+            print("# all jobs cached; no cold timings to report", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            for report in reports:
+                handle.write(json.dumps(report.to_dict(), sort_keys=True))
+                handle.write("\n")
+        print(f"# wrote {args.json_out}", file=sys.stderr)
     return 0
 
 
@@ -172,7 +280,10 @@ def _figures_command(args: argparse.Namespace) -> int:
     started = time.time()
     runs = run_sweep(
         loops,
-        SweepConfig(cluster_counts=cluster_counts),
+        SweepConfig(
+            cluster_counts=cluster_counts,
+            workers=getattr(args, "workers", None),
+        ),
         progress=lambda msg: print(f"  {msg}", file=sys.stderr),
     )
     elapsed = time.time() - started
@@ -271,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "schedule":
         return _schedule_command(args)
+    if args.command == "batch":
+        return _batch_command(args)
     if args.command == "storage":
         return _storage_command(args)
     if args.command == "ablation":

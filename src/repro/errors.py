@@ -57,3 +57,11 @@ class CodegenError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload generator parameters."""
+
+
+class ToolchainError(ReproError):
+    """Raised for invalid compilation-session requests or pass pipelines."""
+
+
+class CacheError(ReproError):
+    """Raised when the on-disk compilation cache cannot be used at all."""

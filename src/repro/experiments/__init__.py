@@ -7,6 +7,7 @@ from .figures import (
     figure5,
     figure6,
     moves_report,
+    pass_timing_figure,
 )
 from .metrics import (
     LoopRun,
@@ -21,10 +22,11 @@ from .ablations import (
     copy_fu_ablation,
     restart_ablation,
     single_use_ablation,
+    topology_ablation,
 )
 from .baselines import two_phase_comparison
 from .io import dump_runs, load_runs
-from .runner import SweepConfig, run_sweep
+from .runner import SweepConfig, run_sweep, sweep_requests
 from .sensitivity import LATENCY_PROFILES, latency_sensitivity
 from .storage import StoragePoint, storage_point, storage_report, storage_sweep
 
@@ -35,6 +37,7 @@ __all__ = [
     "figure5",
     "figure6",
     "moves_report",
+    "pass_timing_figure",
     "LoopRun",
     "aggregate_ipc",
     "ii_overhead_fraction",
@@ -42,6 +45,7 @@ __all__ = [
     "total_cycles",
     "SweepConfig",
     "run_sweep",
+    "sweep_requests",
     "LATENCY_PROFILES",
     "latency_sensitivity",
     "ABLATIONS",
@@ -49,6 +53,7 @@ __all__ = [
     "copy_fu_ablation",
     "restart_ablation",
     "single_use_ablation",
+    "topology_ablation",
     "two_phase_comparison",
     "dump_runs",
     "load_runs",

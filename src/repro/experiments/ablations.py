@@ -1,8 +1,9 @@
 """Programmatic ablation studies over the DMS design choices.
 
 Each ablation varies exactly one design decision the paper discusses and
-re-runs the figure-4 style sweep, returning a comparable
-:class:`~repro.experiments.figures.FigureData`:
+re-runs the figure-4 style sweep (through the :mod:`repro.api` batch
+compiler — pass ``workers`` to fan a heavy ablation across processes),
+returning a comparable :class:`~repro.experiments.figures.FigureData`:
 
 * ``copy_fu_ablation``   — 1 vs 2 Copy FUs per cluster (the paper's
   "additional hardware support" remark);
@@ -15,7 +16,7 @@ re-runs the figure-4 style sweep, returning a comparable
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, SchedulerConfig
 from ..ir.loop import Loop
@@ -54,6 +55,7 @@ def copy_fu_ablation(
     loops: Sequence[Loop],
     cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """II-overhead with 1 vs 2 Copy FUs per cluster (ABL-COPYFU)."""
     series: Dict[str, List[float]] = {}
@@ -62,6 +64,7 @@ def copy_fu_ablation(
             loops,
             SweepConfig(
                 cluster_counts=cluster_counts,
+                workers=workers,
                 scheduler_config=config,
                 cluster_spec=ClusterSpec(copy=copies),
             ),
@@ -83,6 +86,7 @@ def chain_policy_ablation(
     loops: Sequence[Loop],
     cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Both-direction bottleneck scoring vs shortest-only (ABL-CHAIN)."""
     series: Dict[str, List[float]] = {}
@@ -91,6 +95,7 @@ def chain_policy_ablation(
             loops,
             SweepConfig(
                 cluster_counts=cluster_counts,
+                workers=workers,
                 scheduler_config=config.with_(
                     prefer_shortest_chain_only=shortest_only
                 ),
@@ -109,6 +114,7 @@ def single_use_ablation(
     loops: Sequence[Loop],
     cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Copy chain vs copy tree insertion shapes (ABL-SINGLEUSE)."""
     series: Dict[str, List[float]] = {}
@@ -117,6 +123,7 @@ def single_use_ablation(
             loops,
             SweepConfig(
                 cluster_counts=cluster_counts,
+                workers=workers,
                 scheduler_config=config.with_(single_use_strategy=strategy),
             ),
         )
@@ -133,6 +140,7 @@ def restart_ablation(
     loops: Sequence[Loop],
     cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Single-pass DMS vs diversified restarts (ABL-BUDGET companion)."""
     series: Dict[str, List[float]] = {}
@@ -141,6 +149,7 @@ def restart_ablation(
             loops,
             SweepConfig(
                 cluster_counts=cluster_counts,
+                workers=workers,
                 scheduler_config=config.with_(restarts_per_ii=restarts),
             ),
         )
@@ -157,6 +166,7 @@ def topology_ablation(
     loops: Sequence[Loop],
     cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Bi-directional ring vs linear array (no wraparound link).
 
@@ -170,6 +180,7 @@ def topology_ablation(
             loops,
             SweepConfig(
                 cluster_counts=cluster_counts,
+                workers=workers,
                 scheduler_config=config,
                 topology=topology,
             ),

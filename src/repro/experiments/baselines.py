@@ -6,23 +6,28 @@ schedules the suite with both on the same machines and reports the
 figure-4 metric (fraction of loops whose II exceeds the unclustered IMS
 II) side by side — the measured version of the paper's integration
 argument.
+
+With the session API the baseline is literally a one-pass swap::
+
+    dms_toolchain       = Toolchain.default()
+    two_phase_toolchain = dms_toolchain.with_pass("schedule", "schedule_two_phase")
+
+everything else (unroll policy, single-use insertion, validation) is
+shared by construction instead of by copy-paste.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
+from ..api.batch import compile_many
+from ..api.request import CompilationRequest
+from ..api.toolchain import Toolchain
 from ..config import DEFAULT_CONFIG, SchedulerConfig
-from ..errors import IIOverflowError
+from ..errors import IIOverflowError, ReproError
 from ..ir.loop import Loop
 from ..ir.opcodes import DEFAULT_LATENCIES, LatencyModel
-from ..ir.transforms import single_use_ddg, unroll_ddg
 from ..machine.machine import clustered_vliw, unclustered_vliw
-from ..scheduling.checker import validate_schedule
-from ..scheduling.dms import DistributedModuloScheduler
-from ..scheduling.ims import IterativeModuloScheduler
-from ..scheduling.pipeline import choose_unroll_factor
-from ..scheduling.twophase import TwoPhaseScheduler
 from .figures import FigureData
 
 
@@ -31,44 +36,64 @@ def two_phase_comparison(
     cluster_counts: Sequence[int] = (4, 6, 8, 10),
     latencies: LatencyModel = DEFAULT_LATENCIES,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """II-overhead fractions for DMS and the two-phase baseline."""
+    dms_toolchain = Toolchain.default()
+    two_phase_toolchain = dms_toolchain.with_pass("schedule", "schedule_two_phase")
+
+    def requests(machine_for_k, scheduler: Optional[str]) -> List[CompilationRequest]:
+        return [
+            CompilationRequest(
+                loop=loop,
+                machine=machine_for_k[k],
+                latencies=latencies,
+                config=config,
+                equivalent_k=k,
+                allocate=False,
+                validate=True,
+                scheduler=scheduler,
+            )
+            for k in cluster_counts
+            for loop in loops
+        ]
+
+    unclustered = {k: unclustered_vliw(k) for k in cluster_counts}
+    clustered = {k: clustered_vliw(k) for k in cluster_counts}
+    reference = compile_many(
+        requests(unclustered, "ims"), toolchain=dms_toolchain, workers=workers
+    )
+    dms = compile_many(
+        requests(clustered, "dms"), toolchain=dms_toolchain, workers=workers
+    )
+    # The two-phase scheduler can exhaust its II search on loops DMS
+    # handles; such failures come back as exception objects and count as
+    # overhead (the baseline simply cannot schedule the loop).
+    two_phase = compile_many(
+        requests(clustered, None),
+        toolchain=two_phase_toolchain,
+        workers=workers,
+        return_errors=True,
+    )
+
     dms_overhead: List[float] = []
     twophase_overhead: List[float] = []
     twophase_failures = 0
-    for k in cluster_counts:
-        unclustered = unclustered_vliw(k)
-        clustered = clustered_vliw(k)
+    for k_index, k in enumerate(cluster_counts):
         dms_worse = 0
         twophase_worse = 0
-        for loop in loops:
-            unroll = choose_unroll_factor(
-                loop.ddg, k, latencies=latencies, cap=config.unroll_cap
-            )
-            base = unroll_ddg(loop.ddg, unroll)
-            reference = IterativeModuloScheduler(
-                unclustered, latencies, config
-            ).schedule(base)
-            prepared = (
-                single_use_ddg(base, config.single_use_strategy)
-                if clustered.is_clustered
-                else base
-            )
-            dms_result = DistributedModuloScheduler(
-                clustered, latencies, config
-            ).schedule(prepared.copy())
-            validate_schedule(dms_result)
-            if dms_result.ii > reference.ii:
+        for loop_index in range(len(loops)):
+            at = k_index * len(loops) + loop_index
+            reference_ii = reference[at].result.ii
+            if dms[at].result.ii > reference_ii:
                 dms_worse += 1
-            try:
-                twophase_result = TwoPhaseScheduler(
-                    clustered, latencies, config
-                ).schedule(prepared.copy())
-                validate_schedule(twophase_result)
-                if twophase_result.ii > reference.ii:
-                    twophase_worse += 1
-            except IIOverflowError:
+            outcome = two_phase[at]
+            if isinstance(outcome, ReproError):
+                if not isinstance(outcome, IIOverflowError):
+                    raise outcome
                 twophase_failures += 1
+                twophase_worse += 1
+            elif outcome.result.ii > reference_ii:
                 twophase_worse += 1
         dms_overhead.append(100.0 * dms_worse / len(loops))
         twophase_overhead.append(100.0 * twophase_worse / len(loops))

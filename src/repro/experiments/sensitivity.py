@@ -9,7 +9,7 @@ hinge on the assumption.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, SchedulerConfig
 from ..ir.loop import Loop
@@ -32,6 +32,7 @@ def latency_sensitivity(
     cluster_counts: Sequence[int] = (2, 4, 8),
     profiles: Dict[str, LatencyModel] = None,
     config: SchedulerConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Figure-4 overhead under each latency profile."""
     profiles = profiles or LATENCY_PROFILES
@@ -43,6 +44,7 @@ def latency_sensitivity(
                 cluster_counts=cluster_counts,
                 latencies=latencies,
                 scheduler_config=config,
+                workers=workers,
             ),
         )
         series[name] = [

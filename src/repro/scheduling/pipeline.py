@@ -1,18 +1,15 @@
 """End-to-end loop compilation: unroll -> single-use -> schedule -> allocate.
 
-This is the driver the experiments use.  It mirrors the paper's flow:
+The flow itself now lives in :mod:`repro.api` as named, swappable passes;
+this module keeps the two pieces the rest of the library shares:
 
-1. choose an unroll factor so the loop can saturate the target issue width
-   ("loop unrolling was performed to provide additional operations to the
-   scheduler whenever necessary", citing Lavery & Hwu);
-2. for clustered targets, rewrite multiple-use lifetimes into single-use
-   ones with copies (fan-out <= 2);
-3. schedule with DMS (clustered) or IMS (unclustered);
-4. optionally allocate queues and emit code.
-
-The unroll factor is chosen on the *unclustered machine of equal useful FU
-count* and shared by both machines of a comparison pair, so figure 4's
-"II increase due to partitioning" compares like against like.
+* :func:`choose_unroll_factor` — the unroll policy (the factor is chosen
+  on the *unclustered machine of equal useful FU count* and shared by
+  both machines of a comparison pair, so figure 4's "II increase due to
+  partitioning" compares like against like);
+* :class:`CompiledLoop` — the per-loop result container;
+* :func:`compile_loop` — a thin backwards-compatible shim over
+  ``Toolchain.default()``.
 """
 
 from __future__ import annotations
@@ -25,12 +22,9 @@ from ..errors import SchedulingError
 from ..ir.ddg import DDG
 from ..ir.loop import Loop
 from ..ir.opcodes import DEFAULT_LATENCIES, FUKind, LatencyModel, USEFUL_FU_KINDS
-from ..ir.transforms import single_use_ddg, unroll_ddg
 from ..machine.machine import MachineSpec, unclustered_vliw
-from ..registers.queues import QueueAllocation, allocate_queues
-from .dms import DistributedModuloScheduler
-from .ims import IterativeModuloScheduler
-from .mii import rec_mii, res_mii
+from ..registers.queues import QueueAllocation
+from .mii import rec_mii
 from .result import ScheduleResult
 
 
@@ -119,37 +113,29 @@ def compile_loop(
     equivalent_k: Optional[int] = None,
     allocate: bool = True,
 ) -> CompiledLoop:
-    """Compile *loop* for *machine*.
+    """Compile *loop* for *machine* (shim over ``Toolchain.default()``).
 
     ``unroll=None`` picks the factor automatically on the unclustered
     equivalent of *machine* (or of ``equivalent_k`` when given, so a
     clustered/unclustered pair can share the same factor).
+
+    New code should build a :class:`repro.api.CompilationRequest` and use
+    a :class:`repro.api.Toolchain` directly — that returns the full
+    report (timings, II trajectory, diagnostics) instead of just the
+    compiled loop.
     """
-    if loop.unroll_factor != 1:
-        raise SchedulingError(
-            f"loop {loop.name!r} is already unrolled; pass the base loop"
-        )
-    if unroll is None:
-        k = equivalent_k
-        if k is None:
-            k = max(1, machine.useful_fus // len(USEFUL_FU_KINDS))
-        unroll = choose_unroll_factor(
-            loop.ddg, k, latencies=latencies, cap=config.unroll_cap
-        )
-    ddg = unroll_ddg(loop.ddg, unroll)
-    if machine.is_clustered:
-        ddg = single_use_ddg(ddg, strategy=config.single_use_strategy)
-        scheduler = DistributedModuloScheduler(machine, latencies, config)
-    else:
-        scheduler = IterativeModuloScheduler(machine, latencies, config)
-    result = scheduler.schedule(ddg)
-    allocation = None
-    if allocate and machine.is_clustered:
-        allocation = allocate_queues(result)
-    return CompiledLoop(
+    # Imported lazily: repro.api builds on this module's CompiledLoop and
+    # choose_unroll_factor, so a module-level import would be circular.
+    from ..api.request import CompilationRequest
+    from ..api.toolchain import Toolchain
+
+    request = CompilationRequest(
         loop=loop,
         machine=machine,
-        unroll_factor=unroll,
-        result=result,
-        allocation=allocation,
+        latencies=latencies,
+        config=config,
+        unroll=unroll,
+        equivalent_k=equivalent_k,
+        allocate=allocate,
     )
+    return Toolchain.default().compile(request).compiled

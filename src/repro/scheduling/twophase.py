@@ -30,7 +30,7 @@ from ..ir.opcodes import DEFAULT_LATENCIES, FUKind, LatencyModel, OpCode
 from ..ir.operations import ValueUse
 from ..machine.machine import MachineSpec
 from .heights import compute_heights
-from .mii import compute_mii
+from .mii import compute_mii, rec_mii
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule
 
@@ -49,7 +49,11 @@ def partition_ring(
     n = machine.n_clusters
     if n == 1:
         return {op_id: 0 for op_id in ddg.op_ids}
-    heights = compute_heights(ddg, latencies, ii=max(1, len(ddg)))
+    # Height computation only converges at II >= RecMII; a tight
+    # recurrence (e.g. a two-op div circuit) can push RecMII past the
+    # op count, so the partition-order heuristic must respect it too.
+    ii_floor = max(1, len(ddg), rec_mii(ddg, latencies))
+    heights = compute_heights(ddg, latencies, ii=ii_floor)
     order = sorted(ddg.op_ids, key=lambda i: (-heights[i], i))
     assignment: Dict[int, int] = {}
     load: Dict[Tuple[int, FUKind], int] = {}

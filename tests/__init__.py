@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Several modules import shared DDG factories with ``from .conftest import
+...``; making ``tests`` a package gives those relative imports a parent
+so plain ``python -m pytest`` collects cleanly.
+"""

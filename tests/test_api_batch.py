@@ -1,0 +1,164 @@
+"""Batch/parallel compilation equivalence and warm-cache performance.
+
+The acceptance property of the session redesign: fanning the kernel
+suite across a process pool produces bit-identical schedules to per-loop
+serial ``compile_loop``, and a warm cache answers the same sweep in a
+small fraction of the cold wall-clock.
+
+The full suite x k=1..10 sweep is genuinely expensive (DMS backtracking
+on the widest rings dominates), so it runs exactly once per interpreter:
+the module-scoped fixture holds the cold parallel run and its cache, and
+every acceptance assertion reads from it.
+"""
+
+import time
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    CompilationRequest,
+    Toolchain,
+    compile_many,
+    schedule_fingerprint,
+)
+from repro.errors import IIOverflowError, ReproError
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling.pipeline import compile_loop
+from repro.workloads import KERNELS, make_kernel, perfect_club_surrogate
+
+#: Full acceptance sweep: every kernel x every paper cluster count.
+FULL_CLUSTER_RANGE = tuple(range(1, 11))
+
+
+def _suite_requests(cluster_counts):
+    return [
+        CompilationRequest(
+            loop=make_kernel(name),
+            machine=clustered_vliw(k),
+            equivalent_k=k,
+            allocate=False,
+        )
+        for name in sorted(KERNELS)
+        for k in cluster_counts
+    ]
+
+
+@pytest.fixture(scope="module")
+def cold_sweep(tmp_path_factory):
+    """One cold parallel run of KERNELS x k=1..10 into a fresh cache."""
+    cache_dir = tmp_path_factory.mktemp("compile-cache")
+    requests = _suite_requests(FULL_CLUSTER_RANGE)
+    started = time.perf_counter()
+    reports = compile_many(requests, workers=2, cache=cache_dir)
+    seconds = time.perf_counter() - started
+    return SimpleNamespace(
+        requests=requests, reports=reports, seconds=seconds, cache_dir=cache_dir
+    )
+
+
+class TestParallelEqualsSerial:
+    def test_full_kernel_suite_bit_identical(self, cold_sweep):
+        """Parallel compile_many == per-loop compile_loop, whole sweep."""
+        assert len(cold_sweep.reports) == len(KERNELS) * len(FULL_CLUSTER_RANGE)
+        for request, report in zip(cold_sweep.requests, cold_sweep.reports):
+            serial = compile_loop(
+                request.loop,
+                request.machine,
+                equivalent_k=request.equivalent_k,
+                allocate=False,
+            )
+            assert schedule_fingerprint(report.result) == schedule_fingerprint(
+                serial.result
+            ), f"{request.describe()} diverged between parallel and serial"
+            assert report.compiled.unroll_factor == serial.unroll_factor
+
+    def test_results_preserve_request_order(self, cold_sweep):
+        for request, report in zip(cold_sweep.requests, cold_sweep.reports):
+            assert report.result.loop_name == request.loop.name
+            assert report.result.machine.name == request.machine.name
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        k=st.sampled_from(FULL_CLUSTER_RANGE),
+    )
+    def test_property_surrogate_loops_roundtrip(self, seed, k):
+        """Any surrogate loop: toolchain == compile_loop, on both twins."""
+        loop = perfect_club_surrogate(1, seed=seed)[0]
+        for machine in (clustered_vliw(k), unclustered_vliw(k)):
+            request = CompilationRequest(
+                loop=loop, machine=machine, equivalent_k=k, allocate=False
+            )
+            report = Toolchain.default().compile(request)
+            serial = compile_loop(loop, machine, equivalent_k=k, allocate=False)
+            assert schedule_fingerprint(report.result) == schedule_fingerprint(
+                serial.result
+            )
+
+
+class TestWarmCachePerformance:
+    def test_warm_rerun_is_fast_and_identical(self, cold_sweep):
+        started = time.perf_counter()
+        warm = compile_many(cold_sweep.requests, cache=cold_sweep.cache_dir)
+        warm_seconds = time.perf_counter() - started
+        assert all(r.cache_hit for r in warm)
+        for before, after in zip(cold_sweep.reports, warm):
+            assert schedule_fingerprint(before.result) == schedule_fingerprint(
+                after.result
+            )
+        # Acceptance: warm rerun in <10% of the cold wall-clock.
+        assert warm_seconds < 0.1 * cold_sweep.seconds, (
+            f"warm rerun took {warm_seconds:.3f}s vs cold {cold_sweep.seconds:.3f}s"
+        )
+
+
+class TestErrorPolicy:
+    def _overflow_requests(self):
+        # An II ceiling of exactly MII makes the two-phase baseline fail
+        # on every loop whose achieved II exceeds its MII; on an 8-wide
+        # ring that reliably includes several kernels.
+        from repro.config import SchedulerConfig
+
+        tight = SchedulerConfig(max_ii_factor=1, max_ii_extra=0)
+        chain = Toolchain.default().with_pass("schedule", "schedule_two_phase")
+        requests = [
+            CompilationRequest(
+                loop=make_kernel(name),
+                machine=clustered_vliw(8),
+                config=tight,
+                equivalent_k=8,
+                allocate=False,
+            )
+            for name in sorted(KERNELS)
+        ]
+        return chain, requests
+
+    def test_return_errors_collects_failures(self):
+        chain, requests = self._overflow_requests()
+        outcomes = compile_many(requests, toolchain=chain, return_errors=True)
+        assert len(outcomes) == len(requests)
+        failures = [o for o in outcomes if isinstance(o, ReproError)]
+        assert failures, "expected failures on the MII-tight config"
+        assert any(isinstance(f, IIOverflowError) for f in failures)
+        # Successes still come back as ordinary reports, in order.
+        for request, outcome in zip(requests, outcomes):
+            if not isinstance(outcome, ReproError):
+                assert outcome.result.loop_name == request.loop.name
+
+    def test_default_policy_raises(self):
+        chain, requests = self._overflow_requests()
+        with pytest.raises(ReproError):
+            compile_many(requests, toolchain=chain)
+
+
+class TestSweepIntegration:
+    def test_parallel_sweep_equals_serial_sweep(self):
+        from repro.experiments import SweepConfig, run_sweep
+
+        loops = perfect_club_surrogate(6, seed=11)
+        serial = run_sweep(loops, SweepConfig(cluster_counts=(1, 3)))
+        parallel = run_sweep(loops, SweepConfig(cluster_counts=(1, 3), workers=2))
+        assert serial == parallel

@@ -1,0 +1,174 @@
+"""Tests for content hashing and the on-disk compilation cache."""
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    BatchCompiler,
+    CompilationCache,
+    CompilationRequest,
+    Toolchain,
+    content_hash,
+    schedule_fingerprint,
+)
+from repro.config import SchedulerConfig
+from repro.ir.opcodes import LatencyModel
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.workloads import make_kernel
+
+from .conftest import build_stream_loop
+
+
+def _request(**overrides):
+    base = dict(
+        loop=make_kernel("daxpy"),
+        machine=clustered_vliw(4),
+        equivalent_k=4,
+        allocate=False,
+    )
+    base.update(overrides)
+    return CompilationRequest(**base)
+
+
+class TestContentHash:
+    def test_deterministic_across_rebuilds(self):
+        # Two independently built copies of the same kernel hash equal:
+        # the hash depends on content, not object identity.
+        assert content_hash(_request()) == content_hash(_request())
+
+    def test_sensitive_to_machine(self):
+        assert content_hash(_request()) != content_hash(
+            _request(machine=clustered_vliw(6), equivalent_k=6)
+        )
+        assert content_hash(_request()) != content_hash(
+            _request(machine=unclustered_vliw(4))
+        )
+
+    def test_sensitive_to_config_and_latencies(self):
+        assert content_hash(_request()) != content_hash(
+            _request(config=SchedulerConfig(restarts_per_ii=1))
+        )
+        assert content_hash(_request()) != content_hash(
+            _request(latencies=LatencyModel(load=4))
+        )
+
+    def test_sensitive_to_request_knobs(self):
+        base = content_hash(_request())
+        assert base != content_hash(_request(unroll=2))
+        assert base != content_hash(_request(allocate=True))
+        assert base != content_hash(_request(scheduler="dms"))
+
+    def test_sensitive_to_pipeline(self):
+        # A default-toolchain entry must never answer for a different
+        # pipeline (e.g. the two-phase baseline, or one with codegen).
+        base = content_hash(_request())
+        assert base == content_hash(
+            _request(), pipeline=("unroll", "single_use", "schedule", "allocate")
+        )
+        assert base != content_hash(
+            _request(),
+            pipeline=("unroll", "single_use", "schedule_two_phase", "allocate"),
+        )
+
+    def test_sensitive_to_loop_content(self):
+        assert content_hash(_request()) != content_hash(
+            _request(loop=make_kernel("dot_product"))
+        )
+        assert content_hash(
+            _request(loop=build_stream_loop(trip_count=64))
+        ) != content_hash(_request(loop=build_stream_loop(trip_count=128)))
+
+
+class TestCompilationCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        request = _request()
+        key = request.cache_key()
+        assert cache.get(key) is None
+        report = Toolchain.default().compile(request)
+        cache.put(key, report)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.cache_hit
+        assert loaded.cache_key == key
+        assert schedule_fingerprint(loaded.result) == schedule_fingerprint(
+            report.result
+        )
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        request = _request()
+        key = request.cache_key()
+        cache.put(key, Toolchain.default().compile(request))
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_foreign_pickle_degrades_to_miss(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_bytes(pickle.dumps({"not": "a report"}))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        for name in ("daxpy", "dot_product"):
+            request = _request(loop=make_kernel(name))
+            cache.put(request.cache_key(), Toolchain.default().compile(request))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestBatchCompilerCaching:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        requests = [
+            _request(loop=make_kernel(name), machine=clustered_vliw(k), equivalent_k=k)
+            for name in ("daxpy", "fir_filter", "dot_product")
+            for k in (2, 4)
+        ]
+        cold = BatchCompiler(cache=tmp_path).compile_many(requests)
+        assert not any(r.cache_hit for r in cold)
+        warm_compiler = BatchCompiler(cache=tmp_path)
+        warm = warm_compiler.compile_many(requests)
+        assert all(r.cache_hit for r in warm)
+        assert warm_compiler.cache.stats.hits == len(requests)
+        for before, after in zip(cold, warm):
+            assert schedule_fingerprint(before.result) == schedule_fingerprint(
+                after.result
+            )
+
+    def test_different_toolchains_never_share_entries(self, tmp_path):
+        request = _request()
+        BatchCompiler(cache=tmp_path).compile_many([request])
+        two_phase = BatchCompiler(
+            toolchain=Toolchain.default().with_pass(
+                "schedule", "schedule_two_phase"
+            ),
+            cache=tmp_path,
+        )
+        report = two_phase.compile_many([request])[0]
+        assert not report.cache_hit
+        assert report.result.scheduler == "two-phase"
+        assert len(two_phase.cache) == 2
+
+    def test_cache_root_expands_user(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        cache = CompilationCache("~/cache/repro")
+        assert cache.root == tmp_path / "cache" / "repro"
+        assert cache.root.is_dir()
+
+    def test_cache_shared_across_toolchain_but_keyed_on_request(self, tmp_path):
+        compiler = BatchCompiler(cache=tmp_path)
+        first = compiler.compile_many([_request()])
+        second = compiler.compile_many([_request(scheduler="dms")])
+        # Different knobs -> different keys -> no false sharing.
+        assert not first[0].cache_hit
+        assert not second[0].cache_hit
+        assert len(compiler.cache) == 2

@@ -1,0 +1,223 @@
+"""Tests for the pass registry, toolchain composition and reports."""
+
+import pytest
+
+from repro.api import (
+    DEFAULT_PASSES,
+    PASS_REGISTRY,
+    CompilationRequest,
+    Pass,
+    SchedulePass,
+    Toolchain,
+    get_pass,
+    register_pass,
+    schedule_fingerprint,
+)
+from repro.errors import SchedulingError, ToolchainError
+from repro.ir.transforms import unroll_loop
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling.pipeline import compile_loop
+from repro.workloads import make_kernel
+
+from .conftest import build_reduction_loop, build_stream_loop
+
+
+class TestRegistry:
+    def test_builtin_passes_registered(self):
+        for name in ("unroll", "single_use", "schedule", "allocate", "codegen"):
+            assert get_pass(name).name == name
+        assert "schedule_two_phase" in PASS_REGISTRY
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ToolchainError, match="unknown pass"):
+            get_pass("no_such_pass")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Pass):
+            name = "unroll"
+
+            def run(self, ctx):  # pragma: no cover - never run
+                pass
+
+        with pytest.raises(ToolchainError, match="already registered"):
+            register_pass(Dup())
+
+    def test_explicit_override_allowed_and_reversible(self):
+        original = PASS_REGISTRY["unroll"]
+
+        class Override(Pass):
+            name = "unroll"
+
+            def run(self, ctx):  # pragma: no cover - never run
+                pass
+
+        try:
+            register_pass(Override(), replace=True)
+            assert isinstance(get_pass("unroll"), Override)
+        finally:
+            register_pass(original, replace=True)
+        assert get_pass("unroll") is original
+
+    def test_anonymous_pass_rejected(self):
+        class NoName(Pass):
+            def run(self, ctx):  # pragma: no cover - never run
+                pass
+
+        with pytest.raises(ToolchainError, match="no name"):
+            register_pass(NoName())
+
+
+class TestComposition:
+    def test_default_order_matches_paper_flow(self):
+        assert Toolchain.default().pass_names == DEFAULT_PASSES
+        assert Toolchain.full().pass_names == DEFAULT_PASSES + ("codegen",)
+
+    def test_with_pass_swaps_in_place(self):
+        chain = Toolchain.default().with_pass("schedule", "schedule_two_phase")
+        assert chain.pass_names == (
+            "unroll",
+            "single_use",
+            "schedule_two_phase",
+            "allocate",
+        )
+
+    def test_without_pass_removes(self):
+        chain = Toolchain.default().without_pass("allocate")
+        assert "allocate" not in chain.pass_names
+
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(ToolchainError, match="no pass"):
+            Toolchain.default().with_pass("nope", "schedule")
+
+    def test_duplicate_pipeline_names_rejected(self):
+        with pytest.raises(ToolchainError, match="duplicate"):
+            Toolchain(["unroll", "unroll", "schedule"])
+
+    def test_insert_runs_custom_pass_in_order(self):
+        calls = []
+
+        class Probe(Pass):
+            name = "probe"
+
+            def __init__(self, log):
+                self._log = log
+
+            def run(self, ctx):
+                self._log.append((self.name, ctx.result is not None))
+
+        chain = Toolchain.default().insert_after("schedule", Probe(calls))
+        request = CompilationRequest(
+            loop=build_stream_loop(), machine=unclustered_vliw(2)
+        )
+        report = chain.compile(request)
+        # The probe ran exactly once, after scheduling.
+        assert calls == [("probe", True)]
+        assert [t.pass_name for t in report.timings] == [
+            "unroll",
+            "single_use",
+            "schedule",
+            "probe",
+            "allocate",
+        ]
+
+    def test_pipeline_without_scheduler_rejected(self):
+        chain = Toolchain(["unroll", "single_use"])
+        request = CompilationRequest(
+            loop=build_stream_loop(), machine=unclustered_vliw(1)
+        )
+        with pytest.raises(ToolchainError, match="no schedule"):
+            chain.compile(request)
+
+
+class TestCompile:
+    def test_matches_compile_loop_shim(self):
+        loop = make_kernel("dot_product")
+        machine = clustered_vliw(4)
+        via_shim = compile_loop(loop, machine, equivalent_k=4)
+        report = Toolchain.default().compile(
+            CompilationRequest(loop=loop, machine=machine, equivalent_k=4)
+        )
+        assert schedule_fingerprint(report.result) == schedule_fingerprint(
+            via_shim.result
+        )
+        assert report.compiled.unroll_factor == via_shim.unroll_factor
+        assert (report.compiled.allocation is None) == (via_shim.allocation is None)
+
+    def test_report_carries_timings_trajectory_diagnostics(self):
+        report = Toolchain.default().compile(
+            CompilationRequest(
+                loop=build_reduction_loop(), machine=clustered_vliw(4), equivalent_k=4
+            )
+        )
+        assert [t.pass_name for t in report.timings] == list(DEFAULT_PASSES)
+        assert all(t.seconds >= 0 for t in report.timings)
+        assert report.total_seconds == pytest.approx(
+            sum(t.seconds for t in report.timings)
+        )
+        # Trajectory: the II candidates walked, ending at the achieved II.
+        result = report.result
+        assert report.ii_trajectory[-1] == result.ii
+        assert len(report.ii_trajectory) == result.stats.ii_attempts
+        assert report.ii_trajectory == tuple(
+            range(result.ii - result.stats.ii_attempts + 1, result.ii + 1)
+        )
+        assert len(report.diagnostics) == len(DEFAULT_PASSES)
+        assert not report.cache_hit
+
+    def test_report_to_dict_is_json_shaped(self):
+        import json
+
+        report = Toolchain.default().compile(
+            CompilationRequest(loop=build_stream_loop(), machine=unclustered_vliw(2))
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["scheduler"] == "ims"
+        assert payload["ii"] == report.result.ii
+        assert "timings_ms" in payload
+
+    def test_unrolled_loop_rejected(self):
+        loop = unroll_loop(build_stream_loop(), 2)
+        with pytest.raises(SchedulingError, match="already unrolled"):
+            compile_loop(loop, unclustered_vliw(2))
+
+    def test_forced_scheduler_overrides_machine_shape(self):
+        # Figure 4's k=1 point: DMS degenerates on the single-cluster
+        # machine but must still be labelled "dms".
+        report = Toolchain.default().compile(
+            CompilationRequest(
+                loop=build_stream_loop(),
+                machine=clustered_vliw(1),
+                scheduler="dms",
+            )
+        )
+        assert report.result.scheduler == "dms"
+        auto = Toolchain.default().compile(
+            CompilationRequest(loop=build_stream_loop(), machine=clustered_vliw(1))
+        )
+        assert auto.result.scheduler == "ims"
+
+    def test_two_phase_swap_changes_scheduler(self):
+        chain = Toolchain.default().with_pass("schedule", "schedule_two_phase")
+        report = chain.compile(
+            CompilationRequest(
+                loop=build_stream_loop(), machine=clustered_vliw(4), equivalent_k=4
+            )
+        )
+        assert report.result.scheduler == "two-phase"
+
+    def test_codegen_pass_emits_assembly(self):
+        report = Toolchain.full().compile(
+            CompilationRequest(
+                loop=make_kernel("daxpy"), machine=clustered_vliw(2), equivalent_k=2
+            )
+        )
+        assert "II=" in report.artifacts["assembly"]
+
+    def test_invalid_request_knobs_rejected(self):
+        loop = build_stream_loop()
+        with pytest.raises(ToolchainError, match="unknown scheduler"):
+            CompilationRequest(
+                loop=loop, machine=unclustered_vliw(1), scheduler="vliw"
+            )
+        with pytest.raises(ToolchainError, match="unroll"):
+            CompilationRequest(loop=loop, machine=unclustered_vliw(1), unroll=0)

@@ -99,6 +99,57 @@ class TestFigures:
         assert len(load_runs(path)) == 4 * 2 * 2
 
 
+class TestBatch:
+    def test_batch_reports_and_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "batch",
+            "--kernels",
+            "daxpy,dot_product",
+            "--clusters",
+            "2,4",
+            "--cache",
+            cache_dir,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("DMS") == 4
+        # Second run hits the cache for every job.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("[cache]") == 4
+
+    def test_batch_json_and_timings(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "reports.jsonl")
+        assert (
+            main(
+                [
+                    "batch",
+                    "--kernels",
+                    "vector_add",
+                    "--clusters",
+                    "2",
+                    "--json",
+                    path,
+                    "--timings",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "compilation time per pass" in out
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == 1
+        assert records[0]["loop"] == "vector_add"
+        assert records[0]["scheduler"] == "dms"
+
+    def test_batch_unknown_kernel_rejected(self, capsys):
+        assert main(["batch", "--kernels", "nonsense", "--clusters", "2"]) == 2
+
+
 class TestSupplementaryCommands:
     def test_storage(self, capsys):
         assert main(["storage", "--loops", "4", "--clusters", "1,4"]) == 0
