@@ -37,6 +37,7 @@ from .errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+    TargetError,
     ToolchainError,
     TransformError,
     ValidationError,
@@ -57,12 +58,31 @@ from .ir import (
 )
 from .machine import (
     ClusterSpec,
+    CommPath,
+    CrossbarTopology,
+    GraphTopology,
+    LinearTopology,
     MachineSpec,
+    MeshTopology,
     QueueFileSpec,
     RingTopology,
+    Topology,
+    TorusTopology,
     clustered_vliw,
+    make_topology,
     paper_machine_pair,
+    register_topology,
+    topology_kinds,
     unclustered_vliw,
+)
+from .targets import (
+    TargetSpec,
+    get_target,
+    load_target,
+    register_target,
+    resolve_target,
+    save_target,
+    target_names,
 )
 from .registers import allocate_queues, extract_lifetimes, register_pressure
 from .scheduling import (
@@ -110,6 +130,7 @@ __all__ = [
     "ReproError",
     "SchedulingError",
     "SimulationError",
+    "TargetError",
     "ToolchainError",
     "TransformError",
     "ValidationError",
@@ -126,12 +147,29 @@ __all__ = [
     "Operation",
     "ValueUse",
     "ClusterSpec",
+    "CommPath",
+    "CrossbarTopology",
+    "GraphTopology",
+    "LinearTopology",
     "MachineSpec",
+    "MeshTopology",
     "QueueFileSpec",
     "RingTopology",
+    "Topology",
+    "TorusTopology",
     "clustered_vliw",
+    "make_topology",
     "paper_machine_pair",
+    "register_topology",
+    "topology_kinds",
     "unclustered_vliw",
+    "TargetSpec",
+    "get_target",
+    "load_target",
+    "register_target",
+    "resolve_target",
+    "save_target",
+    "target_names",
     "allocate_queues",
     "extract_lifetimes",
     "register_pressure",

@@ -29,11 +29,14 @@ from ..errors import CacheError
 from ..ir.ddg import DDG
 from ..machine.machine import MachineSpec
 from ..scheduling.result import ScheduleResult
+from ..targets.spec import LATENCY_FIELDS
 from .request import CompilationReport, CompilationRequest
 
 #: Bump when the canonical serialisation (or result semantics) change, so
 #: stale cache directories invalidate themselves instead of lying.
-CACHE_SCHEMA_VERSION = 1
+#: v2: machine signatures carry topology parameters and per-target
+#: latency models (declarative target-description API).
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -61,15 +64,31 @@ def ddg_signature(ddg: DDG) -> Tuple:
 
 
 def machine_signature(machine: MachineSpec) -> Tuple:
-    """Canonical description of a machine specification."""
+    """Canonical description of a machine (or serialised target) spec.
+
+    The signature covers everything that can change a schedule: cluster
+    FU mixes, queue-file shapes, and the full interconnect description
+    (kind *and* parameters — a 3x3 and a 1x9 mesh are different
+    machines).  A target's own latency model rides along so editing a
+    machine file always invalidates its batch-cache entries, even though
+    requests also hash their effective latencies separately.
+    """
+    latencies: Tuple = ()
+    target_latencies = getattr(machine, "latencies", None)
+    if target_latencies is not None:
+        latencies = tuple(
+            getattr(target_latencies, name) for name in LATENCY_FIELDS
+        )
     return (
         machine.name,
         machine.topology_kind,
+        tuple(machine.topology_params),
         (machine.cqrf.n_queues, machine.cqrf.queue_depth),
         tuple(
             (c.mem, c.alu, c.mul, c.copy, c.lrf.n_queues, c.lrf.queue_depth)
             for c in machine.clusters
         ),
+        latencies,
     )
 
 
@@ -100,16 +119,7 @@ def content_hash(
             "ddg": ddg_signature(loop.ddg),
         },
         "machine": machine_signature(request.machine),
-        "latencies": [
-            latencies.load,
-            latencies.store,
-            latencies.alu,
-            latencies.mul,
-            latencies.div,
-            latencies.sqrt,
-            latencies.copy,
-            latencies.move,
-        ],
+        "latencies": [getattr(latencies, name) for name in LATENCY_FIELDS],
         "config": [
             [f.name, getattr(config, f.name)]
             for f in dataclasses.fields(config)

@@ -16,7 +16,7 @@ every pass, and cache provenance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..config import DEFAULT_CONFIG, SchedulerConfig
 from ..errors import ToolchainError
@@ -25,6 +25,7 @@ from ..ir.opcodes import DEFAULT_LATENCIES, LatencyModel
 from ..machine.machine import MachineSpec
 from ..scheduling.pipeline import CompiledLoop
 from ..scheduling.result import ScheduleResult
+from ..targets.spec import TargetSpec
 
 #: Scheduler names a request may force (``None`` = pick by machine shape).
 SCHEDULER_CHOICES = ("ims", "dms", "two_phase")
@@ -36,8 +37,15 @@ class CompilationRequest:
 
     Attributes:
         loop: the base (un-unrolled) loop to compile.
-        machine: target machine.
-        latencies: operation latency model.
+        machine: the target — a :class:`MachineSpec`/:class:`TargetSpec`
+            value, a registered target name (``"mesh-3x3"``) or a path to
+            a ``.toml``/``.json`` machine file.  Strings are resolved at
+            construction.
+        latencies: operation latency model.  ``None`` (the default)
+            inherits: the machine's own model for a :class:`TargetSpec`,
+            :data:`DEFAULT_LATENCIES` otherwise.  Any explicit model —
+            including ``DEFAULT_LATENCIES`` itself — wins over the
+            target's.
         config: scheduler tunables.
         unroll: explicit unroll factor; ``None`` picks it automatically.
         equivalent_k: per-kind FU count of the unclustered reference used
@@ -50,8 +58,8 @@ class CompilationRequest:
     """
 
     loop: Loop
-    machine: MachineSpec
-    latencies: LatencyModel = DEFAULT_LATENCIES
+    machine: Union[MachineSpec, str]
+    latencies: Optional[LatencyModel] = None
     config: SchedulerConfig = DEFAULT_CONFIG
     unroll: Optional[int] = None
     equivalent_k: Optional[int] = None
@@ -60,6 +68,22 @@ class CompilationRequest:
     scheduler: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.machine, str):
+            from ..targets import resolve_target
+
+            object.__setattr__(self, "machine", resolve_target(self.machine))
+        if not isinstance(self.machine, MachineSpec):
+            raise ToolchainError(
+                f"machine must be a MachineSpec or a target name/file, "
+                f"got {type(self.machine).__name__}"
+            )
+        if self.latencies is None:
+            inherited = (
+                self.machine.latencies
+                if isinstance(self.machine, TargetSpec)
+                else DEFAULT_LATENCIES
+            )
+            object.__setattr__(self, "latencies", inherited)
         if self.unroll is not None and self.unroll < 1:
             raise ToolchainError(f"unroll must be >= 1, got {self.unroll}")
         if self.equivalent_k is not None and self.equivalent_k < 1:

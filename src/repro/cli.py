@@ -5,6 +5,8 @@ Commands:
 * ``info``          — machine/paper overview;
 * ``suite-stats``   — shape statistics of the Perfect Club surrogate;
 * ``schedule``      — compile one named kernel and print its assembly;
+* ``target``        — list/show/validate declarative target descriptions
+  (builtin names or TOML/JSON machine files);
 * ``batch``         — batch-compile kernels through the session API
   (process pool + on-disk cache);
 * ``fig4|fig5|fig6``— regenerate a paper figure over the surrogate suite;
@@ -68,9 +70,26 @@ def _parser() -> argparse.ArgumentParser:
     sched.add_argument("kernel", choices=sorted(KERNELS))
     sched.add_argument("--clusters", type=int, default=4)
     sched.add_argument("--unclustered", action="store_true")
+    sched.add_argument(
+        "--target",
+        type=str,
+        default=None,
+        help="target name or machine file (overrides --clusters/--unclustered)",
+    )
     sched.add_argument("--ramp", action="store_true", help="show prologue/epilogue")
     sched.add_argument(
         "--timings", action="store_true", help="print per-pass wall-clock times"
+    )
+
+    target = sub.add_parser(
+        "target", help="list/show/validate declarative target descriptions"
+    )
+    target.add_argument("action", choices=("list", "show", "validate"))
+    target.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered target name or .toml/.json machine file",
     )
 
     batch = sub.add_parser(
@@ -87,6 +106,15 @@ def _parser() -> argparse.ArgumentParser:
         type=str,
         default="1,2,3,4,5,6,7,8,9,10",
         help="comma-separated cluster counts",
+    )
+    batch.add_argument(
+        "--target",
+        type=str,
+        default=None,
+        help=(
+            "comma-separated target names or machine files "
+            "(replaces the --clusters machine sweep)"
+        ),
     )
     batch.add_argument(
         "--workers", type=int, default=None, help="process-pool width (default: serial)"
@@ -173,6 +201,8 @@ def _info() -> str:
         "",
         "machines: clustered(k) = k x {1 L/S, 1 Add, 1 Mul, 1 Copy} on a",
         "          bi-directional ring; unclustered(k) = monolithic 3k FUs",
+        "targets:  `repro target list` — declarative targets over any",
+        "          registered topology (ring/linear/mesh/torus/crossbar/graph)",
         "schedulers: IMS (Rau 1996) for unclustered, DMS for clustered",
         "",
         "experiments:",
@@ -187,13 +217,24 @@ def _info() -> str:
 
 
 def _schedule_command(args: argparse.Namespace) -> int:
+    from .errors import TargetError
+    from .targets import resolve_target
+
     loop = make_kernel(args.kernel)
-    if args.unclustered:
+    equivalent_k: Optional[int] = args.clusters
+    if args.target is not None:
+        try:
+            machine = resolve_target(args.target)
+        except TargetError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+        equivalent_k = None
+    elif args.unclustered:
         machine = unclustered_vliw(args.clusters)
     else:
         machine = clustered_vliw(args.clusters)
     report = Toolchain.default().compile(
-        CompilationRequest(loop=loop, machine=machine, equivalent_k=args.clusters)
+        CompilationRequest(loop=loop, machine=machine, equivalent_k=equivalent_k)
     )
     compiled = report.compiled
     result = compiled.result
@@ -218,18 +259,42 @@ def _batch_command(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
             return 2
-    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
-    requests = [
-        CompilationRequest(
-            loop=make_kernel(name),
-            machine=clustered_vliw(k),
-            equivalent_k=k,
-            allocate=False,
-            validate=True,
-        )
-        for name in names
-        for k in cluster_counts
-    ]
+    if args.target is not None:
+        from .errors import TargetError
+        from .targets import resolve_target
+
+        try:
+            machines = [
+                resolve_target(ref) for ref in args.target.split(",") if ref
+            ]
+        except TargetError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+        requests = [
+            CompilationRequest(
+                loop=make_kernel(name),
+                machine=machine,
+                allocate=False,
+                validate=True,
+            )
+            for name in names
+            for machine in machines
+        ]
+        shape = f"{len(names)} kernels x {len(machines)} targets"
+    else:
+        cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+        requests = [
+            CompilationRequest(
+                loop=make_kernel(name),
+                machine=clustered_vliw(k),
+                equivalent_k=k,
+                allocate=False,
+                validate=True,
+            )
+            for name in names
+            for k in cluster_counts
+        ]
+        shape = f"{len(names)} kernels x {len(cluster_counts)} cluster counts"
     compiler = BatchCompiler(cache=args.cache, workers=args.workers)
     if args.clear_cache and compiler.cache is not None:
         removed = compiler.cache.clear()
@@ -243,8 +308,7 @@ def _batch_command(args: argparse.Namespace) -> int:
         print(report.summary())
     hits = sum(1 for r in reports if r.cache_hit)
     print(
-        f"# {len(reports)} jobs ({len(names)} kernels x "
-        f"{len(cluster_counts)} cluster counts) in {elapsed:.2f}s, "
+        f"# {len(reports)} jobs ({shape}) in {elapsed:.2f}s, "
         f"{hits} cache hits",
         file=sys.stderr,
     )
@@ -262,6 +326,56 @@ def _batch_command(args: argparse.Namespace) -> int:
                 handle.write(json.dumps(report.to_dict(), sort_keys=True))
                 handle.write("\n")
         print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _target_command(args: argparse.Namespace) -> int:
+    from .errors import TargetError
+    from .targets import resolve_target, target_names, target_to_toml, get_target
+
+    if args.action == "list":
+        for name in target_names():
+            target = get_target(name)
+            print(
+                f"{name:<16} {target.n_clusters:>2} x "
+                f"{target.topology_kind:<8} {target.useful_fus:>3} useful FUs"
+                f"  {target.description}"
+            )
+        return 0
+    if args.name is None:
+        print(f"target {args.action} needs a target name or file", file=sys.stderr)
+        return 2
+    try:
+        target = resolve_target(args.name)
+    except TargetError as err:
+        print(f"invalid target: {err}", file=sys.stderr)
+        return 2
+    if args.action == "show":
+        print(f"# {target.describe()}")
+        print(f"# topology: {target.topology!r}")
+        print(target_to_toml(target), end="")
+        return 0
+    # validate: the spec itself was checked at load; report derived facts
+    # a machine-file author most often gets wrong.
+    from .ir.opcodes import FUKind, USEFUL_FU_KINDS
+
+    problems = []
+    for kind in USEFUL_FU_KINDS:
+        if not target.supports(kind):
+            problems.append(f"no {kind.value} unit anywhere on the machine")
+    if target.is_clustered and target.fu_count(FUKind.COPY) == 0:
+        problems.append(
+            "clustered machine without any copy FU: DMS cannot insert "
+            "chains or single-use copies"
+        )
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    if problems:
+        return 2
+    print(
+        f"ok: {target.name} ({target.n_clusters} clusters, "
+        f"{target.topology_kind} topology, {target.useful_fus} useful FUs)"
+    )
     return 0
 
 
@@ -382,6 +496,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "schedule":
         return _schedule_command(args)
+    if args.command == "target":
+        return _target_command(args)
     if args.command == "batch":
         return _batch_command(args)
     if args.command == "storage":

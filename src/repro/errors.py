@@ -65,3 +65,7 @@ class ToolchainError(ReproError):
 
 class CacheError(ReproError):
     """Raised when the on-disk compilation cache cannot be used at all."""
+
+
+class TargetError(ReproError):
+    """Raised for invalid target descriptions, files or registry lookups."""

@@ -162,20 +162,28 @@ def restart_ablation(
     )
 
 
+#: Interconnects compared by the topology ablation, best-connected last.
+TOPOLOGY_ABLATION_KINDS = ("linear", "ring", "mesh", "crossbar")
+
+
 def topology_ablation(
     loops: Sequence[Loop],
     cluster_counts: Sequence[int] = DEFAULT_ABLATION_CLUSTERS,
     config: SchedulerConfig = DEFAULT_CONFIG,
     workers: Optional[int] = None,
+    topologies: Sequence[str] = TOPOLOGY_ABLATION_KINDS,
 ) -> FigureData:
-    """Bi-directional ring vs linear array (no wraparound link).
+    """II overhead across interconnects (linear / ring / mesh / crossbar).
 
-    The ring is the paper's choice; a linear array has a single chain
-    path per far pair and longer average distances, so partitioning
-    overhead should rise — quantifying what the wraparound link buys.
+    The ring is the paper's choice; the linear array (one chain path per
+    far pair, no wraparound) shows what the second ring direction buys,
+    while the mesh covers the CGRA-style interconnects of the follow-on
+    literature and the full crossbar bounds the study from below (no
+    communication conflicts can arise at all).  Any registered topology
+    kind can be added to *topologies*.
     """
     series: Dict[str, List[float]] = {}
-    for label, topology in (("ring", "ring"), ("linear", "linear")):
+    for topology in topologies:
         runs = run_sweep(
             loops,
             SweepConfig(
@@ -185,15 +193,17 @@ def topology_ablation(
                 topology=topology,
             ),
         )
-        series[label] = _overhead_series(runs, cluster_counts)
+        series[topology] = _overhead_series(runs, cluster_counts)
     return _two_variant_figure(
         "ablation_topology",
-        "ABL-TOPOLOGY: II overhead (%), ring vs linear cluster array",
+        "ABL-TOPOLOGY: II overhead (%) across cluster interconnects",
         cluster_counts,
         series,
         [
             "the ring's second direction halves worst-case distances and "
             "doubles the chain options (paper section 2)",
+            "the crossbar makes every pair adjacent: its overhead is the "
+            "no-communication-conflict floor",
         ],
     )
 

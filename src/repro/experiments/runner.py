@@ -47,7 +47,12 @@ class SweepConfig:
     latencies: LatencyModel = DEFAULT_LATENCIES
     scheduler_config: SchedulerConfig = DEFAULT_CONFIG
     cluster_spec: ClusterSpec = PAPER_CLUSTER
+    #: Interconnect of the clustered twin: any registered topology kind
+    #: (ring, linear, mesh, torus, crossbar, graph, ...).
     topology: str = "ring"
+    #: Optional topology parameters (e.g. ``{"rows": 3, "cols": 3}``);
+    #: ``None`` lets each topology pick its default shape per k.
+    topology_params: Optional[dict] = None
     validate: bool = True
     #: Process-pool width for the batch compiler (None/1 = serial).
     workers: Optional[int] = None
@@ -97,7 +102,12 @@ def sweep_requests(
     machines = {
         k: (
             unclustered_vliw(k),
-            clustered_vliw(k, cluster=sweep.cluster_spec, topology=sweep.topology),
+            clustered_vliw(
+                k,
+                cluster=sweep.cluster_spec,
+                topology=sweep.topology,
+                topology_params=sweep.topology_params,
+            ),
         )
         for k in sweep.cluster_counts
     }

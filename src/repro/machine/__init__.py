@@ -1,4 +1,4 @@
-"""Machine model: clusters, ring topology, queue register files."""
+"""Machine model: clusters, pluggable interconnect topologies, queue files."""
 
 from .cluster import ClusterSpec, PAPER_CLUSTER
 from .cqrf import CQRFId, LRFId, QueueFileId, QueueFileSpec, queue_file_for
@@ -10,7 +10,20 @@ from .machine import (
     paper_machine_pair,
     unclustered_vliw,
 )
-from .topology import LinearTopology, RingPath, RingTopology
+from .topology import (
+    CommPath,
+    CrossbarTopology,
+    GraphTopology,
+    LinearTopology,
+    MeshTopology,
+    RingPath,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    make_topology,
+    register_topology,
+    topology_kinds,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -27,7 +40,16 @@ __all__ = [
     "clustered_vliw",
     "paper_machine_pair",
     "unclustered_vliw",
+    "CommPath",
+    "CrossbarTopology",
+    "GraphTopology",
     "LinearTopology",
+    "MeshTopology",
     "RingPath",
     "RingTopology",
+    "Topology",
+    "TorusTopology",
+    "make_topology",
+    "register_topology",
+    "topology_kinds",
 ]

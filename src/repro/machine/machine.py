@@ -10,22 +10,28 @@ Two families are used throughout the evaluation (section 4):
 
 Both expose the same number of *useful* FUs (3k), which is the x-axis of
 figures 5 and 6.
+
+The interconnect is no longer hardwired: ``topology_kind`` names any
+topology registered with
+:func:`~repro.machine.topology.register_topology` (ring, linear, mesh,
+torus, crossbar, graph, ...), parameterised by ``topology_params``.
+Validation and dispatch both derive from that registry, so adding a
+topology is a single registration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Mapping, Optional, Tuple, Union
 
 from ..errors import MachineError
 from ..ir.opcodes import FUKind, USEFUL_FU_KINDS
 from .cluster import ClusterSpec, PAPER_CLUSTER
 from .cqrf import CQRFId, QueueFileSpec
-from .topology import LinearTopology, RingTopology
+from .topology import Topology, freeze_params, make_topology
 
-#: Supported inter-cluster interconnects (paper: "we believe it could
-#: also be used with other clustered VLIW architectures").
-TOPOLOGIES = ("ring", "linear")
+#: Topology parameters as stored on a (hashable) machine spec.
+FrozenParams = Tuple[Tuple[str, object], ...]
 
 
 @dataclass(frozen=True)
@@ -36,15 +42,17 @@ class MachineSpec:
     clusters: Tuple[ClusterSpec, ...]
     cqrf: QueueFileSpec = field(default_factory=QueueFileSpec)
     topology_kind: str = "ring"
+    topology_params: Union[FrozenParams, Mapping[str, object]] = ()
 
     def __post_init__(self) -> None:
         if not self.clusters:
             raise MachineError("a machine needs at least one cluster")
-        if self.topology_kind not in TOPOLOGIES:
-            raise MachineError(
-                f"unknown topology {self.topology_kind!r}; "
-                f"supported: {TOPOLOGIES}"
-            )
+        object.__setattr__(
+            self, "topology_params", freeze_params(dict(self.topology_params))
+        )
+        # Registry-driven validation: constructing the topology checks the
+        # kind exists and the parameters tile this cluster count.
+        self.topology
 
     # ------------------------------------------------------------------
     # Shape queries
@@ -60,10 +68,11 @@ class MachineSpec:
         return self.n_clusters > 1
 
     @property
-    def topology(self) -> RingTopology:
-        if self.topology_kind == "linear":
-            return LinearTopology(self.n_clusters)
-        return RingTopology(self.n_clusters)
+    def topology(self) -> Topology:
+        """The (memoised) interconnect instance for this machine."""
+        return make_topology(
+            self.topology_kind, self.n_clusters, self.topology_params
+        )
 
     def cluster(self, index: int) -> ClusterSpec:
         if not 0 <= index < self.n_clusters:
@@ -112,9 +121,11 @@ def clustered_vliw(
     cqrf: Optional[QueueFileSpec] = None,
     name: Optional[str] = None,
     topology: str = "ring",
+    topology_params: Optional[Mapping[str, object]] = None,
 ) -> MachineSpec:
     """The paper's clustered machine: *n_clusters* x *cluster* on a ring
-    (or, for the topology ablation, a linear array)."""
+    (or any other registered topology — linear, mesh, torus, crossbar,
+    graph — for the interconnect ablations)."""
     if n_clusters < 1:
         raise MachineError(f"n_clusters must be >= 1, got {n_clusters}")
     suffix = "" if topology == "ring" else f"-{topology}"
@@ -123,6 +134,7 @@ def clustered_vliw(
         clusters=tuple([cluster] * n_clusters),
         cqrf=cqrf or QueueFileSpec(),
         topology_kind=topology,
+        topology_params=topology_params or (),
     )
 
 

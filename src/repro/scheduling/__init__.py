@@ -9,7 +9,12 @@ from .mii import MIIResult, compute_mii, rec_mii, rec_mii_unrolled, res_mii
 from .mrt import ModuloReservationTable
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule, Placement
-from .twophase import TwoPhaseScheduler, insert_static_chains, partition_ring
+from .twophase import (
+    TwoPhaseScheduler,
+    insert_static_chains,
+    partition_clusters,
+    partition_ring,
+)
 
 __all__ = [
     "Chain",
@@ -36,5 +41,6 @@ __all__ = [
     "Placement",
     "TwoPhaseScheduler",
     "insert_static_chains",
+    "partition_clusters",
     "partition_ring",
 ]

@@ -1,9 +1,9 @@
 """Move-operation chains: planning, application and the registry.
 
 A **chain** bridges a communication conflict: a string of ``move``
-operations, one per intermediate cluster along one of the two ring
-directions between a scheduled producer and the cluster chosen for the
-consumer (paper figure 3).  Each move reads from the CQRF behind it and
+operations, one per intermediate cluster along one of the topology's
+candidate paths between a scheduled producer and the cluster chosen for
+the consumer (paper figure 3).  Each move reads from the CQRF behind it and
 writes to the CQRF ahead of it, occupying the Copy FU of its own cluster.
 
 Planning rules (paper section 3):
@@ -28,7 +28,7 @@ from ..errors import SchedulingError
 from ..ir.ddg import DDG
 from ..ir.opcodes import FUKind, OpCode
 from ..ir.operations import ValueUse
-from ..machine.topology import RingPath
+from ..machine.topology import CommPath
 from .schedule import PartialSchedule
 
 
@@ -42,7 +42,7 @@ class Chain:
     omega: int
     operand_indexes: Tuple[int, ...]
     move_ids: Tuple[int, ...]
-    path: RingPath
+    path: CommPath
 
     @property
     def n_moves(self) -> int:
@@ -56,7 +56,7 @@ class PlannedChain:
     producer: int
     omega: int
     operand_indexes: Tuple[int, ...]
-    path: RingPath
+    path: CommPath
     move_times: Tuple[int, ...]
 
     @property
@@ -98,7 +98,7 @@ class ChainRegistry:
         omega: int,
         operand_indexes: Sequence[int],
         move_ids: Sequence[int],
-        path: RingPath,
+        path: CommPath,
     ) -> Chain:
         chain = Chain(
             chain_id=self._next_id,
@@ -156,7 +156,12 @@ class ChainRegistry:
 
 
 class ChainPlanner:
-    """Builds :class:`ChainPlan` options for DMS strategy 2."""
+    """Builds :class:`ChainPlan` options for DMS strategy 2.
+
+    Candidate paths per far predecessor come from the machine topology
+    (two ring directions on the paper machine; up to ``max_paths``
+    shortest routes on a mesh or torus).
+    """
 
     def __init__(self, schedule: PartialSchedule, config: SchedulerConfig):
         self.schedule = schedule
@@ -220,7 +225,7 @@ class ChainPlanner:
         far: List[Tuple[int, int, Tuple[int, ...], int]],
     ) -> Optional[ChainPlan]:
         topology = self.schedule.machine.topology
-        options_per_pred: List[List[Tuple[int, int, Tuple[int, ...], RingPath]]] = []
+        options_per_pred: List[List[Tuple[int, int, Tuple[int, ...], CommPath]]] = []
         for producer, omega, indexes, pred_cluster in far:
             paths = topology.paths(pred_cluster, cluster)
             if self.config.prefer_shortest_chain_only:
@@ -243,7 +248,7 @@ class ChainPlanner:
     def _try_combo(
         self,
         cluster: int,
-        combo: Tuple[Tuple[int, int, Tuple[int, ...], RingPath], ...],
+        combo: Tuple[Tuple[int, int, Tuple[int, ...], CommPath], ...],
     ) -> Optional[ChainPlan]:
         """Tentatively place every move of *combo*; score then roll back."""
         schedule = self.schedule

@@ -9,7 +9,8 @@ bookkeeping.  It enforces:
    functional-unit kind;
 3. resources — no MRT cell over capacity;
 4. dependences — ``t(dst) >= t(src) + latency - II * omega`` for every edge;
-5. communication — every flow edge connects directly connected clusters;
+5. communication — every flow edge connects clusters the machine's
+   topology deems adjacent (any registered interconnect);
 6. fan-out — at most 2 consumer references per value on clustered machines
    (the single-use property DMS relies on for queue mapping).
 """
@@ -110,7 +111,7 @@ def check_schedule(result: ScheduleResult) -> ValidationReport:
                 f"t({edge.dst})={dst.time}, II={ii}"
             )
         if edge.communicates and edge.src != edge.dst:
-            if topology.distance(src.cluster, dst.cluster) > 1:
+            if not topology.adjacent(src.cluster, dst.cluster):
                 report.problems.append(
                     f"communication conflict: flow {edge.src}->{edge.dst} "
                     f"between clusters {src.cluster} and {dst.cluster}"

@@ -5,14 +5,16 @@ operation is scheduled by the first applicable of three strategies
 (paper figure 2):
 
 1. **Strategy 1** — find a slot in a *communication-compatible* cluster
-   (ring distance <= 1 to every scheduled flow predecessor and successor).
+   (topology distance <= 1 to every scheduled flow predecessor and
+   successor).
    A clean resource-free slot in the II window is preferred; otherwise a
    forced placement ejects the occupants of one MRT cell.  Ejections here
    are only for resource conflicts and dependence conflicts with
    successors — never communication conflicts.
 2. **Strategy 2** — when no compatible cluster exists, bridge the far
    predecessors with **chains of move operations** through intermediate
-   clusters (two ring directions per predecessor).  Chains need clean
+   clusters (one option per topology path, e.g. the two ring
+   directions).  Chains need clean
    Copy-FU slots; the chosen option maximises the bottleneck Copy-FU
    slack, tie-broken by fewest moves.  The DDG is updated with the new
    moves, which are scheduled immediately, producer-side first.
@@ -49,7 +51,7 @@ _MAX_CLUSTERED_FANOUT = 2
 
 
 class DistributedModuloScheduler:
-    """DMS for the clustered ring VLIW machine."""
+    """DMS for clustered VLIW machines with any registered topology."""
 
     name = "dms"
 
@@ -213,9 +215,9 @@ class _Attempt:
         Operations with scheduled flow partners stay close to them (chains
         of dependent work settle on neighbouring clusters, using the
         near-neighbour CQRFs the machine gives away for free); independent
-        operations are spread around the ring by a deterministic rotation
-        so parallel dependence chains claim different ring regions instead
-        of piling onto cluster 0.
+        operations are spread over the clusters by a deterministic
+        rotation so parallel dependence chains claim different regions
+        instead of piling onto cluster 0.
         """
         topology = self.machine.topology
         partner_clusters = [
@@ -236,7 +238,7 @@ class _Attempt:
             )
         # Spread partner-free operations proportionally to their position
         # in the graph: parallel dependence chains (whose members have
-        # nearby ids) claim evenly spaced ring regions, leaving each
+        # nearby ids) claim evenly spaced cluster regions, leaving each
         # region's units for the chain that starts there.
         n = self.machine.n_clusters
         rotation = (op_id * n) // max(1, len(self.work)) + self.salt

@@ -6,10 +6,10 @@ operations are scheduled" (refs [1], [6], [12]) — the design DMS argues
 against by integrating both decisions.  This module implements that
 baseline so the integration claim can be measured:
 
-1. **Partition** — operations are laid out around the ring in dependence
-   order, balancing the bottleneck FU kind per cluster; every flow edge
-   spanning more than one hop is bridged *statically* with pinned move
-   operations along the shorter ring direction.
+1. **Partition** — operations are laid out over the clusters in
+   dependence order, balancing the bottleneck FU kind per cluster; every
+   flow edge spanning more than one hop is bridged *statically* with
+   pinned move operations along the topology's first (shortest) path.
 2. **Schedule** — a pinned-cluster variant of IMS: identical II search,
    priorities, window scan and forced ejection, but each operation may
    only ever sit on its pre-assigned cluster.
@@ -35,15 +35,15 @@ from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule
 
 
-def partition_ring(
+def partition_clusters(
     ddg: DDG, machine: MachineSpec, latencies: LatencyModel
 ) -> Dict[int, int]:
     """Assign every operation to a cluster before any scheduling.
 
     Operations are visited in dependence-height order (critical chains
-    first) and greedily placed on the cluster that minimises ring
+    first) and greedily placed on the cluster that minimises topology
     distance to already-assigned flow partners, then per-kind load,
-    preferring contiguous ring regions.  The result is a total map
+    preferring contiguous cluster regions.  The result is a total map
     op id -> cluster.
     """
     n = machine.n_clusters
@@ -93,11 +93,11 @@ def partition_ring(
 def insert_static_chains(
     ddg: DDG, assignment: Dict[int, int], machine: MachineSpec
 ) -> Dict[int, int]:
-    """Bridge far flow references with pinned moves (shorter direction).
+    """Bridge far flow references with pinned moves (first topology path).
 
     Mutates *ddg* in place and returns the extended assignment including
     the new move operations.  After this pass every flow reference spans
-    at most one ring hop, so the scheduling phase faces no communication
+    at most one hop, so the scheduling phase faces no communication
     decisions at all — the two-phase premise.
     """
     topology = machine.topology
@@ -145,7 +145,7 @@ class TwoPhaseScheduler:
         if len(ddg) == 0:
             raise SchedulingError(f"loop {ddg.name!r} has no operations")
         work = ddg.copy()
-        assignment = partition_ring(work, self.machine, self.latencies)
+        assignment = partition_clusters(work, self.machine, self.latencies)
         assignment = insert_static_chains(work, assignment, self.machine)
         bounds = compute_mii(work, self.machine, self.latencies)
         stats = SchedulerStats()
@@ -212,3 +212,7 @@ class TwoPhaseScheduler:
         if unscheduled:
             return None
         return schedule
+
+
+#: Backwards-compatible alias (pre-registry name).
+partition_ring = partition_clusters

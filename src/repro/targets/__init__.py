@@ -1,0 +1,41 @@
+"""Declarative target descriptions: specs, machine files and the registry.
+
+The target subsystem turns the machine model into data: a
+:class:`TargetSpec` bundles clusters, interconnect topology and latency
+model; machine files serialise it to TOML/JSON; the registry names the
+builtin configurations (``paper-ring-4``, ``mesh-3x3``, ``crossbar-8``,
+...) every CLI ``--target`` flag and ``CompilationRequest(machine="...")``
+string resolves through.
+"""
+
+from .builtins import (
+    TARGET_REGISTRY,
+    get_target,
+    register_target,
+    resolve_target,
+    target_names,
+)
+from .files import (
+    dumps_toml,
+    load_target,
+    loads_target,
+    save_target,
+    target_to_toml,
+)
+from .spec import TargetSpec, machine_as_target, target_from_dict
+
+__all__ = [
+    "TARGET_REGISTRY",
+    "get_target",
+    "register_target",
+    "resolve_target",
+    "target_names",
+    "dumps_toml",
+    "load_target",
+    "loads_target",
+    "save_target",
+    "target_to_toml",
+    "TargetSpec",
+    "machine_as_target",
+    "target_from_dict",
+]

@@ -1,0 +1,148 @@
+"""Builtin named targets and the target registry.
+
+``get_target("paper-ring-4")`` answers the names used throughout the
+paper reproduction; :func:`resolve_target` additionally accepts a path to
+a ``.toml``/``.json`` machine file, so every ``--target`` flag and every
+``CompilationRequest(machine="...")`` accepts either form.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple, Union
+
+from ..errors import TargetError
+from ..ir.opcodes import LatencyModel
+from ..machine.cluster import ClusterSpec, PAPER_CLUSTER
+from .files import TARGET_SUFFIXES, load_target
+from .spec import TargetSpec
+
+#: name -> spec.  Populated below; extended by :func:`register_target`.
+TARGET_REGISTRY: Dict[str, TargetSpec] = {}
+
+
+def register_target(target: TargetSpec, *, replace: bool = False) -> TargetSpec:
+    """Register *target* under its name for ``get_target`` lookups."""
+    if not isinstance(target, TargetSpec):
+        raise TargetError(
+            f"register_target needs a TargetSpec, got {type(target).__name__}"
+        )
+    if target.name in TARGET_REGISTRY and not replace:
+        raise TargetError(
+            f"target {target.name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    TARGET_REGISTRY[target.name] = target
+    return target
+
+
+def target_names() -> Tuple[str, ...]:
+    """All registered target names, sorted."""
+    return tuple(sorted(TARGET_REGISTRY))
+
+
+def get_target(name: str) -> TargetSpec:
+    """The registered target called *name*."""
+    try:
+        return TARGET_REGISTRY[name]
+    except KeyError:
+        raise TargetError(
+            f"unknown target {name!r}; registered: {', '.join(target_names())}"
+        ) from None
+
+
+def resolve_target(ref: Union[str, os.PathLike]) -> TargetSpec:
+    """Resolve *ref* — a registered target name or a machine-file path."""
+    text = os.fspath(ref)
+    if text.lower().endswith(TARGET_SUFFIXES) or os.sep in text:
+        return load_target(text)
+    return get_target(text)
+
+
+# ----------------------------------------------------------------------
+# Builtins
+# ----------------------------------------------------------------------
+
+
+def _paper(name: str, k: int, kind: str, description: str, **params) -> TargetSpec:
+    return TargetSpec(
+        name=name,
+        clusters=(PAPER_CLUSTER,) * k,
+        topology_kind=kind,
+        topology_params=params,
+        description=description,
+    )
+
+
+for _k in (2, 4, 8):
+    register_target(
+        _paper(
+            f"paper-ring-{_k}",
+            _k,
+            "ring",
+            f"the paper's machine: {_k} clusters of "
+            "{1 L/S, 1 Add, 1 Mul, 1 Copy} on a bi-directional ring",
+        )
+    )
+
+register_target(
+    _paper(
+        "paper-linear-4",
+        4,
+        "linear",
+        "topology-ablation variant: 4 paper clusters on a linear array",
+    )
+)
+
+register_target(
+    _paper(
+        "mesh-3x3",
+        9,
+        "mesh",
+        "CGRA-style 3x3 mesh of paper clusters",
+        rows=3,
+        cols=3,
+    )
+)
+
+register_target(
+    _paper(
+        "torus-3x3",
+        9,
+        "torus",
+        "3x3 torus (mesh with wraparound on both axes)",
+        rows=3,
+        cols=3,
+    )
+)
+
+register_target(
+    _paper(
+        "crossbar-8",
+        8,
+        "crossbar",
+        "8 paper clusters behind a full crossbar (no communication "
+        "conflicts possible)",
+    )
+)
+
+#: A heterogeneous target: specialised clusters and a slow-memory latency
+#: profile, exercising the per-cluster FU mixes and per-target latencies
+#: target files make first-class.
+register_target(
+    TargetSpec(
+        name="hetero-4",
+        clusters=(
+            ClusterSpec(mem=2, alu=1, mul=0, copy=1),  # load/store cluster
+            ClusterSpec(mem=1, alu=2, mul=1, copy=1),  # ALU-heavy cluster
+            ClusterSpec(mem=0, alu=1, mul=2, copy=1),  # multiplier cluster
+            PAPER_CLUSTER,
+        ),
+        topology_kind="ring",
+        latencies=LatencyModel(load=4, mul=4),
+        description=(
+            "heterogeneous ring: mem/alu/mul-specialised clusters with a "
+            "slow-memory latency profile"
+        ),
+    )
+)

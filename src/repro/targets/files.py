@@ -1,0 +1,166 @@
+"""Target files: TOML/JSON serialisation of :class:`TargetSpec`.
+
+A machine file is the plain-data schema of
+:func:`~repro.targets.spec.target_from_dict` written as TOML (preferred,
+human-authored) or JSON (machine-generated)::
+
+    name = "mesh-3x3"
+    description = "3x3 mesh of paper clusters"
+
+    [topology]
+    kind = "mesh"
+
+    [topology.params]
+    rows = 3
+    cols = 3
+
+    [latencies]
+    load = 2
+
+    [[clusters]]
+    mem = 1
+    alu = 1
+    mul = 1
+    copy = 1
+    count = 9
+
+Loading goes through the stdlib ``tomllib``/``json`` parsers; writing
+uses a small emitter restricted to the schema's value types (ints,
+strings, lists, nested tables, arrays of tables), so no third-party TOML
+writer is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from ..errors import TargetError
+from .spec import TargetSpec, target_from_dict
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 fallback
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
+
+#: File suffixes understood by :func:`load_target` / :func:`save_target`.
+TARGET_SUFFIXES = (".toml", ".json")
+
+
+# ----------------------------------------------------------------------
+# TOML emission (schema-restricted)
+# ----------------------------------------------------------------------
+
+
+def _toml_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # TOML basic strings are JSON-compatible
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise TargetError(f"cannot emit {value!r} ({type(value).__name__}) as TOML")
+
+
+def _emit_table(data: Mapping[str, object], prefix: str, lines: List[str]) -> None:
+    scalars = {
+        k: v
+        for k, v in data.items()
+        if not isinstance(v, Mapping)
+        and not (isinstance(v, list) and v and isinstance(v[0], Mapping))
+    }
+    for key, value in scalars.items():
+        lines.append(f"{key} = {_toml_value(value)}")
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            if not value:
+                continue  # empty tables carry no information
+            lines.append("")
+            lines.append(f"[{prefix}{key}]")
+            _emit_table(value, f"{prefix}{key}.", lines)
+    for key, value in data.items():
+        if isinstance(value, list) and value and isinstance(value[0], Mapping):
+            for item in value:
+                lines.append("")
+                lines.append(f"[[{prefix}{key}]]")
+                _emit_table(item, f"{prefix}{key}.", lines)
+
+
+def dumps_toml(data: Mapping[str, object]) -> str:
+    """Serialise a target dict as TOML text."""
+    lines: List[str] = []
+    _emit_table(data, "", lines)
+    return "\n".join(lines) + "\n"
+
+
+def target_to_toml(target: TargetSpec) -> str:
+    """The TOML machine-file text for *target*."""
+    return dumps_toml(target.to_dict())
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+
+
+def loads_target(text: str, format: str = "toml") -> TargetSpec:
+    """Parse machine-file *text* (``"toml"`` or ``"json"``)."""
+    if format == "toml":
+        if tomllib is None:  # pragma: no cover - Python 3.10 without tomli
+            raise TargetError(
+                "TOML target files need Python >= 3.11 (tomllib) or the "
+                "'tomli' package; use a .json target file instead"
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as err:
+            raise TargetError(f"invalid TOML target file: {err}") from err
+    elif format == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise TargetError(f"invalid JSON target file: {err}") from err
+    else:
+        raise TargetError(
+            f"unknown target file format {format!r}; supported: toml, json"
+        )
+    return target_from_dict(data)
+
+
+def load_target(path: Union[str, os.PathLike]) -> TargetSpec:
+    """Load a target from a ``.toml`` or ``.json`` machine file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in TARGET_SUFFIXES:
+        raise TargetError(
+            f"target file {path} has unsupported suffix {suffix!r}; "
+            f"expected one of {TARGET_SUFFIXES}"
+        )
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise TargetError(f"cannot read target file {path}: {err}") from err
+    return loads_target(text, format=suffix.lstrip("."))
+
+
+def save_target(target: TargetSpec, path: Union[str, os.PathLike]) -> None:
+    """Write *target* as a machine file (format chosen by suffix)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        text = target_to_toml(target)
+    elif suffix == ".json":
+        text = json.dumps(target.to_dict(), indent=2, sort_keys=True) + "\n"
+    else:
+        raise TargetError(
+            f"target file {path} has unsupported suffix {suffix!r}; "
+            f"expected one of {TARGET_SUFFIXES}"
+        )
+    path.write_text(text)

@@ -41,6 +41,64 @@ class TestSchedule:
             main(["schedule", "nonsense"])
 
 
+class TestTarget:
+    def test_target_list(self, capsys):
+        assert main(["target", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-ring-4" in out
+        assert "mesh-3x3" in out
+        assert "crossbar-8" in out
+
+    def test_target_show_emits_toml(self, capsys):
+        assert main(["target", "show", "mesh-3x3"]) == 0
+        out = capsys.readouterr().out
+        assert 'kind = "mesh"' in out
+        assert "[topology.params]" in out
+
+    def test_target_validate_ok(self, capsys):
+        assert main(["target", "validate", "hetero-4"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_target_validate_unknown(self, capsys):
+        assert main(["target", "validate", "nope"]) == 2
+        assert "invalid target" in capsys.readouterr().err
+
+    def test_target_show_needs_name(self, capsys):
+        assert main(["target", "show"]) == 2
+
+    def test_target_file_round_trip_through_cli(self, capsys, tmp_path):
+        main(["target", "show", "crossbar-8"])
+        text = capsys.readouterr().out
+        toml_lines = [line for line in text.splitlines() if not line.startswith("#")]
+        path = tmp_path / "custom.toml"
+        path.write_text("\n".join(toml_lines))
+        assert main(["target", "validate", str(path)]) == 0
+
+    def test_schedule_with_target(self, capsys):
+        assert main(["schedule", "dot_product", "--target", "mesh-3x3"]) == 0
+        out = capsys.readouterr().out
+        assert "DMS" in out
+        assert "mesh-3x3" in out
+
+    def test_batch_with_targets(self, capsys):
+        argv = [
+            "batch",
+            "--kernels",
+            "daxpy,vector_add",
+            "--target",
+            "mesh-3x3,crossbar-8",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("DMS") == 4
+        assert "2 kernels x 2 targets" in captured.err
+
+    def test_batch_with_unknown_target(self, capsys):
+        assert (
+            main(["batch", "--kernels", "daxpy", "--target", "bogus"]) == 2
+        )
+
+
 class TestFigures:
     def test_fig4_small(self, capsys):
         assert main(["fig4", "--loops", "6", "--clusters", "1,2"]) == 0

@@ -1,0 +1,211 @@
+"""Cross-topology correctness: DMS + the independent checker over every
+registered topology.
+
+The DMS paper argues the algorithm suits any clustered machine with
+fixed-timing neighbour links; the topology registry makes that claim
+testable.  Every topology kind must (a) satisfy the protocol invariants
+(distance/neighbors/paths consistency) and (b) produce schedules the
+independent checker accepts, for every cluster count the sweep uses.
+"""
+
+import pytest
+
+from repro.api import CompilationRequest, Toolchain
+from repro.errors import MachineError
+from repro.machine import (
+    CrossbarTopology,
+    GraphTopology,
+    MeshTopology,
+    Topology,
+    TorusTopology,
+    clustered_vliw,
+    make_topology,
+    register_topology,
+    topology_kinds,
+)
+from repro.machine.topology import TOPOLOGY_REGISTRY, _cached_topology
+from repro.scheduling.checker import check_schedule
+from repro.workloads import make_kernel, perfect_club_surrogate
+
+CLUSTER_COUNTS = (2, 4, 8)
+
+
+def compile_on(machine, loop):
+    report = Toolchain.default().compile(
+        CompilationRequest(
+            loop=loop, machine=machine, allocate=False, validate=True
+        )
+    )
+    return report.result
+
+
+class TestProtocolInvariants:
+    @pytest.mark.parametrize("kind", topology_kinds())
+    @pytest.mark.parametrize("n", CLUSTER_COUNTS)
+    def test_distance_neighbor_path_consistency(self, kind, n):
+        topology = make_topology(kind, n)
+        assert topology.n_clusters == n
+        for a in range(n):
+            neighbors = topology.neighbors(a)
+            assert list(neighbors) == sorted(set(neighbors))
+            assert a not in neighbors
+            for b in range(n):
+                d = topology.distance(a, b)
+                assert d == topology.distance(b, a)
+                assert (d == 0) == (a == b)
+                assert topology.adjacent(a, b) == (d <= 1)
+                if a != b:
+                    assert (b in neighbors) == (d == 1)
+                paths = topology.paths(a, b)
+                assert paths, f"no path {a}->{b} on {topology!r}"
+                assert len(paths) <= max(topology.max_paths, 2)
+                for path in paths:
+                    assert path.clusters[0] == a
+                    assert path.clusters[-1] == b
+                    assert path.hops >= d
+                    for u, v in zip(path.clusters, path.clusters[1:]):
+                        assert topology.distance(u, v) == 1
+
+    @pytest.mark.parametrize("kind", topology_kinds())
+    def test_directed_pairs_are_symmetric_and_adjacent(self, kind):
+        topology = make_topology(kind, 6)
+        pairs = set(topology.directed_pairs())
+        for a, b in pairs:
+            assert (b, a) in pairs
+            assert topology.distance(a, b) == 1
+
+
+class TestCrossTopologyScheduling:
+    """DMS + checker.verify over every registered topology x {2, 4, 8}."""
+
+    @pytest.fixture(scope="class")
+    def sample_loops(self):
+        return perfect_club_surrogate(4, seed=7) + [
+            make_kernel("fir_filter", taps=6),
+            make_kernel("dot_product"),
+        ]
+
+    @pytest.mark.parametrize("kind", topology_kinds())
+    @pytest.mark.parametrize("clusters", CLUSTER_COUNTS)
+    def test_dms_schedules_verify(self, kind, clusters, sample_loops):
+        machine = clustered_vliw(clusters, topology=kind)
+        for loop in sample_loops:
+            result = compile_on(machine, loop)
+            report = check_schedule(result)
+            assert report.ok, report.problems
+            assert result.scheduler == "dms"
+
+
+class TestConcreteTopologies:
+    def test_mesh_manhattan_distance(self):
+        mesh = MeshTopology(6, rows=2, cols=3)
+        assert mesh.distance(0, 5) == 3  # (0,0) -> (1,2)
+        assert mesh.neighbors(0) == (1, 3)
+        assert mesh.neighbors(4) == (1, 3, 5)
+
+    def test_mesh_default_factorization_is_near_square(self):
+        assert MeshTopology(8).params() == {"rows": 2, "cols": 4}
+        assert MeshTopology(9).params() == {"rows": 3, "cols": 3}
+        assert MeshTopology(7).params() == {"rows": 1, "cols": 7}
+
+    def test_mesh_paths_are_shortest_and_bounded(self):
+        mesh = MeshTopology(9, rows=3, cols=3)
+        paths = mesh.paths(0, 8)
+        assert 1 <= len(paths) <= mesh.max_paths
+        assert all(p.hops == 4 for p in paths)
+
+    def test_mesh_bad_shape_rejected(self):
+        with pytest.raises(MachineError):
+            MeshTopology(6, rows=4, cols=2)
+
+    def test_torus_wraparound_halves_distances(self):
+        mesh = MeshTopology(16, rows=4, cols=4)
+        torus = TorusTopology(16, rows=4, cols=4)
+        assert mesh.distance(0, 15) == 6
+        assert torus.distance(0, 15) == 2
+        assert torus.neighbors(0) == (1, 3, 4, 12)
+
+    def test_torus_degenerate_rows_have_no_self_loops(self):
+        torus = TorusTopology(2, rows=1, cols=2)
+        assert torus.neighbors(0) == (1,)
+
+    def test_crossbar_is_fully_connected(self):
+        crossbar = CrossbarTopology(5)
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    assert crossbar.distance(a, b) == 1
+        assert crossbar.paths(0, 4) == [crossbar.paths(0, 4)[0]]
+        assert crossbar.paths(0, 4)[0].n_moves == 0
+
+    def test_graph_custom_edges(self):
+        star = GraphTopology(4, edges=((0, 1), (0, 2), (0, 3)))
+        assert star.distance(1, 3) == 2
+        assert star.neighbors(0) == (1, 2, 3)
+        (path,) = star.paths(1, 2)
+        assert path.clusters == (1, 0, 2)
+
+    def test_graph_defaults_to_ring(self):
+        graph = GraphTopology(5)
+        ring = make_topology("ring", 5)
+        for a in range(5):
+            for b in range(5):
+                assert graph.distance(a, b) == ring.distance(a, b)
+
+    def test_graph_rejects_disconnected(self):
+        with pytest.raises(MachineError, match="disconnected"):
+            GraphTopology(4, edges=((0, 1), (2, 3)))
+
+    def test_graph_rejects_self_loops(self):
+        with pytest.raises(MachineError, match="self-loop"):
+            GraphTopology(3, edges=((0, 0),))
+
+
+class TestRegistryExtension:
+    """Adding a topology is one registration (the satellite's invariant)."""
+
+    def test_registering_a_topology_enables_machines(self, stream_loop):
+        @register_topology
+        class StarTopology(Topology):
+            """Hub-and-spoke: cluster 0 is adjacent to everyone."""
+
+            kind = "star-test"
+
+            def distance(self, a, b):
+                self._check(a)
+                self._check(b)
+                if a == b:
+                    return 0
+                return 1 if 0 in (a, b) else 2
+
+            def neighbors(self, cluster):
+                self._check(cluster)
+                if cluster == 0:
+                    return tuple(range(1, self.n_clusters))
+                return (0,)
+
+        try:
+            assert "star-test" in topology_kinds()
+            machine = clustered_vliw(4, topology="star-test")
+            result = compile_on(machine, stream_loop)
+            assert check_schedule(result).ok
+            # Far spokes route through the hub.
+            (path,) = machine.topology.paths(1, 2)
+            assert path.clusters == (1, 0, 2)
+        finally:
+            TOPOLOGY_REGISTRY.pop("star-test", None)
+            _cached_topology.cache_clear()
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(MachineError, match="already registered"):
+
+            @register_topology
+            class AnotherRing(Topology):
+                kind = "ring"
+
+    def test_unnamed_topology_rejected(self):
+        with pytest.raises(MachineError, match="no kind"):
+
+            @register_topology
+            class Nameless(Topology):
+                pass

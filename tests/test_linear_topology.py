@@ -49,6 +49,46 @@ class TestDistances:
         assert (0, 1) in writers_readers
 
 
+class TestEndpoints:
+    """Edge cases at the ends of the array (no wraparound shortcuts)."""
+
+    def test_single_cluster_has_no_neighbors(self):
+        linear = LinearTopology(1)
+        assert linear.neighbors(0) == ()
+        assert linear.distance(0, 0) == 0
+        assert linear.paths(0, 0)[0].clusters == (0,)
+
+    def test_two_cluster_array(self):
+        linear = LinearTopology(2)
+        assert linear.neighbors(0) == (1,)
+        assert linear.neighbors(1) == (0,)
+        assert len(linear.paths(0, 1)) == 1
+
+    def test_endpoint_distance_spans_whole_array(self):
+        linear = LinearTopology(7)
+        assert linear.distance(0, 6) == 6
+        assert linear.distance(6, 0) == 6
+
+    def test_endpoint_to_endpoint_path_touches_every_cluster(self):
+        linear = LinearTopology(5)
+        (path,) = linear.paths(0, 4)
+        assert path.clusters == (0, 1, 2, 3, 4)
+        assert path.intermediates == (1, 2, 3)
+        assert path.n_moves == 3
+
+    def test_out_of_range_cluster_rejected(self):
+        linear = LinearTopology(3)
+        with pytest.raises(MachineError):
+            linear.distance(0, 3)
+        with pytest.raises(MachineError):
+            linear.neighbors(-1)
+
+    def test_invalid_direction_values_rejected(self):
+        linear = LinearTopology(4)
+        with pytest.raises(MachineError):
+            linear.path(0, 2, 2)
+
+
 class TestMachines:
     def test_topology_kind_selects_class(self):
         ring = clustered_vliw(6)
@@ -58,7 +98,7 @@ class TestMachines:
 
     def test_unknown_topology_rejected(self):
         with pytest.raises(MachineError):
-            clustered_vliw(4, topology="torus")
+            clustered_vliw(4, topology="hypercube")
 
     def test_name_mentions_topology(self):
         assert "linear" in clustered_vliw(4, topology="linear").name
