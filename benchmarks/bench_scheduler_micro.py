@@ -1,8 +1,11 @@
 """Micro-benchmarks of the scheduler components (real timing runs).
 
 These time the hot pieces of the library on representative inputs:
-MII bounds, the transforms, IMS, and DMS at two ring widths.  Useful for
-tracking implementation performance regressions, not paper claims.
+MII bounds, the transforms, IMS, and DMS at two ring widths plus the
+super-linear scaling regime (unroll x8/x16, 8-cluster mesh/crossbar).
+Useful for tracking implementation performance regressions, not paper
+claims.  ``repro bench`` runs the same case families with a committed
+baseline and a CI tolerance gate (see README "Performance").
 """
 
 import pytest
@@ -65,4 +68,27 @@ def test_dms_throughput_wide(benchmark, lms_ddg):
     ddg = single_use_ddg(lms_ddg)
     scheduler = DistributedModuloScheduler(machine)
     result = benchmark(lambda: scheduler.schedule(ddg.copy()))
+    assert result.ii >= 1
+
+
+# ----------------------------------------------------------------------
+# Scaling regime: wide unrolls and many clusters, where scheduling cost
+# used to grow super-linearly (chain planning + backtracking pressure).
+# The cases come straight from the `repro bench` matrix, so these
+# pytest-benchmark numbers always measure exactly what the CI gate
+# (BENCH_scheduler.json) measures.
+# ----------------------------------------------------------------------
+
+from repro.bench import CASES as BENCH_CASES
+
+_SCALING_NAMES = ("dms_unroll8", "dms_unroll16", "dms_mesh8", "dms_crossbar8")
+_SCALING_CASES = [case for case in BENCH_CASES if case.name in _SCALING_NAMES]
+
+
+@pytest.mark.parametrize(
+    "case", _SCALING_CASES, ids=[case.name for case in _SCALING_CASES]
+)
+def test_dms_scaling(benchmark, case):
+    thunk = case.build()
+    result = benchmark(thunk)
     assert result.ii >= 1

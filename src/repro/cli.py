@@ -9,6 +9,8 @@ Commands:
   (builtin names or TOML/JSON machine files);
 * ``batch``         — batch-compile kernels through the session API
   (process pool + on-disk cache);
+* ``bench``         — scheduler performance benchmarks; writes/compares
+  ``BENCH_scheduler.json`` with a tolerance gate (used by CI);
 * ``fig4|fig5|fig6``— regenerate a paper figure over the surrogate suite;
 * ``backtracking``  — the IMS-vs-DMS backtracking comparison;
 * ``all-figures``   — everything above in one sweep.
@@ -152,6 +154,50 @@ def _parser() -> argparse.ArgumentParser:
             default=None,
             help="process-pool width for the sweep (default: serial)",
         )
+
+    bench = sub.add_parser(
+        "bench", help="scheduler performance benchmarks + regression gate"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="3 reps per case instead of 5"
+    )
+    bench.add_argument(
+        "--cases", type=str, default=None, help="comma-separated case subset"
+    )
+    bench.add_argument(
+        "--out", type=str, default=None, help="write results JSON to this path"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--baseline",
+        type=str,
+        default="BENCH_scheduler.json",
+        help="baseline JSON for --check (default: BENCH_scheduler.json)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative tolerance on normalized times (default: 0.25)",
+    )
+    bench.add_argument(
+        "--baseline-carry",
+        type=str,
+        default=None,
+        help="carry seed_reference forward from this JSON when rewriting "
+        "the baseline",
+    )
+    bench.add_argument(
+        "--profile",
+        type=str,
+        default=None,
+        metavar="CASE",
+        help="print cProfile top-20 cumulative for one case and exit",
+    )
 
     storage = sub.add_parser(
         "storage", help="register/queue storage requirements (paper section 1)"
@@ -500,6 +546,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _target_command(args)
     if args.command == "batch":
         return _batch_command(args)
+    if args.command == "bench":
+        from .bench import main_bench
+
+        return main_bench(args)
     if args.command == "storage":
         return _storage_command(args)
     if args.command == "ablation":

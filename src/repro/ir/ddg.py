@@ -8,6 +8,15 @@ ordering edges are explicit.
 The graph is mutable because both the single-use transformation and the DMS
 scheduler itself rewrite it (copy and move insertion, chain dismantling).
 Mutation goes through a small API that keeps operands and edges in sync.
+
+Adjacency queries (``in_edges``/``out_edges``/``op_ids``/
+``flow_succ_refs``) are on the scheduler's innermost loops, so they return
+pre-sorted tuples cached per operation and invalidated only by mutation:
+a read between mutations costs one dict lookup instead of a sort.  Every
+edge insert/remove also bumps a per-endpoint *adjacency version*
+(:meth:`DDG.adj_version`), which lets schedulers key their own incremental
+state (e.g. communication-compatibility sets) off graph changes without
+subscribing to them.
 """
 
 from __future__ import annotations
@@ -24,6 +33,61 @@ from .operations import Operation, ValueUse
 EdgeKey = Tuple[int, int, DepKind, int]
 
 
+def _tarjan_sccs(adj: Dict[int, List[int]]) -> List[List[int]]:
+    """Strongly connected components of *adj* (iterative Tarjan).
+
+    Pure-Python replacement for the networkx call on the MII hot path:
+    no graph-object conversion, no recursion.  Roots are visited in
+    *adj*'s iteration order, so the result is deterministic for the
+    sorted adjacency built by :meth:`DDG._adjacency`.
+    """
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack = set()
+    stack: List[int] = []
+    result: List[List[int]] = []
+    counter = 0
+    for root in adj:
+        if root in index:
+            continue
+        work: List[Tuple[int, Iterator[int]]] = [(root, iter(adj[root]))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adj[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack and index[succ] < low[node]:
+                    low[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+            if low[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
 class DDG:
     """A mutable data dependence graph for one innermost loop body."""
 
@@ -34,6 +98,24 @@ class DDG:
         self._out: Dict[int, Dict[EdgeKey, DepEdge]] = {}
         self._in: Dict[int, Dict[EdgeKey, DepEdge]] = {}
         self._next_id = 0
+        # Read caches: pre-sorted adjacency tuples per op, the sorted id
+        # tuple, and per-op flow consumer references.  Values are
+        # immutable, built on first read and dropped on mutation (see
+        # _invalidate_*), so repeated reads between mutations are O(1).
+        self._out_cache: Dict[int, Tuple[DepEdge, ...]] = {}
+        self._in_cache: Dict[int, Tuple[DepEdge, ...]] = {}
+        self._refs_cache: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+        self._op_ids_cache: Optional[Tuple[int, ...]] = None
+        # Monotonic per-op adjacency versions (bumped on any edge change
+        # touching the op); scheduler-side caches key off these.
+        self._adj_version: Dict[int, int] = {}
+        # Forward references: missing producer id -> consumer ids that
+        # referenced it when they were inserted.  Entries are verified
+        # against the consumers' *current* operands when the producer
+        # arrives, so stale hints (operand replaced, consumer removed)
+        # are harmless.  This replaces the all-ops scan that made every
+        # insertion O(graph).
+        self._forward: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Construction / mutation
@@ -88,16 +170,20 @@ class DDG:
         self._out.setdefault(op.op_id, {})
         self._in.setdefault(op.op_id, {})
         self._next_id = max(self._next_id, op.op_id + 1)
+        self._op_ids_cache = None
         self._derive_flow_in_edges(op)
         # Existing ops may hold forward references to this op.
-        for other in self._ops.values():
-            if other.op_id == op.op_id:
-                continue
-            for src in other.internal_srcs:
-                if src.producer == op.op_id:
-                    self._insert_edge(
-                        DepEdge(op.op_id, other.op_id, DepKind.FLOW, src.omega)
-                    )
+        pending = self._forward.pop(op.op_id, None)
+        if pending:
+            for consumer_id in pending:
+                other = self._ops.get(consumer_id)
+                if other is None or other.op_id == op.op_id:
+                    continue
+                for src in other.internal_srcs:
+                    if src.producer == op.op_id:
+                        self._insert_edge(
+                            DepEdge(op.op_id, other.op_id, DepKind.FLOW, src.omega)
+                        )
         return op
 
     def new_operation(
@@ -127,6 +213,11 @@ class DDG:
         del self._ops[op_id]
         self._out.pop(op_id, None)
         self._in.pop(op_id, None)
+        self._op_ids_cache = None
+        self._out_cache.pop(op_id, None)
+        self._in_cache.pop(op_id, None)
+        self._refs_cache.pop(op_id, None)
+        self._adj_version.pop(op_id, None)
 
     def replace_operand(self, op_id: int, index: int, new_src: ValueUse) -> None:
         """Replace operand *index* of op *op_id*, re-deriving flow edges."""
@@ -166,6 +257,8 @@ class DDG:
         for src in op.internal_srcs:
             if src.producer in self._ops:
                 self._insert_edge(DepEdge(src.producer, op.op_id, DepKind.FLOW, src.omega))
+            else:
+                self._forward.setdefault(src.producer, []).append(op.op_id)
 
     def _retire_flow_in_edges(self, op_id: int) -> None:
         for edge in [e for e in self.in_edges(op_id) if e.is_flow]:
@@ -174,10 +267,29 @@ class DDG:
     def _insert_edge(self, edge: DepEdge) -> None:
         self._out.setdefault(edge.src, {})[edge.key] = edge
         self._in.setdefault(edge.dst, {})[edge.key] = edge
+        self._touch_endpoints(edge)
 
     def _remove_edge(self, edge: DepEdge) -> None:
         self._out.get(edge.src, {}).pop(edge.key, None)
         self._in.get(edge.dst, {}).pop(edge.key, None)
+        self._touch_endpoints(edge)
+
+    def _touch_endpoints(self, edge: DepEdge) -> None:
+        """Drop read caches and bump versions after an edge change."""
+        self._out_cache.pop(edge.src, None)
+        self._in_cache.pop(edge.dst, None)
+        # Consumer references depend on the producer's out edges *and* the
+        # consumer's operand list; both endpoints' refs may shift.
+        self._refs_cache.pop(edge.src, None)
+        versions = self._adj_version
+        versions[edge.src] = versions.get(edge.src, 0) + 1
+        versions[edge.dst] = versions.get(edge.dst, 0) + 1
+
+    def adj_version(self, op_id: int) -> int:
+        """Monotonic counter bumped whenever an edge touching *op_id*
+        is inserted or removed.  External caches derived from this op's
+        adjacency are valid exactly while the version is unchanged."""
+        return self._adj_version.get(op_id, 0)
 
     # ------------------------------------------------------------------
     # Queries
@@ -197,28 +309,43 @@ class DDG:
         return len(self._ops)
 
     @property
-    def op_ids(self) -> List[int]:
-        """Sorted operation ids."""
-        return sorted(self._ops)
+    def op_ids(self) -> Tuple[int, ...]:
+        """Sorted operation ids (cached between mutations)."""
+        ids = self._op_ids_cache
+        if ids is None:
+            ids = self._op_ids_cache = tuple(sorted(self._ops))
+        return ids
 
     def operations(self) -> Iterator[Operation]:
         """Iterate operations in id order."""
         for op_id in self.op_ids:
             yield self._ops[op_id]
 
-    def out_edges(self, op_id: int) -> List[DepEdge]:
-        """Edges leaving *op_id* (deterministic order)."""
-        return sorted(
-            self._out.get(op_id, {}).values(),
-            key=lambda e: (e.dst, e.kind.value, e.omega),
-        )
+    def out_edges(self, op_id: int) -> Tuple[DepEdge, ...]:
+        """Edges leaving *op_id* (deterministic order, cached)."""
+        edges = self._out_cache.get(op_id)
+        if edges is None:
+            edges = tuple(
+                sorted(
+                    self._out.get(op_id, {}).values(),
+                    key=lambda e: (e.dst, e.kind.value, e.omega),
+                )
+            )
+            self._out_cache[op_id] = edges
+        return edges
 
-    def in_edges(self, op_id: int) -> List[DepEdge]:
-        """Edges entering *op_id* (deterministic order)."""
-        return sorted(
-            self._in.get(op_id, {}).values(),
-            key=lambda e: (e.src, e.kind.value, e.omega),
-        )
+    def in_edges(self, op_id: int) -> Tuple[DepEdge, ...]:
+        """Edges entering *op_id* (deterministic order, cached)."""
+        edges = self._in_cache.get(op_id)
+        if edges is None:
+            edges = tuple(
+                sorted(
+                    self._in.get(op_id, {}).values(),
+                    key=lambda e: (e.src, e.kind.value, e.omega),
+                )
+            )
+            self._in_cache[op_id] = edges
+        return edges
 
     def edges(self) -> Iterator[DepEdge]:
         """Iterate all edges, deterministically."""
@@ -229,13 +356,17 @@ class DDG:
     def n_edges(self) -> int:
         return sum(len(d) for d in self._out.values())
 
-    def flow_succ_refs(self, op_id: int) -> List[Tuple[int, int, int]]:
+    def flow_succ_refs(self, op_id: int) -> Tuple[Tuple[int, int, int], ...]:
         """Consumer references of op *op_id*'s value.
 
         Returns one entry per operand reference (duplicates included) as
         ``(consumer_id, operand_index, omega)``, in deterministic order.
         This is the paper's "immediate data dependent successors" count.
+        Cached between mutations of this op's out-adjacency.
         """
+        cached = self._refs_cache.get(op_id)
+        if cached is not None:
+            return cached
         refs: List[Tuple[int, int, int]] = []
         for edge in self.out_edges(op_id):
             if not edge.is_flow:
@@ -244,17 +375,32 @@ class DDG:
             for idx, src in enumerate(consumer.srcs):
                 if not src.is_external and src.producer == op_id and src.omega == edge.omega:
                     refs.append((edge.dst, idx, edge.omega))
-        return refs
+        result = tuple(refs)
+        self._refs_cache[op_id] = result
+        return result
 
     def flow_fanout(self, op_id: int) -> int:
         """Number of operand references to op *op_id*'s value."""
         return len(self.flow_succ_refs(op_id))
 
     def edge_latency(self, edge: DepEdge, latencies: LatencyModel) -> int:
-        """Resolve the latency of *edge* under *latencies*."""
+        """Resolve the latency of *edge* under *latencies*.
+
+        The result is cached on the edge object (keyed by latency-model
+        identity): edges are shared between a graph and its copies, so
+        the cache survives the per-restart copies and repeated schedule
+        calls.  Safe because flow edges are only ever created internally
+        for one graph family, and an op's opcode never changes.
+        """
+        cached = getattr(edge, "_lat_cache", None)
+        if cached is not None and cached[0] is latencies:
+            return cached[1]
         if edge.latency is not None:
-            return edge.latency
-        return latencies.latency(self._ops[edge.src].opcode)
+            lat = edge.latency
+        else:
+            lat = latencies.latency(self._ops[edge.src].opcode)
+        object.__setattr__(edge, "_lat_cache", (latencies, lat))
+        return lat
 
     def n_useful_ops(self) -> int:
         """Number of operations counted by the paper's performance metrics."""
@@ -279,6 +425,18 @@ class DDG:
             graph.add_edge(edge.src, edge.dst, kind=edge.kind, omega=edge.omega)
         return graph
 
+    def _adjacency(self, *, flow_only: bool = False) -> Dict[int, List[int]]:
+        """Successor-id lists (sorted, deduplicated) for graph analyses."""
+        adj: Dict[int, List[int]] = {}
+        for op_id in self.op_ids:
+            succs = {
+                e.dst
+                for e in self.out_edges(op_id)
+                if not flow_only or e.is_flow
+            }
+            adj[op_id] = sorted(succs)
+        return adj
+
     def sccs(self) -> List[List[int]]:
         """Non-trivial strongly connected components (recurrences).
 
@@ -286,13 +444,11 @@ class DDG:
         self-loop edge; these are exactly the recurrence circuits that
         bound RecMII.
         """
-        graph = nx.DiGraph()
-        graph.add_nodes_from(self._ops)
-        graph.add_edges_from((e.src, e.dst) for e in self.edges())
+        adj = self._adjacency()
         result: List[List[int]] = []
-        for comp in nx.strongly_connected_components(graph):
+        for comp in _tarjan_sccs(adj):
             nodes = sorted(comp)
-            if len(nodes) > 1 or graph.has_edge(nodes[0], nodes[0]):
+            if len(nodes) > 1 or nodes[0] in adj[nodes[0]]:
                 result.append(nodes)
         result.sort()
         return result
@@ -304,15 +460,12 @@ class DDG:
         the paper's "loops without recurrences" set-2 definition applied to
         register dataflow.
         """
-        graph = nx.DiGraph()
-        graph.add_nodes_from(self._ops)
-        for edge in self.edges():
-            if flow_only and not edge.is_flow:
-                continue
-            graph.add_edge(edge.src, edge.dst)
-        for comp in nx.strongly_connected_components(graph):
-            nodes = sorted(comp)
-            if len(nodes) > 1 or graph.has_edge(nodes[0], nodes[0]):
+        adj = self._adjacency(flow_only=flow_only)
+        for comp in _tarjan_sccs(adj):
+            if len(comp) > 1:
+                return True
+            node = comp[0]
+            if node in adj[node]:
                 return True
         return False
 
@@ -334,18 +487,29 @@ class DDG:
         )
 
     def _topo_order_omega0(self) -> List[int]:
-        graph = nx.DiGraph()
-        graph.add_nodes_from(self._ops)
-        graph.add_edges_from(
-            (e.src, e.dst) for e in self.edges() if e.omega == 0
-        )
-        try:
-            return list(nx.topological_sort(graph))
-        except nx.NetworkXUnfeasible:
+        """Kahn topological order over the omega-0 subgraph."""
+        indegree: Dict[int, int] = {op_id: 0 for op_id in self.op_ids}
+        succs: Dict[int, List[int]] = {op_id: [] for op_id in self.op_ids}
+        for op_id in self.op_ids:
+            for edge in self.out_edges(op_id):
+                if edge.omega == 0:
+                    succs[op_id].append(edge.dst)
+                    indegree[edge.dst] += 1
+        ready = [op_id for op_id in self.op_ids if indegree[op_id] == 0]
+        order: List[int] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for succ in succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
             raise DDGError(
                 f"DDG {self.name!r} has an omega-0 dependence cycle; "
                 "loop-carried edges must have omega >= 1"
-            ) from None
+            )
+        return order
 
     # ------------------------------------------------------------------
     # Copy / validation / display
@@ -358,6 +522,16 @@ class DDG:
         clone._out = {k: dict(v) for k, v in self._out.items()}
         clone._in = {k: dict(v) for k, v in self._in.items()}
         clone._next_id = self._next_id
+        # Cache values are immutable tuples; sharing them is safe because
+        # each graph drops its own entries on mutation.  Adjacency
+        # versions are *not* carried over: consumers of the clone rebuild
+        # their keyed state lazily (starting from version 0), which keeps
+        # the per-restart copy as cheap as possible.
+        clone._out_cache = dict(self._out_cache)
+        clone._in_cache = dict(self._in_cache)
+        clone._refs_cache = dict(self._refs_cache)
+        clone._op_ids_cache = self._op_ids_cache
+        clone._forward = {k: list(v) for k, v in self._forward.items()}
         return clone
 
     def validate(self) -> None:

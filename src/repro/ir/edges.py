@@ -65,18 +65,31 @@ class DepEdge:
 
     @property
     def key(self) -> Tuple[int, int, DepKind, int]:
-        """Uniqueness key: one edge per (src, dst, kind, omega)."""
-        return (self.src, self.dst, self.kind, self.omega)
+        """Uniqueness key: one edge per (src, dst, kind, omega); cached."""
+        try:
+            return self._key
+        except AttributeError:
+            value = (self.src, self.dst, self.kind, self.omega)
+            object.__setattr__(self, "_key", value)
+            return value
 
     @property
     def is_flow(self) -> bool:
         """True for register flow (value-carrying) edges."""
-        return self.kind == DepKind.FLOW
+        return self.kind is DepKind.FLOW
 
     @property
     def communicates(self) -> bool:
-        """True when the edge moves a value between producer and consumer."""
-        return self.kind in COMMUNICATING_KINDS
+        """True when the edge moves a value between producer and consumer.
+
+        Cached: the schedulers test this on every adjacency walk.
+        """
+        try:
+            return self._communicates
+        except AttributeError:
+            value = self.kind in COMMUNICATING_KINDS
+            object.__setattr__(self, "_communicates", value)
+            return value
 
     @property
     def is_loop_carried(self) -> bool:

@@ -89,13 +89,27 @@ class Operation:
 
     @property
     def fu_kind(self) -> FUKind:
-        """Functional-unit kind that executes this operation."""
-        return fu_kind_of(self.opcode)
+        """Functional-unit kind that executes this operation (cached)."""
+        try:
+            return self._fu_kind
+        except AttributeError:
+            value = fu_kind_of(self.opcode)
+            object.__setattr__(self, "_fu_kind", value)
+            return value
 
     @property
     def internal_srcs(self) -> Tuple[ValueUse, ...]:
-        """Operands that reference other operations (not externals)."""
-        return tuple(s for s in self.srcs if not s.is_external)
+        """Operands that reference other operations (not externals).
+
+        Cached on first access: graph derivation and chain planning read
+        this repeatedly and the instance is immutable.
+        """
+        try:
+            return self._internal_srcs
+        except AttributeError:
+            value = tuple(s for s in self.srcs if not s.is_external)
+            object.__setattr__(self, "_internal_srcs", value)
+            return value
 
     def with_srcs(self, srcs: Tuple[ValueUse, ...]) -> "Operation":
         """Return a copy of this operation with replaced operands."""

@@ -131,6 +131,70 @@ class Topology:
         """True when *a* and *b* are directly connected (distance <= 1)."""
         return self.distance(a, b) <= 1
 
+    # -- cached aggregate views ----------------------------------------
+    #
+    # Topology instances are memoised per (kind, n_clusters, params) by
+    # :func:`make_topology`, so these build exactly once per machine and
+    # turn the per-query virtual ``distance()`` calls on scheduler hot
+    # paths into tuple indexing / frozenset intersection.
+
+    def distance_matrix(self) -> Tuple[Tuple[int, ...], ...]:
+        """``matrix[a][b] == distance(a, b)`` for every cluster pair."""
+        cached = self.__dict__.get("_distance_matrix")
+        if cached is None:
+            n = self.n_clusters
+            cached = tuple(
+                tuple(self.distance(a, b) for b in range(n)) for a in range(n)
+            )
+            self.__dict__["_distance_matrix"] = cached
+        return cached
+
+    def compat_sets(self) -> Tuple[frozenset, ...]:
+        """``compat_sets()[p]`` = clusters *c* with ``distance(p, c) <= 1``
+        (p itself included): where a *consumer* may sit relative to a
+        producer placed on *p* without a communication conflict."""
+        cached = self.__dict__.get("_compat_sets")
+        if cached is None:
+            matrix = self.distance_matrix()
+            cached = tuple(
+                frozenset(b for b, d in enumerate(row) if d <= 1)
+                for row in matrix
+            )
+            self.__dict__["_compat_sets"] = cached
+        return cached
+
+    def compat_sets_in(self) -> Tuple[frozenset, ...]:
+        """``compat_sets_in()[s]`` = clusters *c* with ``distance(c, s) <= 1``:
+        where a *producer* may sit relative to a consumer placed on *s*.
+        Equal to :meth:`compat_sets` on symmetric interconnects (all the
+        built-ins), but kept direction-aware so a registered topology with
+        asymmetric link distances is still judged per edge direction."""
+        cached = self.__dict__.get("_compat_sets_in")
+        if cached is None:
+            matrix = self.distance_matrix()
+            n = self.n_clusters
+            cached = tuple(
+                frozenset(a for a in range(n) if matrix[a][b] <= 1)
+                for b in range(n)
+            )
+            self.__dict__["_compat_sets_in"] = cached
+        return cached
+
+    def paths_cached(self, src: int, dst: int) -> List[CommPath]:
+        """Memoised :meth:`paths`.
+
+        Chain planning asks for the same (src, dst) pair once per
+        candidate combo; topologies are immutable, so the enumeration is
+        computed once per pair per instance.  Callers must not mutate the
+        returned list.
+        """
+        cache = self.__dict__.setdefault("_paths_cache", {})
+        key = (src, dst)
+        paths = cache.get(key)
+        if paths is None:
+            paths = cache[key] = self.paths(src, dst)
+        return paths
+
     def directed_pairs(self) -> List[Tuple[int, int]]:
         """All ordered adjacent pairs (one CQRF per pair and direction)."""
         pairs = []

@@ -3,7 +3,8 @@
 from .chains import Chain, ChainPlan, ChainPlanner, ChainRegistry, PlannedChain
 from .checker import ValidationReport, check_schedule, validate_schedule
 from .dms import DistributedModuloScheduler
-from .heights import compute_heights, priority_order
+from .fingerprint import schedule_fingerprint
+from .heights import compute_heights, height_edge_terms, priority_order
 from .ims import IterativeModuloScheduler
 from .mii import MIIResult, compute_mii, rec_mii, rec_mii_unrolled, res_mii
 from .mrt import ModuloReservationTable
@@ -26,7 +27,9 @@ __all__ = [
     "check_schedule",
     "validate_schedule",
     "DistributedModuloScheduler",
+    "schedule_fingerprint",
     "compute_heights",
+    "height_edge_terms",
     "priority_order",
     "IterativeModuloScheduler",
     "MIIResult",

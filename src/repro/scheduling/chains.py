@@ -167,6 +167,9 @@ class ChainPlanner:
         self.schedule = schedule
         self.config = config
         self._scratch_id = -1
+        self._move_latency = schedule.latencies.latency(OpCode.MOVE)
+        # Producer latency memo (opcodes are immutable per op id).
+        self._op_latency: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Planning
@@ -176,7 +179,8 @@ class ChainPlanner:
         """Best feasible chain plan for *op_id*, or None."""
         schedule = self.schedule
         machine = schedule.machine
-        topology = machine.topology
+        dist = schedule.dist
+        capacity = schedule.mrt.capacity
         op = schedule.ddg.op(op_id)
 
         succ_clusters = [
@@ -185,14 +189,15 @@ class ChainPlanner:
         pred_groups = self._scheduled_pred_groups(op_id)
         best: Optional[ChainPlan] = None
         for cluster in range(machine.n_clusters):
-            if machine.fu_in_cluster(cluster, op.fu_kind) == 0:
+            if capacity(cluster, op.fu_kind) == 0:
                 continue
-            if any(topology.distance(cluster, sc) > 1 for sc in succ_clusters):
+            dist_from = dist[cluster]
+            if any(dist_from[sc] > 1 for sc in succ_clusters):
                 continue
             far = [
                 (producer, omega, indexes, schedule.cluster(producer))
                 for (producer, omega), indexes in pred_groups.items()
-                if topology.distance(schedule.cluster(producer), cluster) > 1
+                if dist[schedule.cluster(producer)][cluster] > 1
             ]
             if not far:
                 # Strategy 1 handles chain-free clusters; nothing to plan.
@@ -227,7 +232,7 @@ class ChainPlanner:
         topology = self.schedule.machine.topology
         options_per_pred: List[List[Tuple[int, int, Tuple[int, ...], CommPath]]] = []
         for producer, omega, indexes, pred_cluster in far:
-            paths = topology.paths(pred_cluster, cluster)
+            paths = topology.paths_cached(pred_cluster, cluster)
             if self.config.prefer_shortest_chain_only:
                 paths = paths[:1]
             options_per_pred.append(
@@ -254,15 +259,18 @@ class ChainPlanner:
         schedule = self.schedule
         mrt = schedule.mrt
         ii = schedule.ii
-        move_latency = schedule.latencies.latency(OpCode.MOVE)
+        move_latency = self._move_latency
         occupied: List[Tuple[int, int, int]] = []  # (scratch_id, cluster, time)
         planned: List[PlannedChain] = []
         feasible = True
         touched: Set[int] = set()
         for producer, omega, indexes, path in combo:
-            producer_latency = schedule.latencies.latency(
-                schedule.ddg.op(producer).opcode
-            )
+            producer_latency = self._op_latency.get(producer)
+            if producer_latency is None:
+                producer_latency = schedule.latencies.latency(
+                    schedule.ddg.op(producer).opcode
+                )
+                self._op_latency[producer] = producer_latency
             ready = schedule.time(producer) + producer_latency - ii * omega
             move_times: List[int] = []
             for hop_cluster in path.intermediates:
@@ -299,13 +307,7 @@ class ChainPlanner:
 
     def _find_clean_copy_slot(self, cluster: int, estart: int) -> Optional[int]:
         """First free Copy-FU slot in ``[estart, estart + II - 1]``."""
-        mrt = self.schedule.mrt
-        if mrt.capacity(cluster, FUKind.COPY) == 0:
-            return None
-        for time in range(estart, estart + self.schedule.ii):
-            if mrt.is_free(cluster, FUKind.COPY, time):
-                return time
-        return None
+        return self.schedule.mrt.first_free_slot(cluster, FUKind.COPY, estart)
 
     # ------------------------------------------------------------------
     # Application

@@ -33,6 +33,7 @@ property tests enforce.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..config import DEFAULT_CONFIG, SchedulerConfig
@@ -41,7 +42,7 @@ from ..ir.ddg import DDG
 from ..ir.opcodes import DEFAULT_LATENCIES, FUKind, LatencyModel
 from ..machine.machine import MachineSpec
 from .chains import ChainPlanner, ChainRegistry, dismantle_chain
-from .heights import compute_heights
+from .heights import compute_heights, height_edge_terms
 from .mii import compute_mii
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule
@@ -77,17 +78,25 @@ class DistributedModuloScheduler:
         bounds = compute_mii(ddg, self.machine, self.latencies)
         stats = SchedulerStats()
         max_ii = self.config.max_ii(bounds.mii)
+        # Edge latencies are a property of the graph alone (cached on the
+        # shared edge objects); the height edge terms depend only on the
+        # graph, so they are computed once here and reused by every II
+        # attempt instead of being rebuilt per pristine copy.
+        height_terms = height_edge_terms(ddg, self.latencies)
+        can_mutate = self.machine.is_clustered
         for ii in range(bounds.mii, max_ii + 1):
             stats.ii_attempts += 1
             schedule = None
-            work = ddg
+            heights = compute_heights(ddg, self.latencies, ii, height_terms)
             for salt in range(self.config.restarts_per_ii):
                 # Each attempt works on a pristine copy: chains from failed
-                # attempts must not leak into the next one.  The salt
-                # rotates the cluster preference so restarts explore
-                # different greedy assignments (see SchedulerConfig).
-                work = ddg.copy()
-                attempt = _Attempt(self, work, ii, stats, salt)
+                # attempts must not leak into the next one.  An unclustered
+                # machine never builds chains, so the graph cannot mutate
+                # and the copy is skipped.  The salt rotates the cluster
+                # preference so restarts explore different greedy
+                # assignments (see SchedulerConfig).
+                work = ddg.copy() if can_mutate else ddg
+                attempt = _Attempt(self, work, ii, stats, salt, heights)
                 schedule = attempt.run()
                 if schedule is not None:
                     break
@@ -129,6 +138,7 @@ class _Attempt:
         ii: int,
         stats: SchedulerStats,
         salt: int = 0,
+        heights: Optional[Dict[int, int]] = None,
     ):
         self.machine = scheduler.machine
         self.latencies = scheduler.latencies
@@ -143,16 +153,41 @@ class _Attempt:
         self.unscheduled: Set[int] = set(work.op_ids)
         self.last_time: Dict[int, int] = {}
         self.force_counts: Dict[int, int] = {}
-        self.heights = compute_heights(work, self.latencies, ii)
+        self.heights = (
+            heights
+            if heights is not None
+            else compute_heights(work, self.latencies, ii)
+        )
+        # Height-ordered ready queue with lazy deletion: pop_ready()
+        # yields exactly min(unscheduled, key=(-height, id)) without the
+        # O(n) scan per placement.  Ejected ops are pushed again; stale
+        # heap entries (op already popped or still scheduled) are skipped.
+        self._ready = [(-self.heights[op_id], op_id) for op_id in work.op_ids]
+        heapq.heapify(self._ready)
 
     # ------------------------------------------------------------------
+
+    def _pop_ready(self) -> int:
+        """Highest-height unscheduled op (ties by lowest id)."""
+        ready = self._ready
+        unscheduled = self.unscheduled
+        while ready:
+            op_id = heapq.heappop(ready)[1]
+            if op_id in unscheduled:
+                return op_id
+        raise SchedulingError("ready queue exhausted with unscheduled ops")
+
+    def _mark_unscheduled(self, op_id: int) -> None:
+        """Return an ejected op to the ready queue."""
+        self.unscheduled.add(op_id)
+        heapq.heappush(self._ready, (-self.heights[op_id], op_id))
 
     def run(self) -> Optional[PartialSchedule]:
         budget = self.config.budget_ratio * len(self.work)
         while self.unscheduled and budget > 0:
             budget -= 1
             self.stats.budget_used += 1
-            op_id = min(self.unscheduled, key=lambda i: (-self.heights[i], i))
+            op_id = self._pop_ready()
             self.unscheduled.remove(op_id)
             self._schedule_op(op_id)
         if self.unscheduled:
@@ -162,10 +197,11 @@ class _Attempt:
     def _schedule_op(self, op_id: int) -> None:
         estart = max(0, self.schedule.earliest_start(op_id))
         kind = self.work.op(op_id).fu_kind
+        with_kind = self.schedule.clusters_with(kind)
         compatible = [
             cluster
             for cluster in self.schedule.comm_compatible_clusters(op_id)
-            if self.machine.fu_in_cluster(cluster, kind) > 0
+            if cluster in with_kind
         ]
         if compatible:
             self.stats.strategy1 += 1
@@ -198,13 +234,26 @@ class _Attempt:
     def _place_in_clusters(
         self, op_id: int, estart: int, clusters: List[int]
     ) -> Tuple[int, int]:
-        """IMS-style placement restricted to *clusters* (strategies 1-2)."""
+        """IMS-style placement restricted to *clusters* (strategies 1-2).
+
+        The clean-slot scan is time-major over the preference order; one
+        windowed lane scan per cluster plus a min() reproduces the
+        original nested loop without per-(time, cluster) MRT probes.
+        """
         kind = self.work.op(op_id).fu_kind
         ordered = self._cluster_preference(op_id, kind, clusters)
-        for time in range(estart, estart + self.ii):
-            for cluster in ordered:
-                if self.schedule.mrt.is_free(cluster, kind, time):
-                    return (time, cluster)
+        first_free = self.schedule.mrt.first_free_slot
+        best: Optional[Tuple[int, int]] = None  # (time, preference index)
+        for index, cluster in enumerate(ordered):
+            time = first_free(cluster, kind, estart)
+            if time == estart:
+                # A free slot at estart on the most-preferred cluster so
+                # far cannot be beaten by any later preference.
+                return (estart, cluster)
+            if time is not None and (best is None or (time, index) < best):
+                best = (time, index)
+        if best is not None:
+            return (best[0], ordered[best[1]])
         return self._force_in_clusters(op_id, estart, ordered, kind)
 
     def _cluster_preference(
@@ -219,23 +268,21 @@ class _Attempt:
         rotation so parallel dependence chains claim different regions
         instead of piling onto cluster 0.
         """
-        topology = self.machine.topology
-        partner_clusters = [
-            self.schedule.cluster(p)
-            for p, _omega in self.schedule.scheduled_flow_preds(op_id)
-        ] + [
-            self.schedule.cluster(s)
-            for s in self.schedule.scheduled_flow_succs(op_id)
-        ]
+        if len(clusters) <= 1:
+            return list(clusters)
+        dist = self.schedule.dist
+        partner_clusters = self.schedule.scheduled_partner_clusters(op_id)
         if partner_clusters:
-            return sorted(
-                clusters,
-                key=lambda c: (
-                    sum(topology.distance(c, pc) for pc in partner_clusters),
-                    -self.schedule.free_slots(c, kind),
-                    c,
-                ),
-            )
+            free_slots = self.schedule.mrt.free_slots
+            keyed = []
+            for c in clusters:
+                dist_from = dist[c]
+                total = 0
+                for pc in partner_clusters:
+                    total += dist_from[pc]
+                keyed.append((total, -free_slots(c, kind), c))
+            keyed.sort()
+            return [key[2] for key in keyed]
         # Spread partner-free operations proportionally to their position
         # in the graph: parallel dependence chains (whose members have
         # nearby ids) claim evenly spaced cluster regions, leaving each
@@ -271,10 +318,11 @@ class _Attempt:
         self, op_id: int, estart: int, kind: FUKind
     ) -> Tuple[int, int]:
         """Arbitrary-cluster placement with communication ejections."""
+        capacity = self.schedule.mrt.capacity
         candidates = [
             c
             for c in range(self.machine.n_clusters)
-            if self.machine.fu_in_cluster(c, kind) > 0
+            if capacity(c, kind) > 0
         ]
         if not candidates:
             raise SchedulingError(
@@ -287,9 +335,9 @@ class _Attempt:
         for victim in self.schedule.comm_conflicts(op_id, cluster):
             self._eject(victim, "communication")
         # IMS-like slot search within the chosen cluster.
-        for time in range(estart, estart + self.ii):
-            if self.schedule.mrt.is_free(cluster, kind, time):
-                return (time, cluster)
+        time = self.schedule.mrt.first_free_slot(cluster, kind, estart)
+        if time is not None:
+            return (time, cluster)
         if op_id in self.last_time:
             time = max(estart, self.last_time[op_id] + 1)
         else:
@@ -320,10 +368,9 @@ class _Attempt:
             if self.schedule.is_scheduled(producer) and self.schedule.is_scheduled(
                 consumer
             ):
-                distance = self.machine.topology.distance(
-                    self.schedule.cluster(producer),
-                    self.schedule.cluster(consumer),
-                )
+                distance = self.schedule.dist[self.schedule.cluster(producer)][
+                    self.schedule.cluster(consumer)
+                ]
                 if distance > 1:
                     # Keep the partial schedule free of communication
                     # conflicts: the consumer is rescheduled later.
@@ -331,7 +378,7 @@ class _Attempt:
             return
         if self.schedule.is_scheduled(op_id):
             self.schedule.remove(op_id)
-            self.unscheduled.add(op_id)
+            self._mark_unscheduled(op_id)
             self._count(cause)
         for endpoint_chain in self.registry.chains_of_endpoint(op_id):
             self._dismantle(endpoint_chain)

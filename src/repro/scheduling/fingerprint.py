@@ -1,0 +1,62 @@
+"""Canonical schedule fingerprints.
+
+A fingerprint is a stable hash of everything a schedule *means*: the final
+DDG (operations, operands, explicit edges — moves included) plus the
+(time, cluster) placement of every operation and the achieved II.  Two
+scheduler builds that produce the same fingerprint for a loop/machine pair
+emitted bit-identical schedules.
+
+The perf-regression suite (``tests/test_perf_fingerprints.py``) pins the
+fingerprints of the full kernel suite across topologies and cluster
+counts, so hot-path optimisations can be proven behaviour-preserving; the
+golden file is regenerated with ``tests/gen_golden_fingerprints.py`` only
+when a change is *meant* to alter schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from ..ir.ddg import DDG
+from .result import ScheduleResult
+
+
+def ddg_canonical_lines(ddg: DDG) -> List[str]:
+    """Deterministic text rendering of a DDG's ops and explicit edges."""
+    lines: List[str] = []
+    for op in ddg.operations():
+        srcs = ",".join(
+            f"ext:{s.symbol}" if s.is_external else f"v{s.producer}@{s.omega}"
+            for s in op.srcs
+        )
+        lines.append(f"op {op.op_id} {op.opcode.value} [{srcs}]")
+    for edge in ddg.edges():
+        if edge.is_flow:
+            continue  # derived from the operand lines above
+        lines.append(
+            f"edge {edge.src}->{edge.dst} {edge.kind.value} "
+            f"w={edge.omega} lat={edge.latency}"
+        )
+    return lines
+
+
+def schedule_fingerprint(result: ScheduleResult) -> str:
+    """SHA-256 over the canonical form of *result* (hex digest)."""
+    lines = [
+        f"loop {result.loop_name}",
+        f"machine {result.machine.name}",
+        f"scheduler {result.scheduler}",
+        f"ii {result.ii}",
+    ]
+    lines.extend(ddg_canonical_lines(result.ddg))
+    for op_id in sorted(result.placements):
+        placement = result.placements[op_id]
+        lines.append(f"place {op_id} t={placement.time} c={placement.cluster}")
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_map(results: Iterable[Tuple[str, ScheduleResult]]) -> Dict[str, str]:
+    """``case name -> fingerprint`` for a batch of labelled results."""
+    return {name: schedule_fingerprint(result) for name, result in results}

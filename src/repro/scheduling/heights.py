@@ -11,22 +11,42 @@ weight, so the fixpoint iteration below converges within ``|V|`` sweeps.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from ..ir.ddg import DDG
 from ..ir.opcodes import LatencyModel
 
+#: (src, dst, latency, omega) per edge — the II-independent part of the
+#: height recurrence, shareable across II attempts of one graph.
+EdgeTerms = List[Tuple[int, int, int, int]]
 
-def compute_heights(ddg: DDG, latencies: LatencyModel, ii: int) -> Dict[int, int]:
-    """Height of every operation for priority ordering at the given II."""
+
+def height_edge_terms(ddg: DDG, latencies: LatencyModel) -> EdgeTerms:
+    """Precompute the per-edge constants :func:`compute_heights` needs."""
+    return [
+        (e.src, e.dst, ddg.edge_latency(e, latencies), e.omega)
+        for e in ddg.edges()
+    ]
+
+
+def compute_heights(
+    ddg: DDG,
+    latencies: LatencyModel,
+    ii: int,
+    terms: Optional[EdgeTerms] = None,
+) -> Dict[int, int]:
+    """Height of every operation for priority ordering at the given II.
+
+    *terms* (from :func:`height_edge_terms`) lets callers that probe
+    several II values skip re-walking the graph per attempt.
+    """
     if ii < 1:
         raise SchedulingError(f"ii must be >= 1, got {ii}")
     heights: Dict[int, int] = {op_id: 0 for op_id in ddg.op_ids}
-    edges = [
-        (e.src, e.dst, ddg.edge_latency(e, latencies) - ii * e.omega)
-        for e in ddg.edges()
-    ]
+    if terms is None:
+        terms = height_edge_terms(ddg, latencies)
+    edges = [(src, dst, lat - ii * omega) for src, dst, lat, omega in terms]
     for _ in range(len(heights) + 1):
         changed = False
         for src, dst, weight in edges:

@@ -20,7 +20,7 @@ from ..errors import IIOverflowError, SchedulingError
 from ..ir.ddg import DDG
 from ..ir.opcodes import DEFAULT_LATENCIES, LatencyModel
 from ..machine.machine import MachineSpec
-from .heights import compute_heights
+from .heights import compute_heights, height_edge_terms
 from .mii import compute_mii
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule
@@ -48,9 +48,10 @@ class IterativeModuloScheduler:
         bounds = compute_mii(ddg, self.machine, self.latencies)
         stats = SchedulerStats()
         max_ii = self.config.max_ii(bounds.mii)
+        height_terms = height_edge_terms(ddg, self.latencies)
         for ii in range(bounds.mii, max_ii + 1):
             stats.ii_attempts += 1
-            schedule = self._attempt(ddg, ii, stats)
+            schedule = self._attempt(ddg, ii, stats, height_terms)
             if schedule is not None:
                 return ScheduleResult(
                     loop_name=ddg.name,
@@ -69,10 +70,10 @@ class IterativeModuloScheduler:
     # ------------------------------------------------------------------
 
     def _attempt(
-        self, ddg: DDG, ii: int, stats: SchedulerStats
+        self, ddg: DDG, ii: int, stats: SchedulerStats, height_terms=None
     ) -> Optional[PartialSchedule]:
         schedule = PartialSchedule(ddg, self.machine, ii, self.latencies)
-        heights = compute_heights(ddg, self.latencies, ii)
+        heights = compute_heights(ddg, self.latencies, ii, height_terms)
         unscheduled: Set[int] = set(ddg.op_ids)
         last_time: Dict[int, int] = {}
         budget = self.config.budget_ratio * len(ddg)

@@ -80,12 +80,23 @@ def _has_positive_cycle(
 ) -> bool:
     """True when some cycle has positive total ``scale*lat - ii*omega``."""
     dist = {node: 0 for node in nodes}
+    # Hoist the per-edge weights out of the Bellman-Ford sweeps: the MII
+    # binary search probes many II values and each probe sweeps up to
+    # |nodes| times over the same edge list.
+    weighted = [
+        (src, dst, scale * lat - ii * omega) for src, dst, lat, omega in edges
+    ]
+    # No simple path can gain more than the sum of positive weights; a
+    # distance beyond that proves a positive cycle without finishing the
+    # remaining sweeps.
+    max_path_gain = sum(weight for _, _, weight in weighted if weight > 0)
     for _ in range(len(nodes)):
         changed = False
-        for src, dst, lat, omega in edges:
-            weight = scale * lat - ii * omega
+        for src, dst, weight in weighted:
             candidate = dist[src] + weight
             if candidate > dist[dst]:
+                if candidate > max_path_gain:
+                    return True
                 dist[dst] = candidate
                 changed = True
         if not changed:

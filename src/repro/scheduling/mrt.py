@@ -5,17 +5,39 @@ cluster at row ``t mod II``; a schedule is resource-valid when no
 (cluster, kind, row) cell holds more operations than the cluster has units
 of that kind.  All FUs are fully pipelined with unit occupancy, matching
 the paper's machine model.
+
+The table is organised per (cluster, kind) lane: each lane keeps a
+row-indexed occupancy count, sorted occupant lists and a cached occupant
+tuple per row.  Capacities are snapshotted from the machine once at
+construction, so the is_free/place/remove/occupants cycle on the
+scheduler's innermost loops touches no machine-spec code and allocates
+nothing on reads.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from bisect import insort
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from ..ir.opcodes import FUKind
 from ..machine.machine import MachineSpec
 
 Cell = Tuple[int, FUKind, int]  # (cluster, kind, row)
+LaneKey = Tuple[int, FUKind]  # (cluster, kind)
+
+
+class _Lane:
+    """Occupancy state of one (cluster, kind) pair across all MRT rows."""
+
+    __slots__ = ("capacity", "counts", "rows", "cached", "used")
+
+    def __init__(self, capacity: int, ii: int):
+        self.capacity = capacity
+        self.counts: List[int] = [0] * ii
+        self.rows: List[List[int]] = [[] for _ in range(ii)]
+        self.cached: List[Optional[Tuple[int, ...]]] = [None] * ii
+        self.used = 0
 
 
 class ModuloReservationTable:
@@ -26,8 +48,19 @@ class ModuloReservationTable:
             raise SchedulingError(f"ii must be >= 1, got {ii}")
         self.machine = machine
         self.ii = ii
-        self._cells: Dict[Cell, List[int]] = {}
-        self._used: Dict[Tuple[int, FUKind], int] = {}
+        self._lanes: Dict[LaneKey, _Lane] = {}
+        self._caps: Dict[LaneKey, int] = {}
+        for cluster in range(machine.n_clusters):
+            spec = machine.cluster(cluster)
+            for kind in FUKind:
+                self._caps[cluster, kind] = spec.fu_count(kind)
+
+    def _lane(self, cluster: int, kind: FUKind) -> _Lane:
+        key = (cluster, kind)
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._lanes[key] = _Lane(self._caps[key], self.ii)
+        return lane
 
     def row(self, time: int) -> int:
         """MRT row of an issue time."""
@@ -35,54 +68,97 @@ class ModuloReservationTable:
 
     def capacity(self, cluster: int, kind: FUKind) -> int:
         """Units of *kind* in *cluster*."""
-        return self.machine.fu_in_cluster(cluster, kind)
+        return self._caps[cluster, kind]
 
     def occupants(self, cluster: int, kind: FUKind, time: int) -> Tuple[int, ...]:
-        """Operations occupying the cell covering *time* (sorted)."""
-        cell = (cluster, kind, self.row(time))
-        return tuple(sorted(self._cells.get(cell, ())))
+        """Operations occupying the cell covering *time* (sorted).
+
+        The tuple is cached per cell and invalidated on place/remove, so
+        repeated reads (eviction ranking scans every candidate cell)
+        allocate nothing.
+        """
+        lane = self._lanes.get((cluster, kind))
+        if lane is None:
+            return ()
+        row = time % self.ii
+        cached = lane.cached[row]
+        if cached is None:
+            cached = lane.cached[row] = tuple(lane.rows[row])
+        return cached
 
     def is_free(self, cluster: int, kind: FUKind, time: int) -> bool:
         """True when one more *kind* op fits in *cluster* at *time*."""
-        cell = (cluster, kind, self.row(time))
-        return len(self._cells.get(cell, ())) < self.capacity(cluster, kind)
+        lane = self._lanes.get((cluster, kind))
+        if lane is None:
+            return self._caps[cluster, kind] > 0
+        return lane.counts[time % self.ii] < lane.capacity
+
+    def first_free_slot(
+        self, cluster: int, kind: FUKind, estart: int
+    ) -> Optional[int]:
+        """First time in ``[estart, estart + II)`` with a free unit.
+
+        One-lane window scan used by the slot searches of IMS/DMS and the
+        chain planner; equivalent to calling :meth:`is_free` for each time
+        in the window but without the per-call lookups.
+        """
+        lane = self._lanes.get((cluster, kind))
+        if lane is None:
+            return estart if self._caps[cluster, kind] > 0 else None
+        capacity = lane.capacity
+        if capacity == 0 or lane.used >= capacity * self.ii:
+            return None
+        counts = lane.counts
+        ii = self.ii
+        for time in range(estart, estart + ii):
+            if counts[time % ii] < capacity:
+                return time
+        return None
 
     def place(self, op_id: int, cluster: int, kind: FUKind, time: int) -> None:
         """Occupy a unit; caller must have ejected conflicts first."""
-        if not self.is_free(cluster, kind, time):
+        lane = self._lane(cluster, kind)
+        row = time % self.ii
+        if lane.counts[row] >= lane.capacity:
             raise SchedulingError(
-                f"MRT cell (c{cluster}, {kind.value}, row {self.row(time)}) full"
+                f"MRT cell (c{cluster}, {kind.value}, row {row}) full"
             )
-        cell = (cluster, kind, self.row(time))
-        self._cells.setdefault(cell, []).append(op_id)
-        self._used[cluster, kind] = self._used.get((cluster, kind), 0) + 1
+        insort(lane.rows[row], op_id)
+        lane.counts[row] += 1
+        lane.cached[row] = None
+        lane.used += 1
 
     def remove(self, op_id: int, cluster: int, kind: FUKind, time: int) -> None:
         """Release the unit *op_id* held."""
-        cell = (cluster, kind, self.row(time))
-        occupants = self._cells.get(cell, [])
-        if op_id not in occupants:
+        row = time % self.ii
+        lane = self._lanes.get((cluster, kind))
+        if lane is None or op_id not in lane.rows[row]:
+            cell = (cluster, kind, row)
             raise SchedulingError(f"op {op_id} not in MRT cell {cell}")
-        occupants.remove(op_id)
-        if not occupants:
-            self._cells.pop(cell, None)
-        self._used[cluster, kind] -= 1
+        lane.rows[row].remove(op_id)
+        lane.counts[row] -= 1
+        lane.cached[row] = None
+        lane.used -= 1
 
     def used_slots(self, cluster: int, kind: FUKind) -> int:
         """Occupied (kind) slots in *cluster* summed over all rows."""
-        return self._used.get((cluster, kind), 0)
+        lane = self._lanes.get((cluster, kind))
+        return lane.used if lane is not None else 0
 
     def free_slots(self, cluster: int, kind: FUKind) -> int:
         """Free (kind) slots in *cluster* summed over all rows."""
-        return self.ii * self.capacity(cluster, kind) - self.used_slots(cluster, kind)
+        lane = self._lanes.get((cluster, kind))
+        if lane is None:
+            return self.ii * self._caps[cluster, kind]
+        return self.ii * lane.capacity - lane.used
 
     def utilization(self, cluster: int, kind: FUKind) -> float:
         """Fraction of (kind) issue slots used in *cluster*."""
-        total = self.ii * self.capacity(cluster, kind)
+        total = self.ii * self._caps[cluster, kind]
         if total == 0:
             return 0.0
         return self.used_slots(cluster, kind) / total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        used = sum(len(v) for v in self._cells.values())
+        used = sum(lane.used for lane in self._lanes.values())
         return f"<MRT ii={self.ii} occupied={used}>"

@@ -7,6 +7,14 @@ conflict queries of the DMS paper:
 * resource conflicts (MRT cell occupancy),
 * dependence conflicts (edge timing),
 * communication conflicts (flow partners on indirectly connected clusters).
+
+Communication compatibility is tracked *incrementally*: every placed flow
+partner intersects the candidate set of its neighbours with the clusters
+adjacent to its own (via the topology's cached ``compat_sets``), so the
+per-placement ``comm_compatible_clusters`` query no longer rescans every
+edge once per cluster.  Cache entries are keyed to the DDG's per-op
+adjacency versions, so move insertion and chain dismantling invalidate
+exactly the operations whose adjacency changed.
 """
 
 from __future__ import annotations
@@ -54,6 +62,32 @@ class PartialSchedule:
         self.latencies = latencies
         self.mrt = ModuloReservationTable(machine, ii)
         self._placements: Dict[int, Placement] = {}
+        topology = machine.topology
+        #: ``dist[a][b]`` — cached topology distances (built once per
+        #: machine, shared by every schedule targeting it).
+        self.dist: Tuple[Tuple[int, ...], ...] = topology.distance_matrix()
+        #: ``compat[p]`` — clusters a *consumer* of an op on *p* may use;
+        #: ``compat_in[s]`` — clusters a *producer* feeding an op on *s*
+        #: may use.  Identical on symmetric interconnects, kept separate
+        #: so asymmetric registered topologies are judged per direction.
+        self.compat: Tuple[frozenset, ...] = topology.compat_sets()
+        self.compat_in: Tuple[frozenset, ...] = topology.compat_sets_in()
+        self._all_clusters: frozenset = frozenset(range(machine.n_clusters))
+        self._all_clusters_sorted: List[int] = list(range(machine.n_clusters))
+        # op -> [ddg adjacency version, compatible cluster set,
+        #        sorted list of the set or None when stale].
+        self._compat_cache: Dict[int, List] = {}
+        # op -> (version, ((pred, latency - II*omega), ...)) and the
+        # successor-side mirror: the constants of the dependence
+        # inequalities, flattened so the timing queries touch no edge
+        # objects or latency tables.
+        self._pred_info: Dict[int, Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
+        self._succ_info: Dict[int, Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
+        # kind -> clusters with at least one unit, ascending.
+        self._kind_clusters: Dict[FUKind, frozenset] = {}
+        # Flow pred/succ indexes keyed by adjacency version.
+        self._pred_pairs_cache: Dict[int, Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
+        self._succ_ids_cache: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Placement bookkeeping
@@ -66,6 +100,32 @@ class PartialSchedule:
         op = self.ddg.op(op_id)
         self.mrt.place(op_id, cluster, op.fu_kind, time)
         self._placements[op_id] = Placement(time, cluster)
+        # Narrow the partners' compatible sets: they must now sit within
+        # distance 1 of this op's cluster (preds against the incoming
+        # direction, succs against the outgoing one).  Duplicate partners
+        # (several edges to the same op) re-intersect idempotently, so
+        # the edge tuples are walked directly without building a set.
+        producer_ok = self.compat_in[cluster]
+        consumer_ok = self.compat[cluster]
+        cache = self._compat_cache
+        ddg = self.ddg
+        for edge in ddg.in_edges(op_id):
+            if edge.communicates and edge.src != op_id:
+                self._narrow_partner(cache, ddg, edge.src, producer_ok)
+        for edge in ddg.out_edges(op_id):
+            if edge.communicates and edge.dst != op_id:
+                self._narrow_partner(cache, ddg, edge.dst, consumer_ok)
+
+    @staticmethod
+    def _narrow_partner(cache, ddg, partner: int, compat: frozenset) -> None:
+        entry = cache.get(partner)
+        if entry is None:
+            return
+        if entry[0] == ddg.adj_version(partner):
+            entry[1].intersection_update(compat)
+            entry[2] = None
+        else:
+            del cache[partner]
 
     def remove(self, op_id: int) -> Placement:
         """Unschedule *op_id*, returning its old placement."""
@@ -74,6 +134,15 @@ class PartialSchedule:
             raise SchedulingError(f"op {op_id} is not scheduled")
         op = self.ddg.op(op_id)
         self.mrt.remove(op_id, placement.cluster, op.fu_kind, placement.time)
+        # A constraint disappeared; the partners' sets can only grow, so
+        # drop them for lazy recomputation.
+        cache = self._compat_cache
+        for edge in self.ddg.in_edges(op_id):
+            if edge.communicates and edge.src != op_id:
+                cache.pop(edge.src, None)
+        for edge in self.ddg.out_edges(op_id):
+            if edge.communicates and edge.dst != op_id:
+                cache.pop(edge.dst, None)
         return placement
 
     def placement(self, op_id: int) -> Optional[Placement]:
@@ -105,34 +174,72 @@ class PartialSchedule:
     # Timing queries
     # ------------------------------------------------------------------
 
+    def edge_latency(self, edge) -> int:
+        """Latency of *edge* (edge-attached cache, see DDG.edge_latency)."""
+        return self.ddg.edge_latency(edge, self.latencies)
+
+    def _timing_info(
+        self, op_id: int, cache: Dict, incoming: bool
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Flattened dependence constants ``(partner, latency - II*omega)``
+        for the edges entering (or leaving) *op_id*, self-loops excluded;
+        cached against the op's adjacency version."""
+        version = self.ddg.adj_version(op_id)
+        entry = cache.get(op_id)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        ii = self.ii
+        if incoming:
+            info = tuple(
+                (edge.src, self.edge_latency(edge) - ii * edge.omega)
+                for edge in self.ddg.in_edges(op_id)
+                if edge.src != op_id
+            )
+        else:
+            info = tuple(
+                (edge.dst, self.edge_latency(edge) - ii * edge.omega)
+                for edge in self.ddg.out_edges(op_id)
+                if edge.dst != op_id
+            )
+        cache[op_id] = (version, info)
+        return info
+
     def earliest_start(self, op_id: int) -> int:
         """Earliest issue time satisfying all *scheduled* predecessors."""
         estart = 0
-        for edge in self.ddg.in_edges(op_id):
-            if edge.src == op_id:
-                continue  # self-recurrence: bounded by RecMII, not estart
-            src_placement = self._placements.get(edge.src)
+        placements = self._placements
+        # Self-recurrences are excluded: bounded by RecMII, not estart.
+        for src, const in self._timing_info(op_id, self._pred_info, True):
+            src_placement = placements.get(src)
             if src_placement is None:
                 continue
-            lat = self.ddg.edge_latency(edge, self.latencies)
-            bound = src_placement.time + lat - self.ii * edge.omega
+            bound = src_placement.time + const
             if bound > estart:
                 estart = bound
         return estart
 
     def succ_violations(self, op_id: int, time: int) -> List[int]:
         """Scheduled consumers whose timing breaks if *op_id* issues at *time*."""
-        violated = []
-        for edge in self.ddg.out_edges(op_id):
-            if edge.dst == op_id:
-                continue
-            dst_placement = self._placements.get(edge.dst)
+        violated = set()
+        placements = self._placements
+        for dst, const in self._timing_info(op_id, self._succ_info, False):
+            dst_placement = placements.get(dst)
             if dst_placement is None:
                 continue
-            lat = self.ddg.edge_latency(edge, self.latencies)
-            if dst_placement.time < time + lat - self.ii * edge.omega:
-                violated.append(edge.dst)
-        return sorted(set(violated))
+            if dst_placement.time < time + const:
+                violated.add(dst)
+        return sorted(violated)
+
+    def clusters_with(self, kind: FUKind) -> frozenset:
+        """Clusters owning at least one *kind* unit (cached)."""
+        clusters = self._kind_clusters.get(kind)
+        if clusters is None:
+            capacity = self.mrt.capacity
+            clusters = frozenset(
+                c for c in range(self.machine.n_clusters) if capacity(c, kind) > 0
+            )
+            self._kind_clusters[kind] = clusters
+        return clusters
 
     # ------------------------------------------------------------------
     # Communication queries (the DMS-specific part)
@@ -144,47 +251,140 @@ class PartialSchedule:
         These are the operations that would be in communication conflict
         with *op_id* if it were placed on *cluster*.
         """
-        topology = self.machine.topology
+        dist = self.dist
+        dist_from = dist[cluster]
+        placements = self._placements
         conflicts = set()
         for edge in self.ddg.in_edges(op_id):
             if not edge.communicates or edge.src == op_id:
                 continue
-            partner = self._placements.get(edge.src)
-            if partner is not None and topology.distance(partner.cluster, cluster) > 1:
+            partner = placements.get(edge.src)
+            if partner is not None and dist[partner.cluster][cluster] > 1:
                 conflicts.add(edge.src)
         for edge in self.ddg.out_edges(op_id):
             if not edge.communicates or edge.dst == op_id:
                 continue
-            partner = self._placements.get(edge.dst)
-            if partner is not None and topology.distance(cluster, partner.cluster) > 1:
+            partner = placements.get(edge.dst)
+            if partner is not None and dist_from[partner.cluster] > 1:
                 conflicts.add(edge.dst)
         return sorted(conflicts)
 
     def comm_compatible_clusters(self, op_id: int) -> List[int]:
-        """Clusters where *op_id* conflicts with no scheduled flow partner."""
-        return [
-            cluster
-            for cluster in range(self.machine.n_clusters)
-            if not self.comm_conflicts(op_id, cluster)
-        ]
+        """Clusters where *op_id* conflicts with no scheduled flow partner.
+
+        Maintained incrementally: the set is the intersection of
+        ``compat[cluster(p)]`` over every scheduled flow partner *p*,
+        updated in :meth:`place`/:meth:`remove` and recomputed only when
+        this op's DDG adjacency changed since the cached computation.
+        """
+        version = self.ddg.adj_version(op_id)
+        entry = self._compat_cache.get(op_id)
+        if entry is None or entry[0] != version:
+            compatible = None
+            placements = self._placements
+            compat = self.compat
+            compat_in = self.compat_in
+            ddg = self.ddg
+            # A placed pred on p constrains this op to compat[p]; a placed
+            # succ on s constrains it to compat_in[s].
+            for edge in ddg.in_edges(op_id):
+                if edge.communicates and edge.src != op_id:
+                    placement = placements.get(edge.src)
+                    if placement is not None:
+                        if compatible is None:
+                            compatible = set(compat[placement.cluster])
+                        else:
+                            compatible &= compat[placement.cluster]
+            for edge in ddg.out_edges(op_id):
+                if edge.communicates and edge.dst != op_id:
+                    placement = placements.get(edge.dst)
+                    if placement is not None:
+                        if compatible is None:
+                            compatible = set(compat_in[placement.cluster])
+                        else:
+                            compatible &= compat_in[placement.cluster]
+            if compatible is None:
+                # Unconstrained: no scheduled partner.  Short-circuit with
+                # the shared full-cluster list (constraints arriving later
+                # go through _narrow_partner, which copies first).
+                entry = [version, set(self._all_clusters), self._all_clusters_sorted]
+            else:
+                entry = [version, compatible, None]
+            self._compat_cache[op_id] = entry
+        if entry[2] is None:
+            entry[2] = sorted(entry[1])
+        # Callers treat the list as read-only; it is re-sorted only when
+        # the underlying set changes.
+        return entry[2]
+
+    def _flow_pred_pairs(self, op_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Sorted unique (producer, omega) flow pairs (cached, no self)."""
+        version = self.ddg.adj_version(op_id)
+        entry = self._pred_pairs_cache.get(op_id)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        pairs = tuple(
+            sorted(
+                {
+                    (edge.src, edge.omega)
+                    for edge in self.ddg.in_edges(op_id)
+                    if edge.communicates and edge.src != op_id
+                }
+            )
+        )
+        self._pred_pairs_cache[op_id] = (version, pairs)
+        return pairs
+
+    def _flow_succ_ids(self, op_id: int) -> Tuple[int, ...]:
+        """Sorted unique flow consumer ids (cached, no self)."""
+        version = self.ddg.adj_version(op_id)
+        entry = self._succ_ids_cache.get(op_id)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        succs = tuple(
+            sorted(
+                {
+                    e.dst
+                    for e in self.ddg.out_edges(op_id)
+                    if e.communicates and e.dst != op_id
+                }
+            )
+        )
+        self._succ_ids_cache[op_id] = (version, succs)
+        return succs
+
+    def scheduled_partner_clusters(self, op_id: int) -> List[int]:
+        """Clusters of scheduled flow partners, as a multiset.
+
+        One entry per unique scheduled (producer, omega) pred pair plus
+        one per unique scheduled consumer — the weighting the cluster
+        preference's distance sum uses.  Order is unspecified (callers
+        aggregate commutatively), which avoids the sort the individual
+        pred/succ queries pay.
+        """
+        placements = self._placements
+        clusters = []
+        for src, _omega in self._flow_pred_pairs(op_id):
+            placement = placements.get(src)
+            if placement is not None:
+                clusters.append(placement.cluster)
+        for dst in self._flow_succ_ids(op_id):
+            placement = placements.get(dst)
+            if placement is not None:
+                clusters.append(placement.cluster)
+        return clusters
 
     def scheduled_flow_preds(self, op_id: int) -> List[Tuple[int, int]]:
         """Scheduled producers of *op_id* as (producer_id, omega) pairs."""
-        preds = []
-        for edge in self.ddg.in_edges(op_id):
-            if edge.communicates and edge.src != op_id and edge.src in self._placements:
-                preds.append((edge.src, edge.omega))
-        return sorted(set(preds))
+        placements = self._placements
+        return [
+            pair for pair in self._flow_pred_pairs(op_id) if pair[0] in placements
+        ]
 
     def scheduled_flow_succs(self, op_id: int) -> List[int]:
         """Scheduled consumers of *op_id*'s value."""
-        return sorted(
-            {
-                e.dst
-                for e in self.ddg.out_edges(op_id)
-                if e.communicates and e.dst != op_id and e.dst in self._placements
-            }
-        )
+        placements = self._placements
+        return [s for s in self._flow_succ_ids(op_id) if s in placements]
 
     # ------------------------------------------------------------------
     # Derived schedule shape

@@ -1,0 +1,96 @@
+"""Shared case matrix for the golden schedule-fingerprint suite.
+
+Used by ``tests/test_perf_fingerprints.py`` (assert) and
+``tests/gen_golden_fingerprints.py`` (regenerate).  The matrix covers the
+full kernel suite crossed with every registered point-symmetric topology
+and {2, 4, 8} clusters, plus unrolled (graph-mutating, chain-heavy)
+DMS cases and an IMS reference point, so both schedulers' emitted
+schedules are pinned bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.ir.transforms import single_use_ddg, unroll_ddg
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling import DistributedModuloScheduler, IterativeModuloScheduler
+from repro.scheduling.fingerprint import schedule_fingerprint
+from repro.workloads import KERNELS, make_kernel
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_fingerprints.json")
+
+TOPOLOGIES = ("ring", "linear", "mesh", "crossbar")
+CLUSTER_COUNTS = (2, 4, 8)
+
+#: Mutation-heavy extras: (label, kernel, kwargs, unroll, topology, k).
+UNROLLED_CASES: Tuple[Tuple[str, str, dict, int, str, int], ...] = (
+    ("unroll4-ring4", "fir_filter", {"taps": 8}, 4, "ring", 4),
+    ("unroll4-linear8", "fir_filter", {"taps": 8}, 4, "linear", 8),
+    ("unroll8-ring4", "dot_product", {}, 8, "ring", 4),
+    ("unroll2-mesh8", "lms_update", {"taps": 4}, 2, "mesh", 8),
+)
+
+#: IMS reference points: (label, kernel, unroll, k).
+IMS_CASES: Tuple[Tuple[str, str, int, int], ...] = (
+    ("ims-unroll4-k4", "fir_filter", 4, 4),
+    ("ims-plain-k2", "lms_update", 1, 2),
+)
+
+
+def iter_cases() -> List[Tuple[str, Callable[[], str]]]:
+    """All (case_name, thunk) pairs; each thunk returns a fingerprint."""
+    cases: List[Tuple[str, Callable[[], str]]] = []
+
+    def dms_case(kernel: str, kwargs: dict, unroll: int, topology: str, k: int):
+        def thunk() -> str:
+            ddg = make_kernel(kernel, **kwargs).ddg
+            if unroll > 1:
+                ddg = unroll_ddg(ddg, unroll)
+            ddg = single_use_ddg(ddg)
+            machine = clustered_vliw(k, topology=topology)
+            result = DistributedModuloScheduler(machine).schedule(ddg)
+            return schedule_fingerprint(result)
+
+        return thunk
+
+    for kernel in sorted(KERNELS):
+        for topology in TOPOLOGIES:
+            for k in CLUSTER_COUNTS:
+                name = f"{kernel}/{topology}-{k}"
+                cases.append((name, dms_case(kernel, {}, 1, topology, k)))
+    for label, kernel, kwargs, unroll, topology, k in UNROLLED_CASES:
+        cases.append((label, dms_case(kernel, kwargs, unroll, topology, k)))
+    for label, kernel, unroll, k in IMS_CASES:
+
+        def ims_thunk(kernel=kernel, unroll=unroll, k=k) -> str:
+            ddg = make_kernel(kernel).ddg
+            if unroll > 1:
+                ddg = unroll_ddg(ddg, unroll)
+            machine = unclustered_vliw(k)
+            result = IterativeModuloScheduler(machine).schedule(ddg)
+            return schedule_fingerprint(result)
+
+        cases.append((label, ims_thunk))
+    return cases
+
+
+def compute_fingerprint(thunk: Callable[[], str]) -> str:
+    """Run one case; scheduling failures fingerprint as the error class."""
+    try:
+        return thunk()
+    except ReproError as err:
+        return f"error:{type(err).__name__}"
+
+
+def compute_all_fingerprints(progress: bool = False) -> Dict[str, str]:
+    fingerprints: Dict[str, str] = {}
+    cases = iter_cases()
+    for index, (name, thunk) in enumerate(cases):
+        fingerprints[name] = compute_fingerprint(thunk)
+        if progress and (index + 1) % 50 == 0:
+            print(f"  {index + 1}/{len(cases)}", file=sys.stderr)
+    return fingerprints

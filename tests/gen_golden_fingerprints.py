@@ -1,0 +1,33 @@
+"""Regenerate the golden schedule-fingerprint file.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/gen_golden_fingerprints.py
+
+Only regenerate when a change is *intended* to alter emitted schedules
+(new strategy, different tie-breaks, ...).  Pure performance work must
+leave this file untouched — that is the whole point of the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _fingerprint_cases import compute_all_fingerprints, GOLDEN_PATH
+
+
+def main() -> int:
+    fingerprints = compute_all_fingerprints(progress=True)
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(fingerprints, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(fingerprints)} fingerprints to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

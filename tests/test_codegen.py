@@ -35,7 +35,7 @@ class TestKernelTable:
     def test_every_op_appears_once(self):
         program, result = ims_program()
         op_ids = [b.op_id for row in program.kernel for b in row]
-        assert sorted(op_ids) == result.ddg.op_ids
+        assert sorted(op_ids) == list(result.ddg.op_ids)
 
     def test_rows_match_modulo_time(self):
         program, result = ims_program()

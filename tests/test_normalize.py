@@ -67,7 +67,7 @@ class TestRenumber:
         loop = loop_with_dead_code()
         cleaned = remove_dead_ops(loop.ddg)
         renumbered, mapping = renumber(cleaned)
-        assert renumbered.op_ids == list(range(len(cleaned)))
+        assert list(renumbered.op_ids) == list(range(len(cleaned)))
         assert set(mapping) == set(cleaned.op_ids)
 
     def test_structure_preserved(self):

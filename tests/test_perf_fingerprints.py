@@ -1,0 +1,51 @@
+"""Golden-fingerprint suite: the scheduler hot-path overhaul must be
+behaviour-preserving.
+
+Every case runs the full pipeline (kernel -> [unroll] -> single-use ->
+DMS/IMS) and hashes the *complete* outcome — final DDG (moves included),
+II and every placement — via
+:func:`repro.scheduling.fingerprint.schedule_fingerprint`.  The expected
+values in ``tests/data/golden_fingerprints.json`` were generated with the
+pre-optimization scheduler (PR2 tree), so a pass proves the optimized
+scheduler emits bit-identical schedules over the full kernel suite x
+{ring, linear, mesh, crossbar} x {2, 4, 8} clusters plus the unrolled
+chain-heavy extras and the IMS reference points.
+
+Regenerate (only for an *intended* schedule change) with::
+
+    PYTHONPATH=src python tests/gen_golden_fingerprints.py
+"""
+
+import json
+import os
+
+import pytest
+
+from ._fingerprint_cases import GOLDEN_PATH, compute_fingerprint, iter_cases
+
+
+def _load_golden():
+    if not os.path.exists(GOLDEN_PATH):  # pragma: no cover - setup error
+        pytest.fail(
+            f"missing golden file {GOLDEN_PATH}; run "
+            "tests/gen_golden_fingerprints.py"
+        )
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+GOLDEN = _load_golden()
+CASES = iter_cases()
+
+
+def test_case_matrix_matches_golden_file():
+    """Every golden case is produced and no case is silently dropped."""
+    assert sorted(GOLDEN) == sorted(name for name, _ in CASES)
+
+
+@pytest.mark.parametrize("name,thunk", CASES, ids=[name for name, _ in CASES])
+def test_schedule_bit_identical(name, thunk):
+    assert compute_fingerprint(thunk) == GOLDEN[name], (
+        f"schedule for {name} differs from the pre-optimization reference; "
+        "if the change is intentional, regenerate the golden file"
+    )
