@@ -107,6 +107,7 @@ from .api import (
 )
 from .simulator import simulate
 from .codegen import assembly_for, build_program
+from .validate import run_fuzz, verify_compiled, verify_loop
 from .workloads import (
     KERNELS,
     PERFECT_CLUB_LOOP_COUNT,
@@ -194,6 +195,9 @@ __all__ = [
     "simulate",
     "assembly_for",
     "build_program",
+    "run_fuzz",
+    "verify_compiled",
+    "verify_loop",
     "KERNELS",
     "PERFECT_CLUB_LOOP_COUNT",
     "make_kernel",

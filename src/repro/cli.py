@@ -11,6 +11,12 @@ Commands:
   (process pool + on-disk cache);
 * ``bench``         — scheduler performance benchmarks; writes/compares
   ``BENCH_scheduler.json`` with a tolerance gate (used by CI);
+* ``verify``        — differential execution oracle: execute the emitted
+  VLIW programs value-by-value and bit-compare against the sequential
+  reference, across kernels x topologies x cluster counts;
+* ``fuzz``          — schedule-mutation fuzzing: random loops plus
+  systematic schedule mutations, cross-examined by the checker, the
+  timing simulator and the oracle (used by CI with a fixed seed);
 * ``fig4|fig5|fig6``— regenerate a paper figure over the surrogate suite;
 * ``backtracking``  — the IMS-vs-DMS backtracking comparison;
 * ``all-figures``   — everything above in one sweep.
@@ -197,6 +203,70 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CASE",
         help="print cProfile top-20 cumulative for one case and exit",
+    )
+
+    verify = sub.add_parser(
+        "verify", help="differential execution oracle over the kernel suite"
+    )
+    verify.add_argument(
+        "--kernels",
+        type=str,
+        default="all",
+        help="comma-separated kernel names (default: all)",
+    )
+    verify.add_argument(
+        "--topologies",
+        type=str,
+        default="ring,linear,mesh,torus,crossbar",
+        help="comma-separated topology kinds",
+    )
+    verify.add_argument(
+        "--clusters", type=str, default="2,4,8", help="comma-separated counts"
+    )
+    verify.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="kernel iterations to execute (default: fill + steady + drain)",
+    )
+    verify.add_argument(
+        "--short-ramp",
+        action="store_true",
+        help="also execute each program with ramp listings shorter than "
+        "the stage count (the short-trip-count path)",
+    )
+    verify.add_argument(
+        "--unclustered",
+        action="store_true",
+        help="also verify the IMS/unclustered reference machines",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="schedule-mutation fuzzing (checker vs simulator vs oracle)"
+    )
+    fuzz.add_argument("--seed", type=int, default=1999)
+    fuzz.add_argument(
+        "--trials", type=int, default=200, help="max random loops to fuzz"
+    )
+    fuzz.add_argument(
+        "--mutants", type=int, default=10, help="mutants per valid schedule"
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="stop after this many seconds (for CI smoke budgets)",
+    )
+    fuzz.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip counterexample minimization",
+    )
+    fuzz.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the JSON campaign report (and counterexamples) here",
     )
 
     storage = sub.add_parser(
@@ -481,6 +551,102 @@ def _emit_figure(figure: FigureData, csv_dir: Optional[str]) -> None:
         print(f"# wrote {path}", file=sys.stderr)
 
 
+def _verify_command(args: argparse.Namespace) -> int:
+    from .machine import clustered_vliw, unclustered_vliw
+    from .machine.topology import topology_kinds
+    from .validate import verify_compiled
+
+    if args.kernels == "all":
+        names = sorted(KERNELS)
+    else:
+        names = [n for n in args.kernels.split(",") if n]
+        unknown = sorted(set(names) - set(KERNELS))
+        if unknown:
+            print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    topologies = [t for t in args.topologies.split(",") if t]
+    unknown = sorted(set(topologies) - set(topology_kinds()))
+    if unknown:
+        print(f"unknown topologies: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    cluster_counts = [int(c) for c in args.clusters.split(",") if c]
+
+    machines = [
+        clustered_vliw(k, topology=topology)
+        for topology in topologies
+        for k in cluster_counts
+    ]
+    if args.unclustered:
+        machines.extend(unclustered_vliw(k) for k in cluster_counts)
+
+    started = time.time()
+    programs = 0
+    failures = 0
+    for name in names:
+        loop = make_kernel(name)
+        for machine in machines:
+            # One compilation per (kernel, machine); each run depth below
+            # re-verifies the same compiled loop.
+            compiled = Toolchain.default().compile(
+                CompilationRequest(loop=loop, machine=machine)
+            ).compiled
+            reports = [(verify_compiled(compiled, iterations=args.iterations), "")]
+            if args.short_ramp:
+                # A run shorter than the pipeline depth (ramp listings
+                # degenerate: no steady-state kernel issue).
+                short = max(1, compiled.result.stage_count - 1)
+                reports.append(
+                    (verify_compiled(compiled, iterations=short), " [short ramp]")
+                )
+            for report, suffix in reports:
+                programs += 1
+                if report.ok:
+                    continue
+                failures += 1
+                for problem in report.all_problems[:4]:
+                    print(
+                        f"FAIL {name} on {machine.name}{suffix}: {problem}",
+                        file=sys.stderr,
+                    )
+    elapsed = time.time() - started
+    print(
+        f"verified {programs} program(s): {len(names)} kernel(s) x "
+        f"{len(machines)} machine(s) in {elapsed:.1f}s -> "
+        f"{failures} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+def _fuzz_command(args: argparse.Namespace) -> int:
+    from .validate import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        trials=args.trials,
+        mutants_per_trial=args.mutants,
+        time_budget=args.time_budget,
+        minimize=not args.no_minimize,
+    )
+    report = run_fuzz(
+        config, progress=lambda msg: print(f"  {msg}", file=sys.stderr)
+    )
+    print(report.summary())
+    for disagreement in report.disagreements:
+        print(
+            f"DISAGREEMENT trial {disagreement.trial} "
+            f"({disagreement.loop_name} on {disagreement.machine}, "
+            f"{disagreement.mutation} {disagreement.mutation_detail}): "
+            + "; ".join(disagreement.violations),
+            file=sys.stderr,
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _storage_command(args: argparse.Namespace) -> int:
     from .experiments import storage_report, storage_sweep
 
@@ -550,6 +716,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import main_bench
 
         return main_bench(args)
+    if args.command == "verify":
+        return _verify_command(args)
+    if args.command == "fuzz":
+        return _fuzz_command(args)
     if args.command == "storage":
         return _storage_command(args)
     if args.command == "ablation":

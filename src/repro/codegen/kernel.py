@@ -52,7 +52,14 @@ class CycleIssue:
 
 @dataclass
 class VLIWProgram:
-    """Complete pipelined program for one loop."""
+    """Complete pipelined program for one loop.
+
+    ``ramp_iterations`` records how many iterations the prologue/epilogue
+    listings were generated for (``min(stage_count, requested)``); the
+    execution oracle replays the program for any run depth by reusing the
+    steady-state ramp pattern, but the listings themselves are exact only
+    for a run of that many iterations.
+    """
 
     loop_name: str
     machine_name: str
@@ -61,6 +68,7 @@ class VLIWProgram:
     kernel: List[List[SlotBinding]]  # one list per row 0..II-1
     prologue: List[CycleIssue] = field(default_factory=list)
     epilogue: List[CycleIssue] = field(default_factory=list)
+    ramp_iterations: int = 0
 
     @property
     def kernel_ops(self) -> int:
@@ -68,7 +76,7 @@ class VLIWProgram:
 
     @property
     def prologue_cycles(self) -> int:
-        return (self.stage_count - 1) * self.ii
+        return min(self.stage_count - 1, self.ramp_iterations or self.stage_count) * self.ii
 
     def row(self, index: int) -> List[SlotBinding]:
         if not 0 <= index < self.ii:
@@ -142,8 +150,19 @@ def build_program(
     for row in kernel:
         row.sort(key=lambda b: b.fu.sort_key)
 
+    if ramp_iterations is not None and ramp_iterations < 1:
+        raise CodegenError(
+            f"ramp_iterations must be >= 1, got {ramp_iterations}"
+        )
     ramp = stage_count if ramp_iterations is None else min(stage_count, ramp_iterations)
-    prologue = _ramp_cycles(result, bindings, range((stage_count - 1) * ii), 0, ramp)
+    # For a run of n iterations the fill phase ends where the drain phase
+    # begins: at cycle min(SC - 1, n) * II.  Spanning the full
+    # (SC - 1) * II prologue when n < SC - 1 would re-list issues the
+    # drain phase (which starts at n * II) also covers — the short-run
+    # double-issue bug the execution oracle flushed out.
+    prologue = _ramp_cycles(
+        result, bindings, range(min(stage_count - 1, ramp) * ii), 0, ramp
+    )
     epilogue = _drain_cycles(result, bindings, ramp)
     return VLIWProgram(
         loop_name=result.loop_name,
@@ -153,6 +172,7 @@ def build_program(
         kernel=kernel,
         prologue=prologue,
         epilogue=epilogue,
+        ramp_iterations=ramp,
     )
 
 

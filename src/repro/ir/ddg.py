@@ -383,6 +383,26 @@ class DDG:
         """Number of operand references to op *op_id*'s value."""
         return len(self.flow_succ_refs(op_id))
 
+    def flow_succ_ref_edges(
+        self, op_id: int
+    ) -> List[Tuple[Tuple[int, int, int], DepEdge]]:
+        """:meth:`flow_succ_refs` entries paired with their flow edges.
+
+        The checker, the timing simulator and the execution oracle all
+        need the per-reference view *and* the edge (for
+        :meth:`edge_latency`); keeping the join here guarantees the two
+        can never drift apart.
+        """
+        edges = {
+            (edge.dst, edge.omega): edge
+            for edge in self.out_edges(op_id)
+            if edge.is_flow
+        }
+        return [
+            (ref, edges[(ref[0], ref[2])])
+            for ref in self.flow_succ_refs(op_id)
+        ]
+
     def edge_latency(self, edge: DepEdge, latencies: LatencyModel) -> int:
         """Resolve the latency of *edge* under *latencies*.
 

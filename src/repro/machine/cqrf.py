@@ -28,16 +28,24 @@ class QueueFileSpec:
     Attributes:
         n_queues: number of independent FIFO queues in the file.
         queue_depth: maximum values simultaneously held per queue.
+        write_ports: values the file accepts per cycle (its write
+            bandwidth).  0 means unconstrained, which matches the paper's
+            silence on port counts; a positive value arms the per-link
+            bandwidth rule in the schedule checker and the timing
+            simulator.
     """
 
     n_queues: int = 64
     queue_depth: int = 32
+    write_ports: int = 0
 
     def __post_init__(self) -> None:
         if self.n_queues < 1:
             raise MachineError(f"n_queues must be >= 1, got {self.n_queues}")
         if self.queue_depth < 1:
             raise MachineError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.write_ports < 0:
+            raise MachineError(f"write_ports must be >= 0, got {self.write_ports}")
 
     @property
     def capacity(self) -> int:

@@ -131,6 +131,22 @@ class Topology:
         """True when *a* and *b* are directly connected (distance <= 1)."""
         return self.distance(a, b) <= 1
 
+    def comm_latency(self, a: int, b: int) -> int:
+        """Extra cycles a value spends crossing the link ``a -> b``.
+
+        The paper's CQRF model makes near-neighbour communication free
+        (the producer writes straight into the communication queue and
+        the consumer reads it as a normal operand), so the default is 0
+        for any directly connected pair.  A registered topology with
+        slower links can override this; both the schedule checker and
+        the timing simulator consume it through
+        :func:`repro.scheduling.timing.edge_ready_latency`, so the two
+        can never disagree on link cost.
+        """
+        self._check(a)
+        self._check(b)
+        return 0
+
     # -- cached aggregate views ----------------------------------------
     #
     # Topology instances are memoised per (kind, n_clusters, params) by

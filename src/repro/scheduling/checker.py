@@ -8,11 +8,24 @@ bookkeeping.  It enforces:
 2. capability — each operation sits on a cluster that has a unit of its
    functional-unit kind;
 3. resources — no MRT cell over capacity;
-4. dependences — ``t(dst) >= t(src) + latency - II * omega`` for every edge;
+4. dependences — ``t(dst) >= t(src) + latency - II * omega`` for every
+   edge, with the latency resolved through the *shared* timing helper
+   (:func:`repro.scheduling.timing.dependence_slack`), so the checker and
+   the timing simulator can never silently disagree on edge cost;
 5. communication — every flow edge connects clusters the machine's
    topology deems adjacent (any registered interconnect);
 6. fan-out — at most 2 consumer references per value on clustered machines
    (the single-use property DMS relies on for queue mapping).
+
+Two derived-shape rules ride along:
+
+* II/stage-count consistency — ``II >= 1`` and the result's advertised
+  ``stage_count`` equals ``max(t) // II + 1`` recomputed from the
+  placements (a result object whose metadata disagrees with its own
+  placements poisons every downstream cycle model);
+* link bandwidth — when the machine's CQRF declares a finite
+  ``write_ports`` count, the flow values entering any directed cluster
+  link per MRT row must fit it (mirrored dynamically by the simulator).
 """
 
 from __future__ import annotations
@@ -23,6 +36,7 @@ from typing import Dict, List, Tuple
 from ..errors import ValidationError
 from ..ir.opcodes import FUKind
 from .result import ScheduleResult
+from .timing import dependence_slack, edge_ready_latency
 
 
 @dataclass
@@ -52,6 +66,24 @@ def check_schedule(result: ScheduleResult) -> ValidationReport:
     machine = result.machine
     ii = result.ii
     placements = result.placements
+
+    # 0. Shape: II and the advertised stage count must agree with the
+    # placements themselves.  For a plain ScheduleResult the stage count
+    # is derived and always consistent; the rule exists for subclasses
+    # and deserialised/stale result metadata, where a wrong SC silently
+    # corrupts every downstream ramp/cycle model (see the LyingResult
+    # mutant in the mutation-kill suite).
+    if ii < 1:
+        report.problems.append(f"initiation interval {ii} < 1")
+        return report
+    if placements:
+        max_time = max(p.time for p in placements.values())
+        expected_sc = max_time // ii + 1
+        if result.stage_count != expected_sc:
+            report.problems.append(
+                f"stage count {result.stage_count} != max(t)//II + 1 = "
+                f"{expected_sc} (max time {max_time}, II {ii})"
+            )
 
     # 1. Completeness.
     scheduled = set(placements)
@@ -104,8 +136,9 @@ def check_schedule(result: ScheduleResult) -> ValidationReport:
         src, dst = placements[edge.src], placements[edge.dst]
         if not (in_range(src) and in_range(dst)):
             continue  # already reported as an invalid cluster
-        latency = ddg.edge_latency(edge, result.latencies)
-        if dst.time < src.time + latency - ii * edge.omega:
+        if dependence_slack(
+            ddg, edge, placements, ii, result.latencies, machine
+        ) < 0:
             report.problems.append(
                 f"dependence violated: {edge!r} with t({edge.src})={src.time}, "
                 f"t({edge.dst})={dst.time}, II={ii}"
@@ -125,7 +158,61 @@ def check_schedule(result: ScheduleResult) -> ValidationReport:
                 report.problems.append(
                     f"op {op_id} has fan-out {fanout} > 2 on a clustered machine"
                 )
+
+    # 7. Per-link communication bandwidth (CQRF write ports).
+    _check_link_bandwidth(result, report)
     return report
+
+
+def _check_link_bandwidth(result: ScheduleResult, report: ValidationReport) -> None:
+    """Flow values entering a directed cluster link per MRT row must fit
+    the CQRF's write-port count (0 ports = unconstrained).
+
+    In steady state every cross-cluster flow edge delivers one value per
+    II cycles, landing in the CQRF at ``(t(src) + latency) % II``; rows
+    with more landings than ports cannot be sustained by the hardware.
+    The timing simulator mirrors this per actual cycle.
+    """
+    machine = result.machine
+    ports = machine.cqrf.write_ports
+    if not machine.is_clustered or ports <= 0:
+        return
+    ddg = result.ddg
+    placements = result.placements
+    ii = result.ii
+    landings: Dict[Tuple[int, int, int], int] = {}
+    for op_id in ddg.op_ids:
+        if op_id not in placements:
+            continue
+        src = placements[op_id]
+        # One landing per operand *reference* (each reference is its own
+        # queue), matching the simulator's per-cycle count exactly.
+        for (consumer_id, _index, _omega), edge in ddg.flow_succ_ref_edges(
+            op_id
+        ):
+            if consumer_id not in placements:
+                continue
+            dst = placements[consumer_id]
+            if src.cluster == dst.cluster:
+                continue
+            latency = edge_ready_latency(
+                ddg,
+                edge,
+                result.latencies,
+                src_cluster=src.cluster,
+                dst_cluster=dst.cluster,
+                machine=machine,
+            )
+            row = (src.time + latency) % ii
+            key = (src.cluster, dst.cluster, row)
+            landings[key] = landings.get(key, 0) + 1
+    for (writer, reader, row), count in sorted(landings.items()):
+        if count > ports:
+            report.problems.append(
+                f"link bandwidth exceeded: {count} values enter "
+                f"cqrf[c{writer}->c{reader}] at row {row} "
+                f"(write ports {ports})"
+            )
 
 
 def validate_schedule(result: ScheduleResult) -> None:

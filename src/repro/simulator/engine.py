@@ -5,9 +5,17 @@ modulo schedule at ``t(op) + iteration * II`` and dynamically re-checks
 everything the static model promises:
 
 * functional-unit occupancy never exceeds cluster capacity,
-* every operand is ready when read (producer completed, latency honoured),
-* every queue pops values in FIFO order with the expected instance, and
-* queue occupancy stays within the allocated depth.
+* every operand is ready when read, with the readiness delay resolved
+  *per dependence edge* through the same shared helper the checker uses
+  (:func:`repro.scheduling.timing.edge_ready_latency`: explicit latency
+  for ordering edges, producer latency plus per-link communication cost
+  for flow edges), so the simulator and checker can never silently
+  disagree on edge cost,
+* explicit (memory/anti/output) ordering edges are honoured,
+* every queue pops values in FIFO order with the expected instance,
+* queue occupancy stays within the allocated depth, and
+* values entering any directed CQRF link per cycle fit the file's
+  ``write_ports`` budget (when the machine declares one).
 
 It reports the measured makespan next to the analytic ramp model
 ``(n + SC - 1) * II`` used by the experiments; the two are asserted to
@@ -24,6 +32,7 @@ from ..errors import AllocationError, SimulationError
 from ..ir.opcodes import FUKind, is_useful
 from ..registers.queues import QueueAllocation, allocate_queues
 from ..scheduling.result import ScheduleResult
+from ..scheduling.timing import dependence_slack, edge_ready_latency
 
 StreamKey = Tuple[int, int]  # (consumer op id, operand index)
 
@@ -122,6 +131,7 @@ def simulate(
     write_events: List[Tuple[int, StreamKey, int]] = []
     read_events: List[Tuple[int, StreamKey, int]] = []
     issue_events: List[Tuple[int, int, FUKind]] = []  # (cycle, cluster, kind)
+    link_writes: List[Tuple[int, int, int]] = []  # (cycle, writer, reader)
 
     for op in ddg.operations():
         placement = placements[op.op_id]
@@ -141,13 +151,30 @@ def simulate(
             issue_events.append((issue, placement.cluster, op.fu_kind))
             for key, src in refs:
                 read_events.append((issue, key, iteration - src.omega))
-        # The producer side: this op's value feeds streams of consumers.
-        for consumer_key, src in _consumer_refs(ddg, op.op_id):
+        # The producer side: this op's value feeds streams of consumers;
+        # readiness is resolved per flow edge (shared with the checker).
+        for consumer_key, edge in _consumer_refs(ddg, op.op_id):
+            consumer_placement = placements[edge.dst]
+            ready_delay = edge_ready_latency(
+                ddg,
+                edge,
+                latencies,
+                src_cluster=placement.cluster,
+                dst_cluster=consumer_placement.cluster,
+                machine=machine,
+            )
+            crosses = placement.cluster != consumer_placement.cluster
             for iteration in range(iterations):
-                ready = placement.time + iteration * ii + latency
+                ready = placement.time + iteration * ii + ready_delay
                 write_events.append((ready, consumer_key, iteration))
+                if crosses:
+                    link_writes.append(
+                        (ready, placement.cluster, consumer_placement.cluster)
+                    )
 
     _check_resources(issue_events, machine, report)
+    _check_ordering_edges(result, iterations, report)
+    _check_link_writes(link_writes, machine, report)
     _run_fifo(write_events, read_events, streams, expected_next, report)
     if allocation is not None:
         _check_depths(allocation, report)
@@ -160,9 +187,15 @@ def simulate(
 
 
 def _consumer_refs(ddg, producer_id: int):
-    """(consumer stream key, operand) pairs fed by *producer_id*."""
-    for consumer_id, index, _omega in ddg.flow_succ_refs(producer_id):
-        yield (consumer_id, index), ddg.op(consumer_id).srcs[index]
+    """(consumer stream key, flow edge) pairs fed by *producer_id*.
+
+    One pair per operand reference: an edge whose consumer reads the
+    value at several operand positions yields one entry per position.
+    """
+    for (consumer_id, index, _omega), edge in ddg.flow_succ_ref_edges(
+        producer_id
+    ):
+        yield (consumer_id, index), edge
 
 
 def _check_resources(
@@ -183,6 +216,64 @@ def _check_resources(
             report.problems.append(
                 f"cycle {cycle}: {count} {kind.value} issues on cluster "
                 f"{cluster} (capacity {capacity})"
+            )
+
+
+def _check_ordering_edges(
+    result: ScheduleResult,
+    iterations: int,
+    report: SimReport,
+) -> None:
+    """Honour explicit (non-flow) ordering edges.
+
+    Memory/anti/output edges carry no value, so the FIFO machinery never
+    sees them; before this check the simulator silently accepted
+    schedules that reorder aliasing memory operations.  The slack
+    arithmetic is shared with the checker's dependence rule.
+    """
+    ddg = result.ddg
+    for edge in ddg.edges():
+        if edge.is_flow:
+            continue
+        if edge.src not in result.placements or edge.dst not in result.placements:
+            continue
+        slack = dependence_slack(
+            ddg,
+            edge,
+            result.placements,
+            result.ii,
+            result.latencies,
+            result.machine,
+        )
+        if slack < 0:
+            # First offending instance pair: dst iteration omega reads
+            # "before" src iteration 0 has retired.
+            first = min(edge.omega, max(0, iterations - 1))
+            cycle = result.placements[edge.dst].time + first * result.ii
+            report.problems.append(
+                f"cycle {cycle}: ordering violated on {edge!r} "
+                f"(slack {slack})"
+            )
+
+
+def _check_link_writes(
+    link_writes: List[Tuple[int, int, int]],
+    machine,
+    report: SimReport,
+) -> None:
+    """Per-cycle mirror of the checker's link-bandwidth rule: values
+    entering one directed CQRF per cycle must fit its write ports."""
+    ports = machine.cqrf.write_ports if machine.is_clustered else 0
+    if ports <= 0:
+        return
+    per_cycle: Dict[Tuple[int, int, int], int] = {}
+    for event in link_writes:
+        per_cycle[event] = per_cycle.get(event, 0) + 1
+    for (cycle, writer, reader), count in sorted(per_cycle.items()):
+        if count > ports:
+            report.problems.append(
+                f"cycle {cycle}: {count} values enter cqrf[c{writer}->"
+                f"c{reader}] (write ports {ports})"
             )
 
 

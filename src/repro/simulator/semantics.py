@@ -105,6 +105,69 @@ class SequentialRun:
         return streams
 
 
+@dataclass
+class ValueModel:
+    """The pure-value semantics of one graph, shared between executors.
+
+    Both :func:`sequential_run` and the VLIW execution oracle
+    (:mod:`repro.validate.oracle`) evaluate operations through one
+    ``ValueModel`` instance, so the two executors are bit-identical *by
+    construction*: any store-stream mismatch between them is a
+    scheduling/codegen/allocation bug, never a semantics drift.
+    """
+
+    ddg: DDG
+    load_token: LoadToken = default_load_token
+    iteration_of: IterationOf = base_iteration
+    seed_salt: str = "seed"
+    input_salt: str = "in"
+
+    def external_value(self, symbol: str) -> float:
+        """Value of a loop-invariant / live-in symbol."""
+        return _hash_unit(symbol, 0, self.input_salt)
+
+    def load_value(self, op: Operation, iteration: int) -> float:
+        """Value a LOAD produces at *iteration* (of its own graph)."""
+        return _hash_unit(
+            self.load_token(op), self.iteration_of(op, iteration), self.input_salt
+        )
+
+    def seed_value(self, op_id: int, iteration: int) -> float:
+        """Pre-loop value of op *op_id* at (negative) *iteration*.
+
+        Resolves through identity operations (copies and moves forward
+        whatever their source held), so a rewritten graph seeds its
+        queues with the *original* producer's values.
+        """
+        op = self.ddg.op(op_id)
+        guard = 0
+        while op.opcode in (OpCode.COPY, OpCode.MOVE) and op.internal_srcs:
+            src = op.srcs[0]
+            iteration -= src.omega
+            op = self.ddg.op(src.producer)
+            guard += 1
+            if guard > len(self.ddg):
+                raise SimulationError("identity-op cycle while seeding")
+        token = self.load_token(op)
+        return _hash_unit(token, self.iteration_of(op, iteration), self.seed_salt)
+
+    def compute(self, op: Operation, args: List[float], iteration: int) -> float:
+        """Result of *op* over operand values *args* (non-STORE opcodes)."""
+        if op.opcode == OpCode.LOAD:
+            return self.load_value(op, iteration)
+        if op.opcode in _ONE_ARG:
+            return _ONE_ARG[op.opcode](args[0])
+        if op.opcode in _TWO_ARG:
+            return _TWO_ARG[op.opcode](args[0], args[1])
+        if op.opcode == OpCode.SELECT:
+            return args[1] if args[0] > 0.5 else args[2]
+        if op.opcode == OpCode.STORE:
+            raise SimulationError("STORE produces no value; record args[0]")
+        raise SimulationError(  # pragma: no cover - new opcodes land here
+            f"no semantics for {op.opcode}"
+        )
+
+
 def sequential_run(
     ddg: DDG,
     iterations: int,
@@ -123,34 +186,25 @@ def sequential_run(
     if iterations < 1:
         raise SimulationError(f"iterations must be >= 1, got {iterations}")
     store_token = store_token or default_load_token
+    model = ValueModel(
+        ddg,
+        load_token=load_token,
+        iteration_of=iteration_of,
+        seed_salt=seed_salt,
+        input_salt=input_salt,
+    )
     order = _evaluation_order(ddg)
     values: Dict[Tuple[int, int], float] = {}
     run = SequentialRun(iterations)
 
-    def seed_value(op_id: int, iteration: int) -> float:
-        # Pre-loop values: resolve through identity operations (copies
-        # and moves forward whatever their source held), so a rewritten
-        # graph seeds its queues with the *original* producer's values.
-        op = ddg.op(op_id)
-        guard = 0
-        while op.opcode in (OpCode.COPY, OpCode.MOVE) and op.internal_srcs:
-            src = op.srcs[0]
-            iteration -= src.omega
-            op = ddg.op(src.producer)
-            guard += 1
-            if guard > len(ddg):
-                raise SimulationError("identity-op cycle while seeding")
-        token = load_token(op)
-        return _hash_unit(token, iteration_of(op, iteration), seed_salt)
-
     def operand_value(op: Operation, index: int, iteration: int) -> float:
         src = op.srcs[index]
         if src.is_external:
-            return _hash_unit(src.symbol, 0, input_salt)
+            return model.external_value(src.symbol)
         producer_iter = iteration - src.omega
         key = (src.producer, producer_iter)
         if producer_iter < 0:
-            return seed_value(src.producer, producer_iter)
+            return model.seed_value(src.producer, producer_iter)
         if key not in values:
             raise SimulationError(
                 f"value v{src.producer}@{producer_iter} read before computed"
@@ -164,25 +218,11 @@ def sequential_run(
                 operand_value(op, index, iteration)
                 for index in range(len(op.srcs))
             ]
-            if op.opcode == OpCode.LOAD:
-                token = load_token(op)
-                result = _hash_unit(
-                    token, iteration_of(op, iteration), input_salt
-                )
-            elif op.opcode == OpCode.STORE:
-                result = args[0]
-                run.store_streams.setdefault(op_id, []).append(result)
+            if op.opcode == OpCode.STORE:
+                run.store_streams.setdefault(op_id, []).append(args[0])
                 run.store_tokens[op_id] = store_token(op)
                 continue
-            elif op.opcode in _ONE_ARG:
-                result = _ONE_ARG[op.opcode](args[0])
-            elif op.opcode in _TWO_ARG:
-                result = _TWO_ARG[op.opcode](args[0], args[1])
-            elif op.opcode == OpCode.SELECT:
-                result = args[1] if args[0] > 0.5 else args[2]
-            else:  # pragma: no cover - new opcodes must be added here
-                raise SimulationError(f"no semantics for {op.opcode}")
-            values[(op_id, iteration)] = result
+            values[(op_id, iteration)] = model.compute(op, args, iteration)
     return run
 
 

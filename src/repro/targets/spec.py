@@ -92,7 +92,10 @@ def _plain(value: object) -> object:
 
 
 def _queue_dict(spec: QueueFileSpec) -> Dict[str, int]:
-    return {"n_queues": spec.n_queues, "queue_depth": spec.queue_depth}
+    data = {"n_queues": spec.n_queues, "queue_depth": spec.queue_depth}
+    if spec.write_ports:
+        data["write_ports"] = spec.write_ports
+    return data
 
 
 def _cluster_dicts(clusters: Tuple[ClusterSpec, ...]) -> List[Dict[str, object]]:
@@ -136,12 +139,13 @@ def _check_keys(data: Mapping[str, object], allowed: Tuple[str, ...], where: str
 
 def _queue_from(data: object, where: str) -> QueueFileSpec:
     data = _require_mapping(data, where)
-    _check_keys(data, ("n_queues", "queue_depth"), where)
+    _check_keys(data, ("n_queues", "queue_depth", "write_ports"), where)
     defaults = QueueFileSpec()
     try:
         return QueueFileSpec(
             n_queues=int(data.get("n_queues", defaults.n_queues)),
             queue_depth=int(data.get("queue_depth", defaults.queue_depth)),
+            write_ports=int(data.get("write_ports", defaults.write_ports)),
         )
     except (TypeError, ValueError) as err:
         raise TargetError(f"invalid {where}: {err}") from err

@@ -1,0 +1,609 @@
+"""The differential execution oracle.
+
+This module executes an emitted :class:`~repro.codegen.kernel.VLIWProgram`
+value by value — prologue listing, kernel re-issues, epilogue listing —
+routing every operand through the FIFO queue the
+:class:`~repro.registers.queues.QueueAllocation` actually assigned to it,
+and compares the resulting store-value streams against
+:func:`~repro.simulator.semantics.sequential_run` on the *original*
+(pre-unroll, pre-single-use, pre-scheduling) loop.  Both executors share
+one :class:`~repro.simulator.semantics.ValueModel`, so the comparison is
+exact (``==`` on floats): any mismatch is a machine-model, scheduler,
+allocator or codegen bug, never numeric noise.
+
+What one ``verify_compiled`` call proves:
+
+* the ramp listings and kernel re-issues cover every ``(op, iteration)``
+  instance exactly once (no double-issue, no omission);
+* every operand value is in its queue when the consumer issues (per-edge
+  latency honoured, loop-carried seeds included);
+* queue traffic respects the hardware: assignments exist for every
+  lifetime, no two lifetimes share a queue, occupancy stays within both
+  the allocated depth and the file's ``queue_depth``, producers respect
+  the single-use fan-out discipline, and per-cycle CQRF writes fit the
+  declared ``write_ports``;
+* the values stored by the pipelined program bit-equal the sequential
+  reference on the original iteration space (unroll mapping applied).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen.kernel import SlotBinding, VLIWProgram, build_program
+from ..errors import (
+    AllocationError,
+    CodegenError,
+    DDGError,
+    SimulationError,
+    ValidationError,
+)
+from ..ir.ddg import DDG
+from ..ir.opcodes import LatencyModel, OpCode
+from ..ir.transforms import base_op_of
+from ..machine.cqrf import LRFId
+from ..machine.machine import MachineSpec
+from ..registers.queues import QueueAllocation, allocate_queues
+from ..scheduling.pipeline import CompiledLoop
+from ..scheduling.result import ScheduleResult
+from ..scheduling.timing import edge_ready_latency
+from ..simulator.semantics import (
+    ValueModel,
+    default_load_token,
+    sequential_run,
+)
+
+#: Poison operand value substituted when a queue pop fails; keeps the
+#: execution going so one bug yields one problem, not a cascade of crashes.
+_POISON = float("nan")
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one value-level program execution."""
+
+    loop_name: str
+    machine_name: str
+    ii: int
+    stage_count: int
+    iterations: int
+    issued: int = 0
+    max_queue_occupancy: int = 0
+    store_streams: Dict[int, List[float]] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_failed(self) -> None:
+        if self.problems:
+            summary = "; ".join(self.problems[:8])
+            more = (
+                f" (+{len(self.problems) - 8} more)"
+                if len(self.problems) > 8
+                else ""
+            )
+            raise ValidationError(
+                f"execution oracle rejected {self.loop_name!r}: {summary}{more}"
+            )
+
+
+def _enumerate_issues(
+    program: VLIWProgram,
+    iterations: int,
+    report: OracleReport,
+) -> List[Tuple[int, int, SlotBinding]]:
+    """All (cycle, iteration, binding) issues of an *iterations*-deep run.
+
+    The prologue and epilogue come from the program's ramp listings (the
+    epilogue pattern shifts with the run depth in steady state); the
+    kernel block re-issues for every steady-state cycle in between.
+    """
+    ii = program.ii
+    sc = program.stage_count
+    ramp = program.ramp_iterations or min(sc, iterations)
+    if ramp != min(sc, iterations):
+        report.problems.append(
+            f"program ramp listings cover {ramp} iteration(s); a "
+            f"{iterations}-iteration run needs {min(sc, iterations)}"
+        )
+        return []
+    issues: List[Tuple[int, int, SlotBinding]] = []
+
+    def place(cycle: int, binding: SlotBinding, phase: str) -> None:
+        issue_time = binding.stage * ii + binding.row
+        offset = cycle - issue_time
+        if offset % ii or not 0 <= offset // ii < iterations:
+            report.problems.append(
+                f"{phase} lists v{binding.op_id} at cycle {cycle}, which is "
+                f"no iteration of a {iterations}-iteration run "
+                f"(t={issue_time}, II={ii})"
+            )
+            return
+        issues.append((cycle, offset // ii, binding))
+
+    for cycle_issue in program.prologue:
+        for binding in cycle_issue.bindings:
+            place(cycle_issue.cycle, binding, "prologue")
+    for reissue in range(sc - 1, iterations):
+        for row, bindings in enumerate(program.kernel):
+            for binding in bindings:
+                place(reissue * ii + row, binding, "kernel")
+    shift = (iterations - ramp) * ii
+    for cycle_issue in program.epilogue:
+        for binding in cycle_issue.bindings:
+            place(cycle_issue.cycle + shift, binding, "epilogue")
+    return issues
+
+
+def _check_exactness(
+    issues: List[Tuple[int, int, SlotBinding]],
+    ddg: DDG,
+    iterations: int,
+    report: OracleReport,
+) -> None:
+    """Every op of the graph must issue exactly once per iteration."""
+    seen: Dict[Tuple[int, int], int] = {}
+    for _cycle, iteration, binding in issues:
+        key = (binding.op_id, iteration)
+        seen[key] = seen.get(key, 0) + 1
+    for (op_id, iteration), count in sorted(seen.items()):
+        if op_id not in ddg:
+            report.problems.append(
+                f"program issues v{op_id}, which is not in the graph"
+            )
+        elif count > 1:
+            report.problems.append(
+                f"v{op_id} iteration {iteration} issued {count} times"
+            )
+    for op_id in ddg.op_ids:
+        for iteration in range(iterations):
+            if (op_id, iteration) not in seen:
+                report.problems.append(
+                    f"v{op_id} iteration {iteration} never issued"
+                )
+
+
+def execute_program(
+    program: VLIWProgram,
+    ddg: DDG,
+    latencies: LatencyModel,
+    iterations: int,
+    allocation: Optional[QueueAllocation] = None,
+    machine: Optional[MachineSpec] = None,
+    model: Optional[ValueModel] = None,
+) -> OracleReport:
+    """Execute *program* for *iterations* iterations, value by value.
+
+    With an *allocation*, every operand reference flows through its
+    assigned LRF/CQRF queue; without one (unclustered machines) each
+    reference gets an anonymous FIFO.  Returns the report with the store
+    value streams keyed by store op id; all violations are recorded as
+    problems rather than raised.
+    """
+    if iterations < 1:
+        raise SimulationError(f"iterations must be >= 1, got {iterations}")
+    model = model or ValueModel(ddg)
+    report = OracleReport(
+        loop_name=program.loop_name,
+        machine_name=program.machine_name,
+        ii=program.ii,
+        stage_count=program.stage_count,
+        iterations=iterations,
+    )
+
+    # The program's advertised stage count drives ramp length and stage
+    # predication in hardware; it must agree with the kernel's own stage
+    # annotations (a consistently shifted ramp still *executes* exactly,
+    # so enumeration alone cannot see the lie).
+    stages = [b.stage for row in program.kernel for b in row]
+    if stages and program.stage_count != max(stages) + 1:
+        report.problems.append(
+            f"program stage count {program.stage_count} != 1 + max kernel "
+            f"stage {max(stages)}"
+        )
+
+    issues = _enumerate_issues(program, iterations, report)
+    _check_exactness(issues, ddg, iterations, report)
+    if report.problems:
+        return report
+
+    # --- queue plumbing ------------------------------------------------
+    by_lifetime = allocation.by_lifetime() if allocation is not None else None
+    queue_of: Dict[Tuple[int, int, int], object] = {}
+    depth_limit: Dict[object, int] = {}
+    clustered = machine is not None and machine.is_clustered
+
+    def resolve_queue(producer: int, consumer: int, index: int):
+        ref = (producer, consumer, index)
+        key = queue_of.get(ref)
+        if key is not None:
+            return key
+        if by_lifetime is None:
+            key = ref
+        else:
+            assignment = by_lifetime.get(ref)
+            if assignment is None:
+                report.problems.append(
+                    f"no queue assigned for v{producer} -> op {consumer} "
+                    f"operand {index}"
+                )
+                key = ref  # fall back so execution can continue
+            else:
+                key = (assignment.file_id, assignment.queue_index)
+                if machine is not None:
+                    spec = (
+                        machine.cluster(assignment.file_id.cluster).lrf
+                        if isinstance(assignment.file_id, LRFId)
+                        else machine.cqrf
+                    )
+                    depth_limit[key] = spec.queue_depth
+        queue_of[ref] = key
+        return key
+
+    if by_lifetime is not None:
+        taken: Dict[Tuple[object, int], Tuple[int, int, int]] = {}
+        for ref, assignment in by_lifetime.items():
+            slot = (assignment.file_id, assignment.queue_index)
+            if slot in taken:
+                report.problems.append(
+                    f"queue {assignment.label} assigned to two lifetimes: "
+                    f"{taken[slot]} and {ref}"
+                )
+            taken[slot] = ref
+
+    queues: Dict[object, deque] = {}
+
+    def push(key, value) -> None:
+        queue = queues.setdefault(key, deque())
+        queue.append(value)
+        if len(queue) > report.max_queue_occupancy:
+            report.max_queue_occupancy = len(queue)
+        limit = depth_limit.get(key)
+        if limit is not None and len(queue) > limit:
+            report.problems.append(
+                f"queue {key[0]}:q{key[1]} holds {len(queue)} values "
+                f"(depth {limit})"
+            )
+
+    # Loop-carried seeds: instances -omega .. -1 exist before cycle 0.
+    for consumer in ddg.operations():
+        for index, src in enumerate(consumer.srcs):
+            if src.is_external or not src.omega:
+                continue
+            key = resolve_queue(src.producer, consumer.op_id, index)
+            for instance in range(-src.omega, 0):
+                push(key, model.seed_value(src.producer, instance))
+
+    bindings_cluster: Dict[int, int] = {}
+    for _cycle, _iteration, binding in issues:
+        bindings_cluster.setdefault(binding.op_id, binding.fu.cluster)
+
+    # Producer-side routing: per op, the consumer refs (queue, delay,
+    # crossed link) its value fans out to, plus the single-use write
+    # discipline the CQRF hardware relies on.
+    fanout_plan: Dict[int, List[Tuple[object, int, Optional[Tuple[int, int]]]]] = {}
+
+    def plan_for(op_id: int) -> List[Tuple[object, int, Optional[Tuple[int, int]]]]:
+        plan = fanout_plan.get(op_id)
+        if plan is not None:
+            return plan
+        producer_cluster = bindings_cluster.get(op_id)
+        refs = ddg.flow_succ_ref_edges(op_id)
+        if clustered and len(refs) > 2:
+            report.problems.append(
+                f"v{op_id} fans out to {len(refs)} queues "
+                "(single-use discipline allows at most 2)"
+            )
+        plan = []
+        for (consumer_id, index, _omega), edge in refs:
+            key = resolve_queue(op_id, consumer_id, index)
+            consumer_cluster = bindings_cluster.get(consumer_id)
+            delay = edge_ready_latency(
+                ddg,
+                edge,
+                latencies,
+                src_cluster=producer_cluster,
+                dst_cluster=consumer_cluster,
+                machine=machine,
+            )
+            link = None
+            if (
+                producer_cluster is not None
+                and consumer_cluster is not None
+                and producer_cluster != consumer_cluster
+            ):
+                link = (producer_cluster, consumer_cluster)
+            plan.append((key, delay, link))
+        fanout_plan[op_id] = plan
+        return plan
+
+    # --- execution -----------------------------------------------------
+    issues.sort(key=lambda item: (item[0], item[2].fu.sort_key))
+    pending: List[Tuple[int, int, object, float, Optional[Tuple[int, int]]]] = []
+    sequence = 0
+    ports = machine.cqrf.write_ports if clustered else 0
+    link_load: Dict[Tuple[int, int, int], int] = {}
+
+    def drain_until(cycle: int) -> None:
+        while pending and pending[0][0] <= cycle:
+            ready, _seq, key, value, link = heapq.heappop(pending)
+            push(key, value)
+            if link is not None and ports > 0:
+                slot = (ready, link[0], link[1])
+                link_load[slot] = link_load.get(slot, 0) + 1
+                if link_load[slot] == ports + 1:
+                    report.problems.append(
+                        f"cycle {ready}: {ports + 1}+ values enter "
+                        f"cqrf[c{link[0]}->c{link[1]}] "
+                        f"(write ports {ports})"
+                    )
+
+    for cycle, iteration, binding in issues:
+        drain_until(cycle)
+        op = ddg.op(binding.op_id)
+        report.issued += 1
+        args: List[float] = []
+        for index, src in enumerate(op.srcs):
+            if src.is_external:
+                args.append(model.external_value(src.symbol))
+                continue
+            key = resolve_queue(src.producer, op.op_id, index)
+            queue = queues.get(key)
+            if not queue:
+                report.problems.append(
+                    f"cycle {cycle}: v{op.op_id} iteration {iteration} reads "
+                    f"v{src.producer} (operand {index}) before it is ready"
+                )
+                args.append(_POISON)
+                continue
+            args.append(queue.popleft())
+        if op.opcode == OpCode.STORE:
+            report.store_streams.setdefault(op.op_id, []).append(args[0])
+            continue
+        value = model.compute(op, args, iteration)
+        for key, delay, link in plan_for(op.op_id):
+            sequence += 1
+            heapq.heappush(
+                pending, (cycle + delay, sequence, key, value, link)
+            )
+    drain_until(float("inf"))
+
+    # --- end-state audit ----------------------------------------------
+    # After n iterations every reference queue must hold exactly its
+    # omega values (the carried state iteration n would consume).
+    for consumer in ddg.operations():
+        for index, src in enumerate(consumer.srcs):
+            if src.is_external:
+                continue
+            key = resolve_queue(src.producer, consumer.op_id, index)
+            left = len(queues.get(key, ()))
+            if left != src.omega:
+                report.problems.append(
+                    f"stream v{src.producer} -> op {consumer.op_id} operand "
+                    f"{index} drains to {left} values (expected {src.omega})"
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Differential comparison against the original loop
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DifferentialReport:
+    """Oracle execution + store-stream comparison vs the original loop."""
+
+    oracle: OracleReport
+    matched_stores: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.oracle.ok and not self.problems
+
+    @property
+    def all_problems(self) -> List[str]:
+        return list(self.oracle.problems) + list(self.problems)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            summary = "; ".join(self.all_problems[:8])
+            more = (
+                f" (+{len(self.all_problems) - 8} more)"
+                if len(self.all_problems) > 8
+                else ""
+            )
+            raise ValidationError(
+                f"differential oracle rejected "
+                f"{self.oracle.loop_name!r}: {summary}{more}"
+            )
+
+
+def _unroll_hooks(base: DDG, factor: int):
+    """(load_token, iteration_of) mapping a scheduled graph's original
+    ops back to the base loop's streams and iteration space.
+
+    Copy/move operations inserted by single-use rewriting or DMS chains
+    never reach these hooks: the value model resolves identity chains to
+    the original producer first.
+    """
+    span = factor * len(base.op_ids)
+
+    def ensure_original(op) -> Tuple[int, int]:
+        if op.op_id >= span:
+            raise SimulationError(
+                f"op {op.op_id} ({op.opcode.value}) has no base-loop "
+                "counterpart (identity resolution should have removed it)"
+            )
+        return base_op_of(base, op.op_id, factor)
+
+    def token(op) -> str:
+        base_id, _copy = ensure_original(op)
+        return default_load_token(base.op(base_id))
+
+    def iteration(op, j: int) -> int:
+        _base_id, copy = ensure_original(op)
+        return j * factor + copy
+
+    return token, iteration
+
+
+def _failed_report(compiled: CompiledLoop, iterations: int, message: str) -> DifferentialReport:
+    result = compiled.result
+    oracle = OracleReport(
+        loop_name=compiled.loop.name,
+        machine_name=compiled.machine.name,
+        ii=result.ii,
+        stage_count=result.stage_count if result.ii >= 1 else 0,
+        iterations=iterations,
+        problems=[message],
+    )
+    return DifferentialReport(oracle=oracle)
+
+
+def verify_compiled(
+    compiled: CompiledLoop,
+    iterations: Optional[int] = None,
+) -> DifferentialReport:
+    """Differentially verify one compiled loop, end to end.
+
+    Builds the VLIW program (ramp listings sized to the run), executes it
+    through the oracle, and bit-compares every store stream against
+    ``sequential_run`` on the original loop body.  Never raises for
+    schedule defects — they land in the report — but still raises for
+    misuse (bad ``iterations``).
+    """
+    result = compiled.result
+    base = compiled.loop.ddg
+    factor = compiled.unroll_factor
+    if result.ii < 1:
+        return _failed_report(
+            compiled,
+            iterations or 1,
+            f"initiation interval {result.ii} < 1",
+        )
+    if iterations is None:
+        # Cover fill, at least two steady-state kernel re-issues and the
+        # full drain, plus every loop-carried seed distance.
+        max_omega = max(
+            (src.omega for op in result.ddg.operations() for src in op.srcs
+             if not src.is_external),
+            default=0,
+        )
+        iterations = max(result.stage_count + 2, max_omega + 2)
+    if iterations < 1:
+        raise SimulationError(f"iterations must be >= 1, got {iterations}")
+
+    allocation = compiled.allocation
+    if allocation is None and result.machine.is_clustered:
+        try:
+            allocation = allocate_queues(result)
+        except AllocationError as err:
+            return _failed_report(
+                compiled, iterations, f"queue allocation failed: {err}"
+            )
+    # Depth violations are real but the program can still execute; carry
+    # them into the report so value bugs surface alongside them.
+    oracle_problems: List[str] = []
+    if allocation is not None and allocation.violations:
+        oracle_problems.append(
+            "queue allocation exceeds hardware limits: "
+            + "; ".join(allocation.violations[:4])
+        )
+
+    try:
+        program = build_program(
+            result, allocation, ramp_iterations=iterations
+        )
+    except (CodegenError, DDGError) as err:
+        return _failed_report(compiled, iterations, f"codegen failed: {err}")
+
+    token, iteration_of = _unroll_hooks(base, factor)
+    model = ValueModel(result.ddg, load_token=token, iteration_of=iteration_of)
+    oracle = execute_program(
+        program,
+        result.ddg,
+        result.latencies,
+        iterations,
+        allocation=allocation,
+        machine=result.machine,
+        model=model,
+    )
+    oracle.problems = oracle_problems + oracle.problems
+    report = DifferentialReport(oracle=oracle)
+
+    reference = sequential_run(base, iterations * factor)
+    base_stores = sorted(
+        op.op_id for op in base.operations() if op.opcode == OpCode.STORE
+    )
+    final_stores = sorted(
+        op.op_id for op in result.ddg.operations() if op.opcode == OpCode.STORE
+    )
+    span = factor * len(base.op_ids)
+    seen_replicas: Dict[int, set] = {s: set() for s in base_stores}
+    for store_id in final_stores:
+        if store_id >= span:
+            report.problems.append(
+                f"store v{store_id} has no base-loop counterpart"
+            )
+            continue
+        base_id, copy = base_op_of(base, store_id, factor)
+        if base_id not in seen_replicas:
+            report.problems.append(
+                f"store v{store_id} maps to base op {base_id}, which is "
+                "not a store"
+            )
+            continue
+        seen_replicas[base_id].add(copy)
+        expected = [
+            reference.store_streams[base_id][j * factor + copy]
+            for j in range(iterations)
+        ]
+        got = oracle.store_streams.get(store_id, [])
+        if got == expected:
+            report.matched_stores += 1
+            continue
+        if len(got) != len(expected):
+            report.problems.append(
+                f"store v{store_id}: {len(got)} values stored, "
+                f"expected {len(expected)}"
+            )
+            continue
+        index = next(
+            i for i, (x, y) in enumerate(zip(got, expected)) if x != y
+        )
+        report.problems.append(
+            f"store v{store_id} diverges at kernel iteration {index} "
+            f"(original iteration {index * factor + copy}): "
+            f"stored {got[index]!r}, expected {expected[index]!r}"
+        )
+    for base_id, copies in sorted(seen_replicas.items()):
+        missing = sorted(set(range(factor)) - copies)
+        if missing:
+            report.problems.append(
+                f"base store {base_id}: unrolled copies {missing} missing "
+                "from the scheduled graph"
+            )
+    return report
+
+
+def verify_loop(
+    loop,
+    machine: MachineSpec,
+    iterations: Optional[int] = None,
+    **request_kwargs,
+) -> DifferentialReport:
+    """Compile *loop* for *machine* with the default toolchain, then
+    differentially verify the emitted program (convenience entry)."""
+    from ..api import CompilationRequest, Toolchain
+
+    report = Toolchain.default().compile(
+        CompilationRequest(loop=loop, machine=machine, **request_kwargs)
+    )
+    return verify_compiled(report.compiled, iterations=iterations)

@@ -38,6 +38,12 @@ class SyntheticSpec:
     ``p_recurrent_loop`` approximates the fraction of loops containing at
     least one recurrence circuit (the complement approximates the paper's
     "loops without recurrences" set 2).
+
+    ``p_mem_dep`` adds explicit memory ordering edges between a store and
+    a load of the body (aliasing arrays).  It defaults to 0 so the
+    surrogate suite stays bit-identical to its published statistics; the
+    schedule-mutation fuzzer turns it on to exercise the ordering-edge
+    paths of the checker and the timing simulator.
     """
 
     min_strands: int = 1
@@ -48,10 +54,13 @@ class SyntheticSpec:
     p_shared_operand: float = 0.25
     min_trip: int = 24
     max_trip: int = 600
+    p_mem_dep: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.p_recurrent_loop <= 1:
             raise WorkloadError("p_recurrent_loop must be in [0, 1]")
+        if not 0 <= self.p_mem_dep <= 1:
+            raise WorkloadError("p_mem_dep must be in [0, 1]")
         if self.min_strands < 1 or self.max_strands < self.min_strands:
             raise WorkloadError("invalid strand bounds")
         if self.min_trip < 1 or self.max_trip < self.min_trip:
@@ -179,6 +188,12 @@ def synthetic_loop(
     b = LoopBuilder(f"synthetic_{index:04d}")
     for tag, kind in enumerate(kinds):
         _BUILDERS[kind](b, rng, spec, tag)
+    mem_deps = 0
+    if spec.p_mem_dep > 0:
+        # Gated entirely behind the probability so the default spec draws
+        # exactly the random stream it always did (suite stats stay
+        # bit-identical).
+        mem_deps = _add_mem_deps(b, rng, spec)
     trip = int(
         np.exp(rng.uniform(np.log(spec.min_trip), np.log(spec.max_trip)))
     )
@@ -188,4 +203,35 @@ def synthetic_loop(
         seed=seed,
         index=index,
         strands=tuple(kinds),
+        mem_deps=mem_deps,
     )
+
+
+def _add_mem_deps(b: LoopBuilder, rng, spec: SyntheticSpec) -> int:
+    """Add store/load aliasing edges between random memory operations.
+
+    Two flavours, mirroring real aliasing patterns:
+
+    * ``load -> store`` (omega 0): the load must complete before an
+      intra-iteration store overwrites its location;
+    * ``store -> load`` (omega 1): next iteration's load observes this
+      iteration's store.
+    """
+    from ..ir.builder import Value
+    from ..ir.opcodes import OpCode
+
+    loads = [op.op_id for op in b.ddg.operations() if op.opcode == OpCode.LOAD]
+    stores = [op.op_id for op in b.ddg.operations() if op.opcode == OpCode.STORE]
+    if not loads or not stores:
+        return 0
+    added = 0
+    for store_id in stores:
+        if rng.random() >= spec.p_mem_dep:
+            continue
+        load_id = int(rng.choice(loads))
+        if rng.random() < 0.5:
+            b.mem_dep(Value(load_id), Value(store_id), omega=0, latency=1)
+        else:
+            b.mem_dep(Value(store_id), Value(load_id), omega=1, latency=1)
+        added += 1
+    return added

@@ -234,3 +234,70 @@ class TestSupplementaryCommands:
     def test_unknown_ablation_rejected(self):
         with pytest.raises(SystemExit):
             main(["ablation", "gravity"])
+
+
+class TestVerify:
+    def test_verify_subset(self, capsys):
+        assert main(
+            [
+                "verify",
+                "--kernels",
+                "dot_product,fir_filter",
+                "--topologies",
+                "ring,crossbar",
+                "--clusters",
+                "2,4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified 8 program(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_verify_short_ramp_and_unclustered(self, capsys):
+        assert main(
+            [
+                "verify",
+                "--kernels",
+                "fir_filter",
+                "--topologies",
+                "ring",
+                "--clusters",
+                "2",
+                "--short-ramp",
+                "--unclustered",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+
+    def test_verify_unknown_kernel(self, capsys):
+        assert main(["verify", "--kernels", "nonsense"]) == 2
+
+    def test_verify_unknown_topology(self, capsys):
+        assert main(["verify", "--topologies", "moebius"]) == 2
+
+
+class TestFuzz:
+    def test_fuzz_seeded_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "fuzz.json"
+        assert main(
+            [
+                "fuzz",
+                "--seed",
+                "1999",
+                "--trials",
+                "5",
+                "--mutants",
+                "4",
+                "--out",
+                str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "5 trial(s)" in out
+        assert "OK" in out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["ok"] is True
+        assert report["trials_run"] == 5

@@ -1,0 +1,207 @@
+"""Regression cases from the differential-oracle / fuzzer bring-up.
+
+Two latent bug classes were flushed out while standing the oracle up:
+
+1. **Ramp double-issue** — ``build_program`` spanned the full
+   ``(SC-1)*II`` prologue even when ``ramp_iterations < SC``, re-listing
+   issues the drain phase also covers (short trip counts executed some
+   instances twice).  Pinned in ``test_oracle.py`` (the
+   ``TestRampExactness`` class) and re-asserted here end to end.
+
+2. **Simulator blind to ordering edges** — the timing simulator readied
+   operands from per-*op* latency and modelled only value (flow) streams,
+   so a schedule that reordered aliasing memory operations sailed through
+   while the checker rejected it.  The schedule-mutation fuzzer found the
+   class immediately once the synthetic population gained memory edges;
+   both the per-edge latency rework and this regression pin it.
+
+The third suite pins the shared-timing guarantee itself: the checker and
+the simulator resolve every edge through one helper, so a topology with a
+non-zero per-link communication cost moves both verdicts together.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import CompilationRequest, Toolchain
+from repro.ir import LoopBuilder
+from repro.machine import clustered_vliw
+from repro.machine.topology import (
+    RingTopology,
+    TOPOLOGY_REGISTRY,
+    _cached_topology,
+    register_topology,
+)
+from repro.scheduling.checker import check_schedule
+from repro.scheduling.schedule import Placement
+from repro.scheduling.timing import dependence_slack, edge_ready_latency
+from repro.simulator import simulate
+import repro.simulator.engine as engine_module
+from repro.validate import verify_compiled
+from repro.validate.fuzz import contract_violations, evaluate
+
+
+def compile_on(loop, machine, **kwargs):
+    return Toolchain.default().compile(
+        CompilationRequest(loop=loop, machine=machine, validate=False, **kwargs)
+    ).compiled
+
+
+def build_mem_edge_loop():
+    """A stream loop with a store -> load aliasing edge (omega 1)."""
+    b = LoopBuilder("aliasing")
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    s = b.store(b.mul(b.add(x, y), "k"), "z[i]")
+    b.mem_dep(s, x, omega=1, latency=1)
+    return b.build(64)
+
+
+class TestOrderingEdgeRegression:
+    """Bug 2: mem-edge-violating schedules must fail in the simulator."""
+
+    def _mem_edge_mutant(self):
+        loop = build_mem_edge_loop()
+        compiled = compile_on(loop, clustered_vliw(2))
+        result = compiled.result
+        edge = next(e for e in result.ddg.edges() if not e.is_flow)
+        slack = dependence_slack(
+            result.ddg,
+            edge,
+            result.placements,
+            result.ii,
+            result.latencies,
+            result.machine,
+        )
+        # Push the *producer* side (the store) past the slack: moving an
+        # op later is always representable, unlike a negative time.  Try
+        # successive MRT rows until the ordering edge is the *only*
+        # violated rule, isolating the memory-edge case.
+        old = result.placements[edge.src]
+        for extra in range(result.ii):
+            placements = dict(result.placements)
+            placements[edge.src] = Placement(
+                time=old.time + slack + 1 + extra, cluster=old.cluster
+            )
+            mutant = dataclasses.replace(result, placements=placements)
+            problems = check_schedule(mutant).problems
+            if problems and all("dependence violated" in p for p in problems):
+                return compiled, mutant, edge
+        pytest.fail("could not isolate a mem-edge-only violation")
+
+    def test_checker_and_simulator_agree_on_mem_violation(self):
+        compiled, mutant, edge = self._mem_edge_mutant()
+        checker = check_schedule(mutant)
+        assert any("dependence violated" in p for p in checker.problems)
+        sim = simulate(mutant, 6, strict=False)
+        assert any("ordering violated" in p for p in sim.problems), (
+            sim.problems
+        )
+        # Full contract: the oracle is allowed to stay blind (no value
+        # flows through a memory edge) but checker/simulator must agree.
+        verdicts = evaluate(compiled.loop, compiled.unroll_factor, mutant)
+        assert not contract_violations("tighten_edge", verdicts)
+
+    def test_pre_fix_engine_violates_the_contract(self, monkeypatch):
+        """With the ordering check removed (the pre-fix engine), the same
+        mutant is a checker/simulator disagreement — exactly what the
+        fuzzer flagged during bring-up."""
+        compiled, mutant, _edge = self._mem_edge_mutant()
+        monkeypatch.setattr(
+            engine_module, "_check_ordering_edges", lambda *a, **k: None
+        )
+        verdicts = evaluate(compiled.loop, compiled.unroll_factor, mutant)
+        assert contract_violations("tighten_edge", verdicts) == [
+            "checker rejects but simulator accepts"
+        ]
+
+    def test_valid_mem_edge_loop_passes_everywhere(self):
+        loop = build_mem_edge_loop()
+        compiled = compile_on(loop, clustered_vliw(2))
+        assert check_schedule(compiled.result).ok
+        assert simulate(compiled.result, 6).ok
+        assert verify_compiled(compiled).ok
+
+
+class TestSharedTimingGuarantee:
+    """The checker and the simulator must resolve edge latency through
+    one code path — including per-link communication cost."""
+
+    @pytest.fixture()
+    def slow_link_topology(self):
+        @register_topology
+        class SlowRing(RingTopology):
+            kind = "slow-ring-test"
+
+            def comm_latency(self, a, b):
+                self._check(a)
+                self._check(b)
+                return 0 if a == b else 2
+
+        try:
+            yield "slow-ring-test"
+        finally:
+            TOPOLOGY_REGISTRY.pop("slow-ring-test", None)
+            _cached_topology.cache_clear()
+
+    def test_checker_and_simulator_move_together(self, slow_link_topology):
+        """A ring schedule valid under free links must be judged under
+        the slow links *identically* by checker and simulator."""
+        b = LoopBuilder("cross")
+        x = b.load("x[i]")
+        b.store(b.add(x, "k"), "y[i]")
+        loop = b.build(64)
+        compiled = compile_on(loop, clustered_vliw(2))
+        result = compiled.result
+        slow_machine = dataclasses.replace(
+            result.machine, topology_kind=slow_link_topology
+        )
+        slow = dataclasses.replace(result, machine=slow_machine)
+        checker_ok = check_schedule(slow).ok
+        sim = simulate(slow, 6, strict=False)
+        assert checker_ok == sim.ok
+        if not checker_ok:
+            assert any("dependence violated" in p for p in check_schedule(slow).problems)
+            assert any(
+                "before it is ready" in p or "read from empty stream" in p
+                for p in sim.problems
+            ), sim.problems
+
+    def test_edge_ready_latency_adds_link_cost(self, slow_link_topology):
+        machine = clustered_vliw(4, topology=slow_link_topology)
+        loop = build_mem_edge_loop()
+        ddg = loop.ddg
+        edge = next(e for e in ddg.edges() if e.is_flow)
+        base = edge_ready_latency(ddg, edge, compile_on(
+            loop, clustered_vliw(4)
+        ).result.latencies)
+        slow = edge_ready_latency(
+            ddg,
+            edge,
+            compile_on(loop, clustered_vliw(4)).result.latencies,
+            src_cluster=0,
+            dst_cluster=1,
+            machine=machine,
+        )
+        assert slow == base + 2
+
+    def test_same_cluster_flow_has_no_link_cost(self, slow_link_topology):
+        machine = clustered_vliw(4, topology=slow_link_topology)
+        loop = build_mem_edge_loop()
+        ddg = loop.ddg
+        edge = next(e for e in ddg.edges() if e.is_flow)
+        latencies = compile_on(loop, clustered_vliw(4)).result.latencies
+        assert edge_ready_latency(
+            ddg, edge, latencies, src_cluster=1, dst_cluster=1, machine=machine
+        ) == edge_ready_latency(ddg, edge, latencies)
+
+    def test_ordering_edges_never_pay_link_cost(self, slow_link_topology):
+        machine = clustered_vliw(4, topology=slow_link_topology)
+        loop = build_mem_edge_loop()
+        ddg = loop.ddg
+        edge = next(e for e in ddg.edges() if not e.is_flow)
+        latencies = compile_on(loop, clustered_vliw(4)).result.latencies
+        assert edge_ready_latency(
+            ddg, edge, latencies, src_cluster=0, dst_cluster=1, machine=machine
+        ) == edge.latency
