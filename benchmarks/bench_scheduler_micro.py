@@ -81,7 +81,14 @@ def test_dms_throughput_wide(benchmark, lms_ddg):
 
 from repro.bench import CASES as BENCH_CASES
 
-_SCALING_NAMES = ("dms_unroll8", "dms_unroll16", "dms_mesh8", "dms_crossbar8")
+_SCALING_NAMES = (
+    "dms_unroll8",
+    "dms_unroll16",
+    "dms_unroll8_ladder",
+    "dms_unroll16_ladder",
+    "dms_mesh8",
+    "dms_crossbar8",
+)
 _SCALING_CASES = [case for case in BENCH_CASES if case.name in _SCALING_NAMES]
 
 
@@ -89,6 +96,18 @@ _SCALING_CASES = [case for case in BENCH_CASES if case.name in _SCALING_NAMES]
     "case", _SCALING_CASES, ids=[case.name for case in _SCALING_CASES]
 )
 def test_dms_scaling(benchmark, case):
-    thunk = case.build()
+    thunk = case.build(None)
     result = benchmark(thunk)
     assert result.ii >= 1
+
+
+@pytest.mark.parametrize("search", ("ladder", "adaptive"))
+def test_search_policy_ii_parity_unroll16(benchmark, search):
+    # The adaptive-vs-ladder pair above times the two policies; this pins
+    # that whichever is measured, the II they reach is identical (the
+    # search layer's core contract on the hottest case).
+    from repro.bench import _dms_thunk
+
+    thunk = _dms_thunk("fir_filter", {"taps": 8}, 16, "ring", 8, search=search)
+    result = benchmark(thunk)
+    assert result.ii == 18

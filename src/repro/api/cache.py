@@ -36,7 +36,10 @@ from .request import CompilationReport, CompilationRequest
 #: stale cache directories invalidate themselves instead of lying.
 #: v2: machine signatures carry topology parameters and per-target
 #: latency models (declarative target-description API).
-CACHE_SCHEMA_VERSION = 2
+#: v3: scheduler configs carry the II-search policy fields (search,
+#: search_workers, thrash_cap_ratio) and the default policy is adaptive,
+#: whose emitted schedules may differ bit-wise from the ladder's.
+CACHE_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------

@@ -220,11 +220,17 @@ class SchedulePass(Pass):
         )
         result = scheduler.schedule(ctx.ddg)
         ctx.result = result
-        # Both schedulers walk the II candidates upward from MII, one
-        # attempt counter tick per candidate, so the trajectory is the
-        # closed range ending at the achieved II.
+        # The search layer records the II candidates it actually visited
+        # (a galloping policy skips rungs, so the walk is no longer a
+        # contiguous range).  Schedulers predating the layer (two-phase)
+        # leave the trajectory empty; reconstruct their contiguous walk.
         attempts = max(1, result.stats.ii_attempts)
-        ctx.ii_trajectory = list(range(result.ii - attempts + 1, result.ii + 1))
+        if result.ii_trajectory:
+            ctx.ii_trajectory = list(result.ii_trajectory)
+        else:
+            ctx.ii_trajectory = list(
+                range(result.ii - attempts + 1, result.ii + 1)
+            )
         if ctx.request.validate:
             validate_schedule(result)
         ctx.note(

@@ -46,7 +46,11 @@ class CompilationRequest:
             :data:`DEFAULT_LATENCIES` otherwise.  Any explicit model —
             including ``DEFAULT_LATENCIES`` itself — wins over the
             target's.
-        config: scheduler tunables.
+        config: scheduler tunables, including the II-search policy
+            (``config.search``: ``"adaptive"``/``"ladder"``/
+            ``"portfolio"`` — see :mod:`repro.scheduling.search`); part
+            of the cache key, so reports compiled under different
+            policies never alias.
         unroll: explicit unroll factor; ``None`` picks it automatically.
         equivalent_k: per-kind FU count of the unclustered reference used
             by the automatic unroll choice (so a clustered/unclustered

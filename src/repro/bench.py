@@ -27,7 +27,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Schema version of the benchmark JSON.
-BENCH_SCHEMA = 1
+#: v2: per-case ``search`` block (II, ii_attempts, budget_used,
+#: restarts_per_success, futility_aborts) for scheduler-backed cases,
+#: plus the explicit ``*_ladder`` scaling cases that pin the reference
+#: search policy next to the adaptive default.
+BENCH_SCHEMA = 2
 
 #: Default baseline path (committed at the repo root).
 BENCH_FILENAME = "BENCH_scheduler.json"
@@ -38,17 +42,34 @@ DEFAULT_TOLERANCE = 0.25
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One benchmark: a setup builder returning a zero-arg timed thunk."""
+    """One benchmark: a setup builder returning a zero-arg timed thunk.
+
+    ``build`` takes the run's II-search override (``None`` = each case's
+    own default policy); cases that pin a policy, or that do not touch a
+    scheduler, ignore it.
+    """
 
     name: str
     group: str  # "micro" | "dms" | "ims"
     describe: str
-    build: Callable[[], Callable[[], object]]
+    build: Callable[[Optional[str]], Callable[[], object]]
+
+
+def _scheduler_config(search: Optional[str]):
+    from .config import DEFAULT_CONFIG
+
+    return DEFAULT_CONFIG if search is None else DEFAULT_CONFIG.with_(search=search)
 
 
 def _dms_thunk(
-    kernel: str, kwargs: dict, unroll: int, topology: str, k: int
+    kernel: str,
+    kwargs: dict,
+    unroll: int,
+    topology: str,
+    k: int,
+    search: Optional[str] = None,
 ) -> Callable[[], object]:
+    from .ir.opcodes import DEFAULT_LATENCIES
     from .ir.transforms import single_use_ddg, unroll_ddg
     from .machine import clustered_vliw
     from .scheduling import DistributedModuloScheduler
@@ -59,11 +80,16 @@ def _dms_thunk(
         ddg = unroll_ddg(ddg, unroll)
     ddg = single_use_ddg(ddg)
     machine = clustered_vliw(k, topology=topology)
-    scheduler = DistributedModuloScheduler(machine)
+    scheduler = DistributedModuloScheduler(
+        machine, DEFAULT_LATENCIES, _scheduler_config(search)
+    )
     return lambda: scheduler.schedule(ddg.copy())
 
 
-def _ims_thunk(kernel: str, unroll: int, k: int) -> Callable[[], object]:
+def _ims_thunk(
+    kernel: str, unroll: int, k: int, search: Optional[str] = None
+) -> Callable[[], object]:
+    from .ir.opcodes import DEFAULT_LATENCIES
     from .ir.transforms import unroll_ddg
     from .machine import unclustered_vliw
     from .scheduling import IterativeModuloScheduler
@@ -72,7 +98,9 @@ def _ims_thunk(kernel: str, unroll: int, k: int) -> Callable[[], object]:
     ddg = make_kernel(kernel).ddg
     if unroll > 1:
         ddg = unroll_ddg(ddg, unroll)
-    scheduler = IterativeModuloScheduler(unclustered_vliw(k))
+    scheduler = IterativeModuloScheduler(
+        unclustered_vliw(k), DEFAULT_LATENCIES, _scheduler_config(search)
+    )
     return lambda: scheduler.schedule(ddg.copy())
 
 
@@ -96,54 +124,87 @@ def _transform_thunk() -> Callable[[], object]:
 
 
 CASES: Tuple[BenchCase, ...] = (
-    BenchCase("mii_lms", "micro", "MII bounds, lms_update", _mii_thunk),
+    BenchCase(
+        "mii_lms", "micro", "MII bounds, lms_update", lambda search=None: _mii_thunk()
+    ),
     BenchCase(
         "unroll_single_use_fir4",
         "micro",
         "unroll x4 + single-use, fir_filter",
-        _transform_thunk,
+        lambda search=None: _transform_thunk(),
     ),
     BenchCase(
         "ims_unroll8",
         "ims",
         "IMS, fir_filter x8, unclustered(4)",
-        lambda: _ims_thunk("fir_filter", 8, 4),
+        lambda search=None: _ims_thunk("fir_filter", 8, 4, search=search),
     ),
     BenchCase(
         "dms_narrow",
         "dms",
         "DMS, fir_filter(10) x4, 4-cluster ring",
-        lambda: _dms_thunk("fir_filter", {"taps": 10}, 4, "ring", 4),
+        lambda search=None: _dms_thunk(
+            "fir_filter", {"taps": 10}, 4, "ring", 4, search=search
+        ),
     ),
     BenchCase(
         "dms_wide",
         "dms",
         "DMS, lms_update(5), 8-cluster ring",
-        lambda: _dms_thunk("lms_update", {"taps": 5}, 1, "ring", 8),
+        lambda search=None: _dms_thunk(
+            "lms_update", {"taps": 5}, 1, "ring", 8, search=search
+        ),
     ),
     BenchCase(
         "dms_unroll8",
         "dms",
         "DMS scaling, fir_filter x8, 4-cluster ring",
-        lambda: _dms_thunk("fir_filter", {"taps": 8}, 8, "ring", 4),
+        lambda search=None: _dms_thunk(
+            "fir_filter", {"taps": 8}, 8, "ring", 4, search=search
+        ),
     ),
     BenchCase(
         "dms_unroll16",
         "dms",
         "DMS scaling, fir_filter x16, 8-cluster ring",
-        lambda: _dms_thunk("fir_filter", {"taps": 8}, 16, "ring", 8),
+        lambda search=None: _dms_thunk(
+            "fir_filter", {"taps": 8}, 16, "ring", 8, search=search
+        ),
+    ),
+    # The same scaling cases pinned to the reference ladder policy, so a
+    # run (and the CI gate) always measures the adaptive-vs-ladder delta
+    # side by side regardless of the session default.
+    BenchCase(
+        "dms_unroll8_ladder",
+        "dms",
+        "DMS scaling, fir_filter x8, 4-cluster ring (ladder search pinned)",
+        lambda search=None: _dms_thunk(
+            "fir_filter", {"taps": 8}, 8, "ring", 4, search="ladder"
+        ),
+    ),
+    BenchCase(
+        "dms_unroll16_ladder",
+        "dms",
+        "DMS scaling, fir_filter x16, 8-cluster ring (ladder search pinned)",
+        lambda search=None: _dms_thunk(
+            "fir_filter", {"taps": 8}, 16, "ring", 8, search="ladder"
+        ),
     ),
     BenchCase(
         "dms_mesh8",
         "dms",
         "DMS, lms_update(5) x2, 8-cluster mesh",
-        lambda: _dms_thunk("lms_update", {"taps": 5}, 2, "mesh", 8),
+        lambda search=None: _dms_thunk(
+            "lms_update", {"taps": 5}, 2, "mesh", 8, search=search
+        ),
     ),
     BenchCase(
         "dms_crossbar8",
         "dms",
         "DMS, lms_update(5) x2, 8-cluster crossbar",
-        lambda: _dms_thunk("lms_update", {"taps": 5}, 2, "crossbar", 8),
+        lambda search=None: _dms_thunk(
+            "lms_update", {"taps": 5}, 2, "crossbar", 8, search=search
+        ),
     ),
 )
 
@@ -166,23 +227,57 @@ def calibrate() -> float:
     return best
 
 
-def _time_case(thunk: Callable[[], object], reps: int) -> Tuple[float, float]:
-    """(best, mean) seconds over *reps* timed runs (one warmup first)."""
+def _time_case(
+    thunk: Callable[[], object], reps: int
+) -> Tuple[float, float, object]:
+    """(best, mean, last result) over *reps* timed runs (one warmup first)."""
     thunk()
     samples = []
+    result: object = None
     for _ in range(reps):
         start = time.perf_counter()
-        thunk()
+        result = thunk()
         samples.append(time.perf_counter() - start)
-    return min(samples), sum(samples) / len(samples)
+    return min(samples), sum(samples) / len(samples), result
+
+
+def _search_stats(result: object) -> Optional[Dict]:
+    """II-search effort of a scheduler-backed case, or ``None``.
+
+    ``restarts_per_success`` is the number of scheduling attempts the
+    search executed for its one successful schedule — the direct measure
+    of how much work failed rungs cost under the active policy.
+    """
+    stats = getattr(result, "stats", None)
+    if stats is None or not hasattr(stats, "ii_attempts"):
+        return None
+    return {
+        "ii": result.ii,
+        "ii_attempts": stats.ii_attempts,
+        "budget_used": stats.budget_used,
+        "restarts_per_success": stats.restart_attempts,
+        "futility_aborts": stats.futility_aborts,
+    }
 
 
 def run_bench(
     quick: bool = False,
     case_names: Optional[Iterable[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    search: Optional[str] = None,
 ) -> Dict:
-    """Run the benchmark matrix and return the result document."""
+    """Run the benchmark matrix and return the result document.
+
+    *search* overrides the II-search policy of every scheduler-backed
+    case (``None`` keeps each case's own default; the ``*_ladder`` cases
+    always pin the reference policy).
+    """
+    from .scheduling import SEARCH_POLICY_NAMES
+
+    if search is not None and search not in SEARCH_POLICY_NAMES:
+        raise ValueError(
+            f"unknown search policy {search!r}; known: {list(SEARCH_POLICY_NAMES)}"
+        )
     selected = list(CASES)
     if case_names is not None:
         wanted = set(case_names)
@@ -196,12 +291,12 @@ def run_bench(
     cases: Dict[str, Dict] = {}
     calibrations: List[float] = []
     for case in selected:
-        thunk = case.build()
+        thunk = case.build(search)
         # Calibrate per case so normalization tracks machine-speed drift
         # over the course of the run (shared CI runners are not steady).
         calibration = calibrate()
         calibrations.append(calibration)
-        best, mean = _time_case(thunk, reps)
+        best, mean, result = _time_case(thunk, reps)
         cases[case.name] = {
             "group": case.group,
             "describe": case.describe,
@@ -212,11 +307,15 @@ def run_bench(
             "normalized": best / calibration,
             "normalized_mean": mean / calibration,
         }
+        search_stats = _search_stats(result)
+        if search_stats is not None:
+            cases[case.name]["search"] = search_stats
         if progress is not None:
             progress(f"{case.name:<24} {1e3 * best:9.2f} ms")
     return {
         "schema": BENCH_SCHEMA,
         "quick": quick,
+        "search_override": search,
         "calibration_s": min(calibrations) if calibrations else 0.0,
         "cases": cases,
         "meta": {
@@ -305,14 +404,18 @@ def geomean(values: Iterable[float]) -> float:
 def render_table(doc: Dict) -> str:
     """Human-readable table of one benchmark document."""
     lines = [
-        f"{'case':<24} {'group':<6} {'best':>10} {'mean':>10} {'norm':>8}",
-        "-" * 62,
+        f"{'case':<24} {'group':<6} {'best':>10} {'mean':>10} {'norm':>8} "
+        f"{'II':>4} {'tries':>5}",
+        "-" * 73,
     ]
     for name, entry in doc["cases"].items():
+        search = entry.get("search") or {}
+        ii = search.get("ii", "")
+        tries = search.get("restarts_per_success", "")
         lines.append(
             f"{name:<24} {entry['group']:<6} "
             f"{1e3 * entry['best_s']:>8.2f}ms {1e3 * entry['mean_s']:>8.2f}ms "
-            f"{entry['normalized']:>8.2f}"
+            f"{entry['normalized']:>8.2f} {ii!s:>4} {tries!s:>5}"
         )
     lines.append(
         f"calibration {1e3 * doc['calibration_s']:.2f} ms on "
@@ -339,7 +442,7 @@ def profile_case(name: str, top: int = 20) -> str:
     matching = [case for case in CASES if case.name == name]
     if not matching:
         raise ValueError(f"unknown bench case {name!r}; known: {list(CASE_NAMES)}")
-    thunk = matching[0].build()
+    thunk = matching[0].build(None)
     thunk()  # warm caches so the profile shows steady state
     profiler = cProfile.Profile()
     profiler.enable()
@@ -384,6 +487,7 @@ def main_bench(args) -> int:
             quick=args.quick,
             case_names=case_names,
             progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+            search=args.search,
         )
     except ValueError as err:
         print(str(err), file=sys.stderr)
@@ -391,8 +495,11 @@ def main_bench(args) -> int:
     if args.baseline_carry:
         # Carry the seed-reference block forward when rewriting the
         # committed baseline, so speedup-vs-seed reporting survives.
+        # Read raw (no schema check): carrying across a schema bump is
+        # exactly when this matters.
         try:
-            previous = load_baseline(args.baseline_carry)
+            with open(args.baseline_carry) as handle:
+                previous = json.load(handle)
         except (OSError, ValueError):
             previous = {}
         if "seed_reference" in previous:
@@ -418,7 +525,9 @@ def main_bench(args) -> int:
                 f"  re-measuring {len(flaky)} slow case(s): {', '.join(flaky)}",
                 file=sys.stderr,
             )
-            retry = run_bench(quick=args.quick, case_names=flaky)
+            retry = run_bench(
+                quick=args.quick, case_names=flaky, search=args.search
+            )
             for name, entry in retry["cases"].items():
                 if entry["normalized"] < doc["cases"][name]["normalized"]:
                     doc["cases"][name] = entry

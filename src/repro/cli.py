@@ -88,6 +88,7 @@ def _parser() -> argparse.ArgumentParser:
     sched.add_argument(
         "--timings", action="store_true", help="print per-pass wall-clock times"
     )
+    _search_arg(sched)
 
     target = sub.add_parser(
         "target", help="list/show/validate declarative target descriptions"
@@ -140,10 +141,12 @@ def _parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--timings", action="store_true", help="print the per-pass timing figure"
     )
+    _search_arg(batch)
 
     for name in ("fig4", "fig5", "fig6", "backtracking", "moves", "all-figures"):
         fig = sub.add_parser(name, help=f"regenerate {name}")
         _suite_args(fig)
+        _search_arg(fig)
         fig.add_argument(
             "--clusters",
             type=str,
@@ -204,6 +207,13 @@ def _parser() -> argparse.ArgumentParser:
         metavar="CASE",
         help="print cProfile top-20 cumulative for one case and exit",
     )
+    _search_arg(
+        bench,
+        help=(
+            "override the II-search policy of scheduler-backed cases "
+            "(default: each case's own policy; *_ladder cases stay pinned)"
+        ),
+    )
 
     verify = sub.add_parser(
         "verify", help="differential execution oracle over the kernel suite"
@@ -240,6 +250,13 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also verify the IMS/unclustered reference machines",
     )
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for the compile phase (default: serial)",
+    )
+    _search_arg(verify)
 
     fuzz = sub.add_parser(
         "fuzz", help="schedule-mutation fuzzing (checker vs simulator vs oracle)"
@@ -273,6 +290,7 @@ def _parser() -> argparse.ArgumentParser:
         "storage", help="register/queue storage requirements (paper section 1)"
     )
     _suite_args(storage)
+    _search_arg(storage)
     storage.add_argument("--clusters", type=str, default="1,2,4,6,8,10")
     storage.add_argument("--csv", type=str, default=None)
 
@@ -281,6 +299,7 @@ def _parser() -> argparse.ArgumentParser:
 
     ablation.add_argument("name", choices=sorted(ABLATIONS))
     _suite_args(ablation)
+    _search_arg(ablation)
     ablation.add_argument("--clusters", type=str, default="4,6,8,10")
     ablation.add_argument("--csv", type=str, default=None)
 
@@ -288,6 +307,7 @@ def _parser() -> argparse.ArgumentParser:
         "baseline", help="DMS vs two-phase partition+schedule"
     )
     _suite_args(baseline)
+    _search_arg(baseline)
     baseline.add_argument("--clusters", type=str, default="4,6,8,10")
     baseline.add_argument("--csv", type=str, default=None)
 
@@ -295,9 +315,28 @@ def _parser() -> argparse.ArgumentParser:
         "sensitivity", help="figure-4 shape under alternative latency models"
     )
     _suite_args(sensitivity)
+    _search_arg(sensitivity)
     sensitivity.add_argument("--clusters", type=str, default="2,4,8")
     sensitivity.add_argument("--csv", type=str, default=None)
     return parser
+
+
+def _search_arg(parser: argparse.ArgumentParser, help: Optional[str] = None) -> None:
+    parser.add_argument(
+        "--search",
+        type=str,
+        default=None,
+        choices=("ladder", "adaptive", "portfolio"),
+        help=help or "II-search policy (default: the scheduler default, adaptive)",
+    )
+
+
+def _scheduler_config(args: argparse.Namespace):
+    """The scheduler config implied by a command's ``--search`` flag."""
+    search = getattr(args, "search", None)
+    if search is None:
+        return DEFAULT_CONFIG
+    return DEFAULT_CONFIG.with_(search=search)
 
 
 def _suite_args(parser: argparse.ArgumentParser) -> None:
@@ -350,7 +389,12 @@ def _schedule_command(args: argparse.Namespace) -> int:
     else:
         machine = clustered_vliw(args.clusters)
     report = Toolchain.default().compile(
-        CompilationRequest(loop=loop, machine=machine, equivalent_k=equivalent_k)
+        CompilationRequest(
+            loop=loop,
+            machine=machine,
+            equivalent_k=equivalent_k,
+            config=_scheduler_config(args),
+        )
     )
     compiled = report.compiled
     result = compiled.result
@@ -392,6 +436,7 @@ def _batch_command(args: argparse.Namespace) -> int:
                 machine=machine,
                 allocate=False,
                 validate=True,
+                config=_scheduler_config(args),
             )
             for name in names
             for machine in machines
@@ -406,6 +451,7 @@ def _batch_command(args: argparse.Namespace) -> int:
                 equivalent_k=k,
                 allocate=False,
                 validate=True,
+                config=_scheduler_config(args),
             )
             for name in names
             for k in cluster_counts
@@ -513,6 +559,7 @@ def _figures_command(args: argparse.Namespace) -> int:
         SweepConfig(
             cluster_counts=cluster_counts,
             workers=getattr(args, "workers", None),
+            scheduler_config=_scheduler_config(args),
         ),
         progress=lambda msg: print(f"  {msg}", file=sys.stderr),
     )
@@ -580,34 +627,45 @@ def _verify_command(args: argparse.Namespace) -> int:
         machines.extend(unclustered_vliw(k) for k in cluster_counts)
 
     started = time.time()
+    # One toolchain and one batch over the whole (kernel, machine) matrix
+    # instead of a fresh Toolchain per program: the compile phase shares
+    # every per-session cache and, with --workers, fans across processes;
+    # each run depth below then re-verifies its already-compiled loop.
+    from .api import compile_many
+
+    loops = {name: make_kernel(name) for name in names}
+    jobs = [(name, machine) for name in names for machine in machines]
+    requests = [
+        CompilationRequest(
+            loop=loops[name], machine=machine, config=_scheduler_config(args)
+        )
+        for name, machine in jobs
+    ]
+    compiled_reports = compile_many(
+        requests, toolchain=Toolchain.default(), workers=args.workers
+    )
     programs = 0
     failures = 0
-    for name in names:
-        loop = make_kernel(name)
-        for machine in machines:
-            # One compilation per (kernel, machine); each run depth below
-            # re-verifies the same compiled loop.
-            compiled = Toolchain.default().compile(
-                CompilationRequest(loop=loop, machine=machine)
-            ).compiled
-            reports = [(verify_compiled(compiled, iterations=args.iterations), "")]
-            if args.short_ramp:
-                # A run shorter than the pipeline depth (ramp listings
-                # degenerate: no steady-state kernel issue).
-                short = max(1, compiled.result.stage_count - 1)
-                reports.append(
-                    (verify_compiled(compiled, iterations=short), " [short ramp]")
+    for (name, machine), compile_report in zip(jobs, compiled_reports):
+        compiled = compile_report.compiled
+        reports = [(verify_compiled(compiled, iterations=args.iterations), "")]
+        if args.short_ramp:
+            # A run shorter than the pipeline depth (ramp listings
+            # degenerate: no steady-state kernel issue).
+            short = max(1, compiled.result.stage_count - 1)
+            reports.append(
+                (verify_compiled(compiled, iterations=short), " [short ramp]")
+            )
+        for report, suffix in reports:
+            programs += 1
+            if report.ok:
+                continue
+            failures += 1
+            for problem in report.all_problems[:4]:
+                print(
+                    f"FAIL {name} on {machine.name}{suffix}: {problem}",
+                    file=sys.stderr,
                 )
-            for report, suffix in reports:
-                programs += 1
-                if report.ok:
-                    continue
-                failures += 1
-                for problem in report.all_problems[:4]:
-                    print(
-                        f"FAIL {name} on {machine.name}{suffix}: {problem}",
-                        file=sys.stderr,
-                    )
     elapsed = time.time() - started
     print(
         f"verified {programs} program(s): {len(names)} kernel(s) x "
@@ -652,7 +710,7 @@ def _storage_command(args: argparse.Namespace) -> int:
 
     cluster_counts = [int(c) for c in args.clusters.split(",") if c]
     loops = perfect_club_surrogate(args.loops, seed=args.seed)
-    points = storage_sweep(loops, cluster_counts)
+    points = storage_sweep(loops, cluster_counts, config=_scheduler_config(args))
     _emit_figure(storage_report(points), args.csv)
     return 0
 
@@ -662,7 +720,9 @@ def _ablation_command(args: argparse.Namespace) -> int:
 
     cluster_counts = [int(c) for c in args.clusters.split(",") if c]
     loops = perfect_club_surrogate(args.loops, seed=args.seed)
-    figure = ABLATIONS[args.name](loops, cluster_counts)
+    figure = ABLATIONS[args.name](
+        loops, cluster_counts, config=_scheduler_config(args)
+    )
     _emit_figure(figure, args.csv)
     return 0
 
@@ -672,7 +732,9 @@ def _baseline_command(args: argparse.Namespace) -> int:
 
     cluster_counts = [int(c) for c in args.clusters.split(",") if c]
     loops = perfect_club_surrogate(args.loops, seed=args.seed)
-    figure = two_phase_comparison(loops, cluster_counts)
+    figure = two_phase_comparison(
+        loops, cluster_counts, config=_scheduler_config(args)
+    )
     _emit_figure(figure, args.csv)
     return 0
 
@@ -682,7 +744,9 @@ def _sensitivity_command(args: argparse.Namespace) -> int:
 
     cluster_counts = [int(c) for c in args.clusters.split(",") if c]
     loops = perfect_club_surrogate(args.loops, seed=args.seed)
-    figure = latency_sensitivity(loops, cluster_counts)
+    figure = latency_sensitivity(
+        loops, cluster_counts, config=_scheduler_config(args)
+    )
     _emit_figure(figure, args.csv)
     return 0
 

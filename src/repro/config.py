@@ -8,6 +8,7 @@ can vary them without touching algorithm code.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from .errors import SchedulingError
 
@@ -27,6 +28,20 @@ class SchedulerConfig:
             assignment at 100%-utilized IIs is order-sensitive; cheap
             diversified restarts recover most packings a single pass
             misses (set to 1 for the strict single-pass algorithm).
+        search: II-search policy (see ``repro.scheduling.search``):
+            ``"adaptive"`` (default — galloping ladder with incumbent
+            bisection, failure-evidence seeding and futility cutoffs),
+            ``"ladder"`` (the seed's exhaustive walk, bit-identical
+            schedules) or ``"portfolio"`` (ladder with each rung's
+            restarts fanned across a process pool).
+        search_workers: process-pool width for the ``portfolio`` policy
+            (``None`` = cores - 1).
+        thrash_cap_ratio: ``adaptive`` futility cutoff — an attempt is
+            abandoned once one operation has been re-popped more than
+            ``thrash_cap_ratio * budget_ratio`` times.  The default cap
+            (48) leaves ~2x headroom over the worst re-pop count ever
+            observed in a *successful* attempt across the golden corpus
+            (26), so the cutoff only fires on livelocked attempts.
         chain_combo_cap: maximum number of ring-direction combinations
             explored per chain plan (2 directions per far predecessor).
         chain_score_all_clusters: score chain options by the bottleneck
@@ -43,6 +58,9 @@ class SchedulerConfig:
     max_ii_factor: int = 4
     max_ii_extra: int = 32
     restarts_per_ii: int = 3
+    search: str = "adaptive"
+    search_workers: Optional[int] = None
+    thrash_cap_ratio: int = 8
     chain_combo_cap: int = 16
     chain_score_all_clusters: bool = True
     prefer_shortest_chain_only: bool = False
@@ -56,6 +74,15 @@ class SchedulerConfig:
             raise SchedulingError("invalid II search bounds")
         if self.restarts_per_ii < 1:
             raise SchedulingError("restarts_per_ii must be >= 1")
+        if self.search not in ("ladder", "adaptive", "portfolio"):
+            raise SchedulingError(
+                f"unknown search policy {self.search!r}; choose from "
+                "('ladder', 'adaptive', 'portfolio')"
+            )
+        if self.search_workers is not None and self.search_workers < 1:
+            raise SchedulingError("search_workers must be >= 1 or None")
+        if self.thrash_cap_ratio < 1:
+            raise SchedulingError("thrash_cap_ratio must be >= 1")
         if self.chain_combo_cap < 1:
             raise SchedulingError("chain_combo_cap must be >= 1")
         if self.single_use_strategy not in ("chain", "tree"):

@@ -10,6 +10,19 @@ from .mii import MIIResult, compute_mii, rec_mii, rec_mii_unrolled, res_mii
 from .mrt import ModuloReservationTable
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule, Placement
+from .search import (
+    SEARCH_POLICY_NAMES,
+    AdaptivePolicy,
+    AttemptLimits,
+    AttemptOutcome,
+    AttemptRunner,
+    FailureEvidence,
+    LadderPolicy,
+    PortfolioPolicy,
+    SearchOutcome,
+    SearchPolicy,
+    get_search_policy,
+)
 from .twophase import (
     TwoPhaseScheduler,
     insert_static_chains,
@@ -42,6 +55,17 @@ __all__ = [
     "SchedulerStats",
     "PartialSchedule",
     "Placement",
+    "SEARCH_POLICY_NAMES",
+    "AdaptivePolicy",
+    "AttemptLimits",
+    "AttemptOutcome",
+    "AttemptRunner",
+    "FailureEvidence",
+    "LadderPolicy",
+    "PortfolioPolicy",
+    "SearchOutcome",
+    "SearchPolicy",
+    "get_search_policy",
     "TwoPhaseScheduler",
     "insert_static_chains",
     "partition_clusters",

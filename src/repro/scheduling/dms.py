@@ -29,6 +29,10 @@ ejected while both endpoints remain scheduled on indirectly connected
 clusters, the consumer is ejected as well.  The partial schedule therefore
 never contains a communication conflict — an invariant the checker and the
 property tests enforce.
+
+The outer II/restart walk lives in :mod:`repro.scheduling.search`; this
+module contributes :class:`DMSAttemptRunner` (one attempt = one salt at
+one II on a pristine graph copy) and the per-attempt machinery.
 """
 
 from __future__ import annotations
@@ -37,15 +41,23 @@ import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..config import DEFAULT_CONFIG, SchedulerConfig
-from ..errors import IIOverflowError, SchedulingError
+from ..errors import SchedulingError
 from ..ir.ddg import DDG
 from ..ir.opcodes import DEFAULT_LATENCIES, FUKind, LatencyModel
 from ..machine.machine import MachineSpec
 from .chains import ChainPlanner, ChainRegistry, dismantle_chain
-from .heights import compute_heights, height_edge_terms
+from .heights import compute_heights
 from .mii import compute_mii
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule
+from .search import (
+    _HOT_POP_THRESHOLD,
+    AttemptLimits,
+    AttemptOutcome,
+    AttemptRunner,
+    FailureEvidence,
+    get_search_policy,
+)
 
 #: Maximum operand references per value DMS accepts on clustered machines.
 _MAX_CLUSTERED_FANOUT = 2
@@ -71,49 +83,36 @@ class DistributedModuloScheduler:
     # ------------------------------------------------------------------
 
     def schedule(self, ddg: DDG) -> ScheduleResult:
-        """Find the smallest feasible II for *ddg* and schedule it."""
+        """Find the smallest feasible II for *ddg* and schedule it.
+
+        The II/restart walk itself is delegated to the search policy
+        named by ``config.search`` (see :mod:`repro.scheduling.search`);
+        this method owns only the per-loop invariants and the result
+        assembly.
+        """
         if len(ddg) == 0:
             raise SchedulingError(f"loop {ddg.name!r} has no operations")
         self._check_fanout(ddg)
         bounds = compute_mii(ddg, self.machine, self.latencies)
-        stats = SchedulerStats()
-        max_ii = self.config.max_ii(bounds.mii)
-        # Edge latencies are a property of the graph alone (cached on the
-        # shared edge objects); the height edge terms depend only on the
-        # graph, so they are computed once here and reused by every II
-        # attempt instead of being rebuilt per pristine copy.
-        height_terms = height_edge_terms(ddg, self.latencies)
-        can_mutate = self.machine.is_clustered
-        for ii in range(bounds.mii, max_ii + 1):
-            stats.ii_attempts += 1
-            schedule = None
-            heights = compute_heights(ddg, self.latencies, ii, height_terms)
-            for salt in range(self.config.restarts_per_ii):
-                # Each attempt works on a pristine copy: chains from failed
-                # attempts must not leak into the next one.  An unclustered
-                # machine never builds chains, so the graph cannot mutate
-                # and the copy is skipped.  The salt rotates the cluster
-                # preference so restarts explore different greedy
-                # assignments (see SchedulerConfig).
-                work = ddg.copy() if can_mutate else ddg
-                attempt = _Attempt(self, work, ii, stats, salt, heights)
-                schedule = attempt.run()
-                if schedule is not None:
-                    break
-            if schedule is not None:
-                return ScheduleResult(
-                    loop_name=ddg.name,
-                    machine=self.machine,
-                    scheduler=self.name,
-                    ii=ii,
-                    res_mii=bounds.res_mii,
-                    rec_mii=bounds.rec_mii,
-                    ddg=work,
-                    placements=schedule.placements(),
-                    latencies=self.latencies,
-                    stats=stats,
-                )
-        raise IIOverflowError(ddg.name, max_ii)
+        policy = get_search_policy(self.config.search)
+        outcome = policy.search(self.attempt_runner(ddg), bounds.mii, self.config)
+        return ScheduleResult(
+            loop_name=ddg.name,
+            machine=self.machine,
+            scheduler=self.name,
+            ii=outcome.ii,
+            res_mii=bounds.res_mii,
+            rec_mii=bounds.rec_mii,
+            ddg=outcome.work,
+            placements=outcome.placements,
+            latencies=self.latencies,
+            stats=outcome.stats,
+            ii_trajectory=outcome.trajectory,
+        )
+
+    def attempt_runner(self, ddg: DDG) -> "DMSAttemptRunner":
+        """The per-loop attempt server the search policies drive."""
+        return DMSAttemptRunner(self, ddg)
 
     def _check_fanout(self, ddg: DDG) -> None:
         if not self.machine.is_clustered:
@@ -128,6 +127,62 @@ class DistributedModuloScheduler:
                 )
 
 
+class DMSAttemptRunner(AttemptRunner):
+    """Serves DMS attempts to a search policy for one loop (the shared
+    height caches live on :class:`AttemptRunner`)."""
+
+    def __init__(self, scheduler: DistributedModuloScheduler, ddg: DDG):
+        self.scheduler = scheduler
+        self.restarts_per_rung = scheduler.config.restarts_per_ii
+        self._can_mutate = scheduler.machine.is_clustered
+        self._bind(ddg, scheduler.latencies)
+
+    def run(
+        self,
+        ii: int,
+        salt: int,
+        limits: Optional[AttemptLimits] = None,
+        evidence: Optional[FailureEvidence] = None,
+    ) -> AttemptOutcome:
+        # Each attempt works on a pristine copy: chains from failed
+        # attempts must not leak into the next one.  An unclustered
+        # machine never builds chains, so the graph cannot mutate and
+        # the copy is skipped.  The salt rotates the cluster preference
+        # so restarts explore different greedy assignments (see
+        # SchedulerConfig).
+        work = self.ddg.copy() if self._can_mutate else self.ddg
+        stats = SchedulerStats()
+        attempt = _Attempt(
+            self.scheduler,
+            work,
+            ii,
+            stats,
+            salt,
+            self.heights_for(ii),
+            limits=limits,
+            evidence=evidence,
+        )
+        schedule = attempt.run()
+        return AttemptOutcome(
+            ii=ii,
+            salt=salt,
+            placements=schedule.placements() if schedule is not None else None,
+            work=work,
+            stats=stats,
+            evidence=attempt.failure_evidence() if schedule is None else None,
+        )
+
+    def portfolio_payload(self) -> tuple:
+        scheduler = self.scheduler
+        return (
+            "dms",
+            scheduler.machine,
+            scheduler.latencies,
+            scheduler.config,
+            self.ddg,
+        )
+
+
 class _Attempt:
     """State of one II attempt (schedule, chains, budget)."""
 
@@ -139,6 +194,8 @@ class _Attempt:
         stats: SchedulerStats,
         salt: int = 0,
         heights: Optional[Dict[int, int]] = None,
+        limits: Optional[AttemptLimits] = None,
+        evidence: Optional[FailureEvidence] = None,
     ):
         self.machine = scheduler.machine
         self.latencies = scheduler.latencies
@@ -147,6 +204,19 @@ class _Attempt:
         self.ii = ii
         self.stats = stats
         self.salt = salt
+        self.limits = limits
+        self.evidence = evidence
+        # Pop counts feed both the thrash cutoff and failure evidence;
+        # neither exists on the reference (limits=None) path, which must
+        # stay byte-for-byte the seed algorithm.
+        self.pop_counts: Optional[Dict[int, int]] = (
+            {} if limits is not None else None
+        )
+        self._evidence_rank: Optional[Dict[int, int]] = (
+            {c: i for i, c in enumerate(evidence.cluster_order)}
+            if evidence is not None
+            else None
+        )
         self.schedule = PartialSchedule(work, self.machine, ii, self.latencies)
         self.registry = ChainRegistry()
         self.planner = ChainPlanner(self.schedule, self.config)
@@ -184,15 +254,61 @@ class _Attempt:
 
     def run(self) -> Optional[PartialSchedule]:
         budget = self.config.budget_ratio * len(self.work)
+        limits = self.limits
+        if limits is None:
+            # Reference path (ladder/portfolio): the seed loop, verbatim.
+            while self.unscheduled and budget > 0:
+                budget -= 1
+                self.stats.budget_used += 1
+                op_id = self._pop_ready()
+                self.unscheduled.remove(op_id)
+                self._schedule_op(op_id)
+            if self.unscheduled:
+                return None
+            return self.schedule
+        thrash_cap = limits.thrash_cap
+        pop_counts = self.pop_counts
         while self.unscheduled and budget > 0:
+            if limits.budget_infeasible_abort and budget < len(self.unscheduled):
+                # Each placement costs one budget unit and schedules one
+                # op: finishing is already impossible (outcome-exact).
+                self.stats.futility_aborts += 1
+                return None
+            op_id = self._pop_ready()
+            count = pop_counts.get(op_id, 0) + 1
+            pop_counts[op_id] = count
+            if thrash_cap is not None and count - 1 > thrash_cap:
+                # Livelock: one op is being ejected over and over.  The
+                # op stays in the unscheduled set so the evidence report
+                # sees it (heuristic cutoff — see AttemptLimits).
+                self.stats.futility_aborts += 1
+                return None
             budget -= 1
             self.stats.budget_used += 1
-            op_id = self._pop_ready()
             self.unscheduled.remove(op_id)
             self._schedule_op(op_id)
         if self.unscheduled:
             return None
         return self.schedule
+
+    def failure_evidence(self) -> FailureEvidence:
+        """What this (failed) attempt learned, for the next probe."""
+        hot = set(self.unscheduled)
+        if self.pop_counts is not None:
+            hot.update(
+                op_id
+                for op_id, count in self.pop_counts.items()
+                if count - 1 >= _HOT_POP_THRESHOLD
+            )
+        load = [0] * self.machine.n_clusters
+        for placement in self.schedule.placements().values():
+            load[placement.cluster] += 1
+        cluster_order = tuple(
+            sorted(range(self.machine.n_clusters), key=lambda c: (load[c], c))
+        )
+        return FailureEvidence(
+            hot_ops=frozenset(hot), cluster_order=cluster_order
+        )
 
     def _schedule_op(self, op_id: int) -> None:
         estart = max(0, self.schedule.earliest_start(op_id))
@@ -289,6 +405,15 @@ class _Attempt:
         # region's units for the chain that starts there.
         n = self.machine.n_clusters
         rotation = (op_id * n) // max(1, len(self.work)) + self.salt
+        rank = self._evidence_rank
+        if rank is not None and op_id in self.evidence.hot_ops:
+            # Evidence seeding: an op that thrashed in the previous
+            # failed attempt starts its scan from the clusters that
+            # attempt left least loaded, the salt rotation breaking ties
+            # so successive probes still diversify.
+            return sorted(
+                clusters, key=lambda c: (rank.get(c, n), (c - rotation) % n)
+            )
         return sorted(clusters, key=lambda c: (c - rotation) % n)
 
     def _force_in_clusters(

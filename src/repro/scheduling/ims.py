@@ -16,14 +16,21 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from ..config import DEFAULT_CONFIG, SchedulerConfig
-from ..errors import IIOverflowError, SchedulingError
+from ..errors import SchedulingError
 from ..ir.ddg import DDG
 from ..ir.opcodes import DEFAULT_LATENCIES, LatencyModel
 from ..machine.machine import MachineSpec
-from .heights import compute_heights, height_edge_terms
+from .heights import compute_heights
 from .mii import compute_mii
 from .result import ScheduleResult, SchedulerStats
 from .schedule import PartialSchedule
+from .search import (
+    AttemptLimits,
+    AttemptOutcome,
+    AttemptRunner,
+    FailureEvidence,
+    get_search_policy,
+)
 
 
 class IterativeModuloScheduler:
@@ -42,45 +49,70 @@ class IterativeModuloScheduler:
         self.config = config
 
     def schedule(self, ddg: DDG) -> ScheduleResult:
-        """Find the smallest feasible II for *ddg* and schedule it."""
+        """Find the smallest feasible II for *ddg* and schedule it.
+
+        The II walk is delegated to the search policy named by
+        ``config.search`` (see :mod:`repro.scheduling.search`).  IMS is
+        deterministic per II — there is no restart salt — so a rung is
+        one attempt and the ``portfolio`` policy degenerates to the
+        serial ladder.
+        """
         if len(ddg) == 0:
             raise SchedulingError(f"loop {ddg.name!r} has no operations")
         bounds = compute_mii(ddg, self.machine, self.latencies)
-        stats = SchedulerStats()
-        max_ii = self.config.max_ii(bounds.mii)
-        height_terms = height_edge_terms(ddg, self.latencies)
-        for ii in range(bounds.mii, max_ii + 1):
-            stats.ii_attempts += 1
-            schedule = self._attempt(ddg, ii, stats, height_terms)
-            if schedule is not None:
-                return ScheduleResult(
-                    loop_name=ddg.name,
-                    machine=self.machine,
-                    scheduler=self.name,
-                    ii=ii,
-                    res_mii=bounds.res_mii,
-                    rec_mii=bounds.rec_mii,
-                    ddg=ddg,
-                    placements=schedule.placements(),
-                    latencies=self.latencies,
-                    stats=stats,
-                )
-        raise IIOverflowError(ddg.name, max_ii)
+        policy = get_search_policy(self.config.search)
+        outcome = policy.search(self.attempt_runner(ddg), bounds.mii, self.config)
+        return ScheduleResult(
+            loop_name=ddg.name,
+            machine=self.machine,
+            scheduler=self.name,
+            ii=outcome.ii,
+            res_mii=bounds.res_mii,
+            rec_mii=bounds.rec_mii,
+            ddg=outcome.work,
+            placements=outcome.placements,
+            latencies=self.latencies,
+            stats=outcome.stats,
+            ii_trajectory=outcome.trajectory,
+        )
+
+    def attempt_runner(self, ddg: DDG) -> "IMSAttemptRunner":
+        """The per-loop attempt server the search policies drive."""
+        return IMSAttemptRunner(self, ddg)
 
     # ------------------------------------------------------------------
 
     def _attempt(
-        self, ddg: DDG, ii: int, stats: SchedulerStats, height_terms=None
+        self,
+        ddg: DDG,
+        ii: int,
+        stats: SchedulerStats,
+        height_terms=None,
+        heights=None,
+        limits: Optional[AttemptLimits] = None,
     ) -> Optional[PartialSchedule]:
         schedule = PartialSchedule(ddg, self.machine, ii, self.latencies)
-        heights = compute_heights(ddg, self.latencies, ii, height_terms)
+        if heights is None:
+            heights = compute_heights(ddg, self.latencies, ii, height_terms)
         unscheduled: Set[int] = set(ddg.op_ids)
         last_time: Dict[int, int] = {}
         budget = self.config.budget_ratio * len(ddg)
+        thrash_cap = limits.thrash_cap if limits is not None else None
+        budget_abort = limits is not None and limits.budget_infeasible_abort
+        pop_counts: Dict[int, int] = {}
         while unscheduled and budget > 0:
+            if budget_abort and budget < len(unscheduled):
+                stats.futility_aborts += 1
+                return None
+            op_id = min(unscheduled, key=lambda i: (-heights[i], i))
+            if thrash_cap is not None:
+                count = pop_counts.get(op_id, 0) + 1
+                pop_counts[op_id] = count
+                if count - 1 > thrash_cap:
+                    stats.futility_aborts += 1
+                    return None
             budget -= 1
             stats.budget_used += 1
-            op_id = min(unscheduled, key=lambda i: (-heights[i], i))
             unscheduled.remove(op_id)
             estart = max(0, schedule.earliest_start(op_id))
             placed = self._find_slot(schedule, op_id, estart)
@@ -144,3 +176,50 @@ class IterativeModuloScheduler:
             unscheduled.add(victim)
             stats.ejections_resource += 1
         return (time, best_cluster)
+
+
+class IMSAttemptRunner(AttemptRunner):
+    """Serves IMS attempts to a search policy for one loop.
+
+    IMS never mutates the graph and has no restart salt, so the runner
+    shares the graph across attempts, declares one restart per rung, and
+    ignores both the salt and the (cluster-preference) failure evidence.
+    The shared height caches live on :class:`AttemptRunner`.
+    """
+
+    def __init__(self, scheduler: IterativeModuloScheduler, ddg: DDG):
+        self.scheduler = scheduler
+        self.restarts_per_rung = 1
+        self._bind(ddg, scheduler.latencies)
+
+    def run(
+        self,
+        ii: int,
+        salt: int,
+        limits: Optional[AttemptLimits] = None,
+        evidence: Optional[FailureEvidence] = None,
+    ) -> AttemptOutcome:
+        stats = SchedulerStats()
+        schedule = self.scheduler._attempt(
+            self.ddg, ii, stats, heights=self.heights_for(ii), limits=limits
+        )
+        # evidence stays None even on failure: IMS attempts ignore it, so
+        # reporting any would only make the adaptive policy treat its
+        # (identical) re-probes as distinct attempts and run them twice.
+        return AttemptOutcome(
+            ii=ii,
+            salt=salt,
+            placements=schedule.placements() if schedule is not None else None,
+            work=self.ddg,
+            stats=stats,
+        )
+
+    def portfolio_payload(self) -> tuple:
+        scheduler = self.scheduler
+        return (
+            "ims",
+            scheduler.machine,
+            scheduler.latencies,
+            scheduler.config,
+            self.ddg,
+        )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 from ..ir.ddg import DDG
 from ..ir.opcodes import LatencyModel, OpCode, is_useful
@@ -17,9 +17,18 @@ class SchedulerStats:
 
     ``ejections_*`` follow the paper's three conflict classes, plus the
     chain-dismantling ejections specific to DMS backtracking.
+
+    ``ii_attempts`` counts distinct II rungs visited; ``restart_attempts``
+    counts every scheduling attempt actually executed (>= ``ii_attempts``
+    whenever restarts or re-probes happen); ``futility_aborts`` counts
+    attempts the adaptive search policy cut short.  The search layer
+    aggregates per-attempt stats, so every counter is the exact sum over
+    the attempt log (see ``tests/test_search_policies.py``).
     """
 
     ii_attempts: int = 0
+    restart_attempts: int = 0
+    futility_aborts: int = 0
     placements: int = 0
     budget_used: int = 0
     ejections_resource: int = 0
@@ -63,6 +72,10 @@ class ScheduleResult:
         placements: op id -> :class:`Placement`.
         latencies: latency model used.
         stats: scheduling effort counters.
+        ii_trajectory: distinct II candidates the search visited, ending
+            at the achieved II (empty for schedulers predating the
+            search-policy layer; consumers fall back to the contiguous
+            ``(ii - ii_attempts, ii]`` range).
     """
 
     loop_name: str
@@ -75,6 +88,7 @@ class ScheduleResult:
     placements: Mapping[int, Placement]
     latencies: LatencyModel
     stats: SchedulerStats = field(default_factory=SchedulerStats)
+    ii_trajectory: Tuple[int, ...] = ()
 
     @property
     def mii(self) -> int:

@@ -154,13 +154,16 @@ class TestCompile:
         assert report.total_seconds == pytest.approx(
             sum(t.seconds for t in report.timings)
         )
-        # Trajectory: the II candidates walked, ending at the achieved II.
+        # Trajectory: the distinct II candidates the search visited,
+        # ending at the achieved II.  A galloping policy may overshoot
+        # and skip rungs, so the walk is not necessarily contiguous —
+        # but it is duplicate-free and every entry is a real candidate.
         result = report.result
         assert report.ii_trajectory[-1] == result.ii
         assert len(report.ii_trajectory) == result.stats.ii_attempts
-        assert report.ii_trajectory == tuple(
-            range(result.ii - result.stats.ii_attempts + 1, result.ii + 1)
-        )
+        assert len(set(report.ii_trajectory)) == len(report.ii_trajectory)
+        assert all(ii >= result.mii for ii in report.ii_trajectory)
+        assert report.ii_trajectory == tuple(result.ii_trajectory)
         assert len(report.diagnostics) == len(DEFAULT_PASSES)
         assert not report.cache_hit
 

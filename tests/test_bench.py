@@ -144,6 +144,52 @@ class TestRunBench:
         assert "seed_reference" in baseline
 
 
+class TestSearchStats:
+    def test_scheduler_case_records_search_stats(self):
+        doc = run_bench(quick=True, case_names=["dms_narrow"])
+        stats = doc["cases"]["dms_narrow"]["search"]
+        assert stats["ii"] >= 1
+        assert stats["ii_attempts"] >= 1
+        assert stats["restarts_per_success"] >= stats["ii_attempts"]
+        assert stats["budget_used"] > 0
+        assert stats["futility_aborts"] >= 0
+
+    def test_micro_case_has_no_search_stats(self):
+        doc = run_bench(quick=True, case_names=["mii_lms"])
+        assert "search" not in doc["cases"]["mii_lms"]
+
+    def test_search_override_recorded_and_validated(self):
+        doc = run_bench(
+            quick=True, case_names=["dms_narrow"], search="ladder"
+        )
+        assert doc["search_override"] == "ladder"
+        try:
+            run_bench(search="bogus")
+        except ValueError as err:
+            assert "bogus" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("unknown search policy accepted")
+
+    def test_adaptive_and_ladder_agree_on_ii(self):
+        adaptive = run_bench(quick=True, case_names=["dms_unroll8"])
+        ladder = run_bench(
+            quick=True, case_names=["dms_unroll8"], search="ladder"
+        )
+        assert (
+            adaptive["cases"]["dms_unroll8"]["search"]["ii"]
+            == ladder["cases"]["dms_unroll8"]["search"]["ii"]
+        )
+
+    def test_bench_search_flag_cli(self, capsys):
+        assert (
+            main(
+                ["bench", "--quick", "--cases", "dms_narrow", "--search", "adaptive"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+
 class TestBenchCli:
     def test_bench_command_with_check(self, tmp_path, capsys):
         baseline = str(tmp_path / "base.json")
