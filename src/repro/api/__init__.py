@@ -24,6 +24,8 @@ from .batch import BatchCompiler, DEFAULT_WORKERS, compile_many
 from .cache import (
     CacheStats,
     CompilationCache,
+    MemoryCache,
+    TieredCache,
     content_hash,
     ddg_signature,
     machine_signature,
@@ -61,6 +63,7 @@ __all__ = [
     "CompilationRequest",
     "DEFAULT_PASSES",
     "DEFAULT_WORKERS",
+    "MemoryCache",
     "PASS_REGISTRY",
     "Pass",
     "PassContext",
@@ -68,6 +71,7 @@ __all__ = [
     "SCHEDULER_CHOICES",
     "SchedulePass",
     "SingleUsePass",
+    "TieredCache",
     "Toolchain",
     "TwoPhaseSchedulePass",
     "UnrollPass",

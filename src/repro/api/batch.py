@@ -14,7 +14,7 @@ holds that property over the whole kernel suite.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..errors import ReproError
@@ -40,19 +40,33 @@ def _compile_job(job) -> Union[CompilationReport, ReproError]:
 
 
 class BatchCompiler:
-    """Compile many requests through one toolchain, cache and pool."""
+    """Compile many requests through one toolchain, cache and pool.
+
+    *cache* may be a :class:`CompilationCache`, any object with the same
+    ``get``/``put`` duck type (e.g. a :class:`~repro.api.cache.TieredCache`),
+    or a path, which is wrapped in a disk cache.
+
+    *pool* injects a shared, long-lived executor: the batch then fans its
+    misses over that pool instead of creating (and tearing down) its own,
+    so a resident daemon and a batch run can reuse one warm set of worker
+    processes.  An injected pool is never shut down by the compiler.
+    """
 
     def __init__(
         self,
         toolchain: Optional[Toolchain] = None,
         cache: Union[CompilationCache, os.PathLike, None] = None,
         workers: Optional[int] = None,
+        pool: Optional[Executor] = None,
     ):
         self.toolchain = toolchain or Toolchain.default()
-        if cache is not None and not isinstance(cache, CompilationCache):
+        if cache is not None and not (
+            hasattr(cache, "get") and hasattr(cache, "put")
+        ):
             cache = CompilationCache(cache)
         self.cache = cache
         self.workers = workers
+        self.pool = pool
 
     def compile_many(
         self,
@@ -90,7 +104,16 @@ class BatchCompiler:
         jobs = [
             (self.toolchain, requests[i], return_errors) for i in pending
         ]
-        if workers > 1 and len(pending) > 1:
+        if self.pool is not None and len(pending) > 1:
+            width = getattr(self.pool, "_max_workers", DEFAULT_WORKERS)
+            chunksize = max(1, len(pending) // (max(1, width) * 4))
+            outcomes = self.pool.map(_compile_job, jobs, chunksize=chunksize)
+            for index, outcome in zip(pending, outcomes):
+                reports[index] = self._finish(keys[index], outcome)
+                done += 1
+                if progress and done % 50 == 0:
+                    progress(f"compiled {done}/{len(requests)} jobs")
+        elif workers > 1 and len(pending) > 1:
             chunksize = max(1, len(pending) // (workers * 4))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = pool.map(_compile_job, jobs, chunksize=chunksize)
@@ -123,11 +146,14 @@ def compile_many(
     toolchain: Optional[Toolchain] = None,
     cache: Union[CompilationCache, os.PathLike, None] = None,
     workers: Optional[int] = None,
+    pool: Optional[Executor] = None,
     progress: Optional[ProgressFn] = None,
     return_errors: bool = False,
 ) -> List[Union[CompilationReport, ReproError]]:
     """One-shot convenience wrapper around :class:`BatchCompiler`."""
-    compiler = BatchCompiler(toolchain=toolchain, cache=cache, workers=workers)
+    compiler = BatchCompiler(
+        toolchain=toolchain, cache=cache, workers=workers, pool=pool
+    )
     return compiler.compile_many(
         requests, progress=progress, return_errors=return_errors
     )

@@ -15,15 +15,17 @@ shared by the worker processes of a :class:`~repro.api.batch.BatchCompiler`.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import hashlib
 import json
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import CacheError
 from ..ir.ddg import DDG
@@ -250,3 +252,147 @@ class CompilationCache:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CompilationCache {str(self.root)!r} entries={len(self)}>"
+
+
+# ----------------------------------------------------------------------
+# In-memory tier
+# ----------------------------------------------------------------------
+
+
+class MemoryCache:
+    """A bounded in-memory LRU of compilation reports, keyed like the
+    disk cache.
+
+    Entries are kept un-flagged (``cache_hit=False``); :meth:`get`
+    returns a shallow copy with the provenance flags set, so handing the
+    same entry to many callers never lets one caller's flag mutation
+    leak into another's report (the disk tier gets the same isolation
+    for free from unpickling).
+
+    The capacity bound is an entry count, not bytes: reports for the
+    kernel suite are small and uniform, and a count keeps eviction O(1).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise CacheError(f"MemoryCache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CompilationReport]" = OrderedDict()
+        self.stats = CacheStats()
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[CompilationReport]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        report = copy.copy(entry)
+        report.cache_hit = True
+        report.cache_key = key
+        return report
+
+    def put(self, key: str, report: CompilationReport) -> None:
+        stored = copy.copy(report)
+        stored.cache_hit = False
+        stored.cache_key = key
+        self._entries[key] = stored
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self.stats.writes += 1
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MemoryCache entries={len(self)}/{self.capacity} "
+            f"hits={self.stats.hits} evictions={self.evictions}>"
+        )
+
+
+class TieredCache:
+    """Memory LRU in front of an (optional) disk cache, one interface.
+
+    Lookup order is memory first, then disk; a disk hit is promoted into
+    the memory tier so a warm daemon stops touching the filesystem for
+    its working set.  Writes go to both tiers.  The object satisfies the
+    same ``get``/``put``/``stats`` duck type as :class:`CompilationCache`,
+    so a :class:`~repro.api.batch.BatchCompiler` can ride a tiered cache
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[MemoryCache] = None,
+        disk: Optional[CompilationCache] = None,
+    ):
+        self.memory = memory if memory is not None else MemoryCache()
+        self.disk = disk
+        self.stats = CacheStats()  # aggregate over both tiers
+
+    def get(self, key: str) -> Optional[CompilationReport]:
+        return self.get_tiered(key)[0]
+
+    def get_tiered(
+        self, key: str
+    ) -> Tuple[Optional[CompilationReport], Optional[str]]:
+        """Lookup that also names the tier that answered.
+
+        Returns ``(report, tier)`` with tier ``"memory"``, ``"disk"`` or
+        ``None`` on a miss.  Membership checks after the fact can't tell
+        the tiers apart (a disk hit is promoted into memory), so callers
+        that report provenance — the service's ``served_from`` field —
+        need the answer from the lookup itself.
+        """
+        report = self.memory.get(key)
+        if report is not None:
+            self.stats.hits += 1
+            return report, "memory"
+        if self.disk is not None:
+            report = self.disk.get(key)
+            if report is not None:
+                self.memory.put(key, report)
+                self.stats.hits += 1
+                return report, "disk"
+        self.stats.misses += 1
+        return None, None
+
+    def put(self, key: str, report: CompilationReport) -> None:
+        self.memory.put(key, report)
+        if self.disk is not None:
+            self.disk.put(key, report)
+        self.stats.writes += 1
+
+    def counters(self) -> Dict[str, object]:
+        """Per-tier hit/miss/eviction counters (for ``/metrics``)."""
+        lookups = self.stats.hits + self.stats.misses
+        disk_stats = self.disk.stats if self.disk is not None else CacheStats()
+        return {
+            "lookups": lookups,
+            "memory_hits": self.memory.stats.hits,
+            "disk_hits": disk_stats.hits,
+            "misses": self.stats.misses,
+            "memory_hit_ratio": (
+                self.memory.stats.hits / lookups if lookups else 0.0
+            ),
+            "disk_hit_ratio": (disk_stats.hits / lookups if lookups else 0.0),
+            "hit_ratio": (self.stats.hits / lookups if lookups else 0.0),
+            "evictions": self.memory.evictions,
+            "memory_entries": len(self.memory),
+            "memory_capacity": self.memory.capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TieredCache memory={self.memory!r} disk={self.disk!r}>"

@@ -17,6 +17,9 @@ Commands:
 * ``fuzz``          — schedule-mutation fuzzing: random loops plus
   systematic schedule mutations, cross-examined by the checker, the
   timing simulator and the oracle (used by CI with a fixed seed);
+* ``serve``         — long-lived compilation service: warm process pool,
+  in-memory LRU over the disk cache, request dedup, priority admission
+  control and live ``/metrics`` (``schedule --remote`` is its client);
 * ``fig4|fig5|fig6``— regenerate a paper figure over the surrogate suite;
 * ``backtracking``  — the IMS-vs-DMS backtracking comparison;
 * ``all-figures``   — everything above in one sweep.
@@ -87,6 +90,13 @@ def _parser() -> argparse.ArgumentParser:
     sched.add_argument("--ramp", action="store_true", help="show prologue/epilogue")
     sched.add_argument(
         "--timings", action="store_true", help="print per-pass wall-clock times"
+    )
+    sched.add_argument(
+        "--remote",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="compile via a running `repro serve` daemon instead of locally",
     )
     _search_arg(sched)
 
@@ -318,6 +328,51 @@ def _parser() -> argparse.ArgumentParser:
     _search_arg(sensitivity)
     sensitivity.add_argument("--clusters", type=str, default="2,4,8")
     sensitivity.add_argument("--csv", type=str, default=None)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived compilation service (warm pool, LRU, metrics)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (default 0: ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="warm process-pool width (0 = in-process threads, for tests)",
+    )
+    serve.add_argument(
+        "--lru-capacity",
+        type=int,
+        default=256,
+        help="in-memory LRU entry bound (default: 256)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission-control queue depth (default: 64)",
+    )
+    serve.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        help="on-disk cache directory behind the in-memory LRU",
+    )
+    serve.add_argument(
+        "--port-file",
+        type=str,
+        default=None,
+        help="write the bound host:port here (for ephemeral ports)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the final metrics snapshot JSON here on drain",
+    )
     return parser
 
 
@@ -388,14 +443,15 @@ def _schedule_command(args: argparse.Namespace) -> int:
         machine = unclustered_vliw(args.clusters)
     else:
         machine = clustered_vliw(args.clusters)
-    report = Toolchain.default().compile(
-        CompilationRequest(
-            loop=loop,
-            machine=machine,
-            equivalent_k=equivalent_k,
-            config=_scheduler_config(args),
-        )
+    request = CompilationRequest(
+        loop=loop,
+        machine=machine,
+        equivalent_k=equivalent_k,
+        config=_scheduler_config(args),
     )
+    if args.remote is not None:
+        return _schedule_remote(args, request)
+    report = Toolchain.default().compile(request)
     compiled = report.compiled
     result = compiled.result
     print(result.summary())
@@ -407,6 +463,59 @@ def _schedule_command(args: argparse.Namespace) -> int:
         for name, seconds in report.pass_seconds().items():
             print(f"  {name:<12} {1e3 * seconds:8.2f} ms")
     print(assembly_for(result, compiled.allocation, show_ramp=args.ramp))
+    return 0
+
+
+def _schedule_remote(args: argparse.Namespace, request) -> int:
+    """``repro schedule --remote host:port``: compile on a daemon."""
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    client = ServiceClient(args.remote)
+    try:
+        result = client.compile_request(request, assembly=True)
+    except ServiceError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+    doc = result["report"]
+    print(
+        f"{doc['loop']}: {str(doc['scheduler']).upper()} on {doc['machine']} "
+        f"II={doc['ii']} (MII={doc['mii']}) "
+        f"[remote: {result.get('served_from', '?')}]"
+    )
+    print(
+        f"unroll={doc['unroll']} cycles={doc['cycles']} ipc={doc['ipc']:.2f}"
+    )
+    if args.timings:
+        for name, ms in doc.get("timings_ms", {}).items():
+            print(f"  {name:<12} {ms:8.2f} ms")
+    if args.ramp:
+        print(
+            "# --ramp is a local renderer option; remote assembly shows "
+            "the steady-state kernel",
+            file=sys.stderr,
+        )
+    print(result.get("assembly", ""))
+    return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import run_service
+
+    asyncio.run(
+        run_service(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            lru_capacity=args.lru_capacity,
+            disk_cache=args.cache,
+            max_queue_depth=args.max_queue,
+            port_file=args.port_file,
+            metrics_out=args.metrics_out,
+        )
+    )
     return 0
 
 
@@ -601,7 +710,7 @@ def _emit_figure(figure: FigureData, csv_dir: Optional[str]) -> None:
 def _verify_command(args: argparse.Namespace) -> int:
     from .machine import clustered_vliw, unclustered_vliw
     from .machine.topology import topology_kinds
-    from .validate import verify_compiled
+    from .validate import verify_many
 
     if args.kernels == "all":
         names = sorted(KERNELS)
@@ -644,28 +753,33 @@ def _verify_command(args: argparse.Namespace) -> int:
     compiled_reports = compile_many(
         requests, toolchain=Toolchain.default(), workers=args.workers
     )
-    programs = 0
-    failures = 0
+    # The oracle phase fans across the same --workers pool the compile
+    # phase used: each job is one (compiled, iterations) execution.
+    verify_jobs = []
+    labels = []
     for (name, machine), compile_report in zip(jobs, compiled_reports):
         compiled = compile_report.compiled
-        reports = [(verify_compiled(compiled, iterations=args.iterations), "")]
+        verify_jobs.append((compiled, args.iterations))
+        labels.append((name, machine, ""))
         if args.short_ramp:
             # A run shorter than the pipeline depth (ramp listings
             # degenerate: no steady-state kernel issue).
             short = max(1, compiled.result.stage_count - 1)
-            reports.append(
-                (verify_compiled(compiled, iterations=short), " [short ramp]")
+            verify_jobs.append((compiled, short))
+            labels.append((name, machine, " [short ramp]"))
+    verify_reports = verify_many(verify_jobs, workers=args.workers)
+    programs = 0
+    failures = 0
+    for (name, machine, suffix), report in zip(labels, verify_reports):
+        programs += 1
+        if report.ok:
+            continue
+        failures += 1
+        for problem in report.all_problems[:4]:
+            print(
+                f"FAIL {name} on {machine.name}{suffix}: {problem}",
+                file=sys.stderr,
             )
-        for report, suffix in reports:
-            programs += 1
-            if report.ok:
-                continue
-            failures += 1
-            for problem in report.all_problems[:4]:
-                print(
-                    f"FAIL {name} on {machine.name}{suffix}: {problem}",
-                    file=sys.stderr,
-                )
     elapsed = time.time() - started
     print(
         f"verified {programs} program(s): {len(names)} kernel(s) x "
@@ -792,6 +906,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _baseline_command(args)
     if args.command == "sensitivity":
         return _sensitivity_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
     return _figures_command(args)
 
 

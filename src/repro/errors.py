@@ -69,3 +69,11 @@ class CacheError(ReproError):
 
 class TargetError(ReproError):
     """Raised for invalid target descriptions, files or registry lookups."""
+
+
+class ServiceError(ReproError):
+    """Raised for compilation-service failures (daemon and client side)."""
+
+    def __init__(self, message: str, status: int = 500):
+        super().__init__(message)
+        self.status = status

@@ -39,6 +39,7 @@ order in which attempts are asked for and how their stats aggregate.
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -367,25 +368,45 @@ class AdaptivePolicy(SearchPolicy):
         return tally.outcome(incumbent)
 
 
-def _pool_attempt(job: tuple) -> AttemptOutcome:
-    """Portfolio pool worker: rebuild the runner, run one plain attempt."""
-    payload, ii, salt = job
+def _runner_from_payload(payload: tuple) -> AttemptRunner:
+    """Rebuild an :class:`AttemptRunner` from its picklable payload."""
     kind, machine, latencies, config, ddg = payload
     if kind == "dms":
         from .dms import DistributedModuloScheduler
 
-        runner = DistributedModuloScheduler(
+        return DistributedModuloScheduler(
             machine, latencies, config
         ).attempt_runner(ddg)
-    elif kind == "ims":
+    if kind == "ims":
         from .ims import IterativeModuloScheduler
 
-        runner = IterativeModuloScheduler(
+        return IterativeModuloScheduler(
             machine, latencies, config
         ).attempt_runner(ddg)
-    else:  # pragma: no cover - payload is produced by the runners
-        raise SchedulingError(f"unknown portfolio runner kind {kind!r}")
-    return runner.run(ii, salt)
+    # pragma: no cover - payload is produced by the runners
+    raise SchedulingError(f"unknown portfolio runner kind {kind!r}")
+
+
+#: Per-worker runner built by :func:`_pool_initializer`; lives for the
+#: whole pool so the runner's cross-rung height caches stay warm too.
+_POOL_RUNNER: Optional[AttemptRunner] = None
+
+
+def _pool_initializer(payload: tuple) -> None:
+    """Portfolio pool initializer: build the attempt runner once per
+    worker process instead of re-pickling (machine, config, DDG) with
+    every attempt job."""
+    global _POOL_RUNNER
+    _POOL_RUNNER = _runner_from_payload(payload)
+
+
+def _pool_attempt(job: tuple) -> AttemptOutcome:
+    """Portfolio pool worker: run one plain attempt on the resident
+    runner (jobs carry only ``(ii, salt)``)."""
+    ii, salt = job
+    if _POOL_RUNNER is None:  # pragma: no cover - defensive
+        raise SchedulingError("portfolio pool worker has no resident runner")
+    return _POOL_RUNNER.run(ii, salt)
 
 
 class PortfolioPolicy(SearchPolicy):
@@ -422,17 +443,24 @@ class PortfolioPolicy(SearchPolicy):
             try:
                 from concurrent.futures import ProcessPoolExecutor
 
-                pool = ProcessPoolExecutor(max_workers=workers)
+                # The initializer rebuilds the runner once per worker;
+                # attempt jobs then carry only (ii, salt), so neither the
+                # graph nor the machine crosses the pipe per attempt.
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_pool_initializer,
+                    initargs=(payload,),
+                )
             except OSError:  # pragma: no cover - depends on the host
                 pool = None
         tally = _Tally()
         try:
             for ii in range(mii, max_ii + 1):
-                jobs = [(payload, ii, salt) for salt in range(salts)]
+                jobs = [(ii, salt) for salt in range(salts)]
                 if pool is not None:
                     try:
                         outcomes = list(pool.map(_pool_attempt, jobs))
-                    except (OSError, MemoryError):  # pragma: no cover
+                    except (OSError, MemoryError, BrokenExecutor):  # pragma: no cover
                         pool.shutdown(wait=False)
                         pool = None
                         outcomes = [

@@ -1,0 +1,39 @@
+"""The ``repro serve`` compilation service.
+
+A long-lived asyncio daemon that keeps a warm process pool and an
+in-memory LRU across compile requests, coalesces identical in-flight
+work, applies priority-lane admission control and exposes live metrics.
+See :mod:`repro.service.daemon` for the architecture overview and
+:mod:`repro.service.client` for the blocking client.
+"""
+
+from .client import ServiceClient
+from .daemon import CompileService, Job, run_service
+from .jobs import (
+    PRIORITY_LANES,
+    ParsedJob,
+    ddg_from_dict,
+    ddg_to_dict,
+    loop_from_dict,
+    loop_to_dict,
+    parse_compile_payload,
+    request_to_payload,
+)
+from .metrics import LatencyHistogram, ServiceMetrics
+
+__all__ = [
+    "CompileService",
+    "Job",
+    "LatencyHistogram",
+    "PRIORITY_LANES",
+    "ParsedJob",
+    "ServiceClient",
+    "ServiceMetrics",
+    "ddg_from_dict",
+    "ddg_to_dict",
+    "loop_from_dict",
+    "loop_to_dict",
+    "parse_compile_payload",
+    "request_to_payload",
+    "run_service",
+]

@@ -1,0 +1,227 @@
+"""Synchronous client for the compilation service.
+
+:class:`ServiceClient` is a small blocking wrapper over the daemon's
+HTTP surface — plain ``socket`` + the framing helpers from
+:mod:`repro.service.http`, no third-party dependencies and no asyncio on
+the client side.  It backs ``repro schedule --remote host:port`` and is
+the natural handle for driving a shared daemon from scripts::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("127.0.0.1:8731")
+    result = client.compile({"kernel": "fir_filter", "clusters": 4})
+    print(result["report"]["ii"], result["served_from"])
+
+Every call opens one connection (the server is ``Connection: close``),
+so a client object is stateless and trivially thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..errors import ServiceError
+from .http import ProtocolError, decode_chunks
+from .jobs import request_to_payload
+
+#: Default socket timeout: compiles are seconds-scale; leave margin for a
+#: queued job behind a deep backlog.
+DEFAULT_TIMEOUT = 300.0
+
+
+def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    text = str(address)
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        raise ServiceError(
+            f"service address {text!r} must look like 'host:port'", status=400
+        )
+    try:
+        return (host or "127.0.0.1"), int(port)
+    except ValueError:
+        raise ServiceError(f"bad port in service address {text!r}", status=400)
+
+
+class ServiceClient:
+    """Blocking client for one ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.host, self.port = _parse_address(address)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as err:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {err}",
+                status=503,
+            )
+
+    def _send_request(
+        self, sock: socket.socket, method: str, path: str, payload: Optional[object]
+    ) -> None:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        sock.sendall(head + body)
+
+    @staticmethod
+    def _split_head(raw: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        head, sep, rest = raw.partition(b"\r\n\r\n")
+        if not sep:
+            raise ProtocolError("truncated response from service")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ProtocolError(f"malformed status line {lines[0]!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise ProtocolError(f"malformed status code in {lines[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, rest
+
+    def _roundtrip(
+        self, method: str, path: str, payload: Optional[object] = None
+    ) -> Tuple[int, object]:
+        """One full request/response exchange (fixed-length responses)."""
+        with self._connect() as sock:
+            self._send_request(sock, method, path, payload)
+            raw = b""
+            while True:
+                piece = sock.recv(65536)
+                if not piece:
+                    break
+                raw += piece
+        status, headers, body = self._split_head(raw)
+        if headers.get("transfer-encoding") == "chunked":
+            chunks, _, finished = decode_chunks(body)
+            if not finished:
+                raise ProtocolError("truncated chunked response")
+            body = b"".join(chunks)
+        try:
+            document = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise ProtocolError(f"service sent invalid JSON: {err}")
+        return status, document
+
+    def _expect_ok(self, status: int, document: object) -> object:
+        if status >= 400:
+            message = (
+                document.get("error", f"service error {status}")
+                if isinstance(document, dict)
+                else f"service error {status}"
+            )
+            raise ServiceError(str(message), status=status)
+        return document
+
+    # ------------------------------------------------------------------
+    # API calls
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        """Daemon liveness: ``{"status": "ok" | "draining", ...}``."""
+        _, document = self._roundtrip("GET", "/healthz")
+        return document  # 503-when-draining still carries the body
+
+    def metrics(self) -> Dict[str, object]:
+        """The full ``/metrics`` snapshot."""
+        status, document = self._roundtrip("GET", "/metrics")
+        return self._expect_ok(status, document)
+
+    def compile(self, payload: Dict[str, object], wait: bool = True) -> Dict[str, object]:
+        """Submit one compile payload (see :mod:`repro.service.jobs`).
+
+        With ``wait=True`` (default) blocks until the result document;
+        with ``wait=False`` returns the 202 admission receipt
+        (``{"job": id, ...}``) immediately.
+        """
+        body = dict(payload)
+        if not wait:
+            body["wait"] = False
+        status, document = self._roundtrip("POST", "/compile", body)
+        return self._expect_ok(status, document)
+
+    def compile_request(
+        self, request, priority: str = "normal", **extra
+    ) -> Dict[str, object]:
+        """Compile a local :class:`~repro.api.request.CompilationRequest`
+        remotely (serializes the loop + machine + config over the wire)."""
+        return self.compile(request_to_payload(request, priority=priority, **extra))
+
+    def job(self, job_id: int) -> Dict[str, object]:
+        """Status document for one job id."""
+        status, document = self._roundtrip("GET", f"/jobs/{job_id}")
+        return self._expect_ok(status, document)
+
+    def events(self, job_id: int) -> Iterator[Dict[str, object]]:
+        """Stream a job's events until it reaches a terminal state.
+
+        Yields each event dict as the daemon emits it (chunked JSON
+        lines decoded incrementally).
+        """
+        with self._connect() as sock:
+            self._send_request(sock, "GET", f"/jobs/{job_id}/events", None)
+            buffer = b""
+            head_done = False
+            status = 200
+            finished = False
+            pending_text = b""
+            while not finished:
+                piece = sock.recv(65536)
+                if not piece:
+                    break
+                buffer += piece
+                if not head_done:
+                    if b"\r\n\r\n" not in buffer:
+                        continue
+                    status, headers, buffer = self._split_head(buffer)
+                    head_done = True
+                    if status >= 400 or headers.get("transfer-encoding") != "chunked":
+                        # Error document arrives fixed-length; drain it.
+                        while True:
+                            piece = sock.recv(65536)
+                            if not piece:
+                                break
+                            buffer += piece
+                        document = json.loads(buffer.decode("utf-8") or "{}")
+                        self._expect_ok(status, document)
+                        return
+                chunks, buffer, finished = decode_chunks(buffer)
+                for chunk in chunks:
+                    pending_text += chunk
+                    while b"\n" in pending_text:
+                        line, _, pending_text = pending_text.partition(b"\n")
+                        if line.strip():
+                            yield json.loads(line.decode("utf-8"))
+            if pending_text.strip():
+                yield json.loads(pending_text.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ServiceClient {self.host}:{self.port}>"

@@ -1,0 +1,681 @@
+"""The compilation daemon: ``repro serve``.
+
+A :class:`CompileService` is a long-lived asyncio process that keeps the
+expensive state of a compile session resident between requests:
+
+* a **warm executor** — worker processes are spawned once and reused, so
+  repeat traffic never pays cold-start or re-import cost (the same pool
+  object can be lent to a :class:`~repro.api.batch.BatchCompiler` via its
+  ``pool=`` parameter);
+* an **in-memory LRU** (:class:`~repro.api.cache.MemoryCache`) in front
+  of the PR-1 content-hash disk cache, composed as a
+  :class:`~repro.api.cache.TieredCache`: a warm repeat compile is served
+  without touching the scheduler *or* the filesystem;
+* an **in-flight table** keyed by the batch-cache content hash: identical
+  concurrent requests coalesce onto one future and one underlying
+  compile;
+* **admission control** — a bounded queue with three priority lanes
+  (``high``/``normal``/``low``); when the queue is full a low-priority
+  queued job is shed to admit a higher-priority one, otherwise the new
+  request is rejected;
+* per-job **event streams** (``GET /jobs/<id>/events``, chunked JSON
+  lines): admission, dispatch, per-pass timings and the II trajectory;
+* ``/healthz`` and ``/metrics`` with queue depth, in-flight count,
+  LRU/disk hit ratios, a latency histogram and admission counters;
+* **graceful drain**: on SIGTERM the daemon stops admitting, finishes
+  in-flight jobs, flushes its final metrics and exits cleanly.
+
+The HTTP surface (see :mod:`repro.service.http` for framing):
+
+=======  =====================  ==========================================
+method   path                   meaning
+=======  =====================  ==========================================
+GET      ``/healthz``           liveness + drain state
+GET      ``/metrics``           full metrics JSON
+POST     ``/compile``           compile payload (:mod:`repro.service.jobs`);
+                                blocks until done unless ``"wait": false``
+GET      ``/jobs/<id>``         job status / result
+GET      ``/jobs/<id>/events``  chunked event stream until terminal
+=======  =====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Deque, Dict, Optional, Tuple
+
+from ..api import CompilationReport, CompilationRequest, Toolchain, content_hash
+from ..api.cache import CompilationCache, MemoryCache, TieredCache
+from ..errors import ReproError, ServiceError
+from ..scheduling.fingerprint import schedule_fingerprint
+from . import http as h
+from .jobs import PRIORITY_LANES, ParsedJob, parse_compile_payload
+from .metrics import ServiceMetrics
+
+#: Job states; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "shed")
+_TERMINAL = frozenset({"done", "failed", "shed"})
+
+#: Jobs to retain in the id registry after completion (for /jobs/<id>).
+_JOB_HISTORY = 1024
+
+
+def _execute_request(
+    toolchain: Toolchain, request: CompilationRequest
+) -> CompilationReport:
+    """Executor-side compile entry point (module-level: picklable)."""
+    return toolchain.compile(request)
+
+
+def _warm_probe(hold_seconds: float) -> int:
+    """Pool pre-warm task: spin up a worker and hold it briefly."""
+    time.sleep(hold_seconds)
+    return 0
+
+
+class Job:
+    """One admitted compile job and its observers."""
+
+    def __init__(self, job_id: int, key: str, parsed: ParsedJob):
+        self.id = job_id
+        self.key = key
+        self.parsed = parsed
+        self.state = "queued"
+        self.created = time.time()
+        self.subscribers = 1
+        self.events: list = []
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._signal = asyncio.Event()
+
+    @property
+    def request(self) -> CompilationRequest:
+        return self.parsed.request
+
+    @property
+    def lane(self) -> str:
+        return self.parsed.priority
+
+    def emit(self, event: str, **fields) -> None:
+        entry = {"event": event, "job": self.id, "t": round(time.time(), 3)}
+        entry.update(fields)
+        self.events.append(entry)
+        self._signal.set()
+
+    def describe(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "job": self.id,
+            "status": self.state,
+            "priority": self.lane,
+            "loop": self.request.loop.name,
+            "machine": self.request.machine.name,
+            "subscribers": self.subscribers,
+            "events": len(self.events),
+        }
+        if self.state == "done":
+            info["result"] = self.future.result()
+        elif self.state in _TERMINAL:
+            err = self.future.exception()
+            info["error"] = str(err)
+        return info
+
+    async def stream_events(self):
+        """Yield events in order until the job reaches a terminal state."""
+        index = 0
+        while True:
+            while index < len(self.events):
+                yield self.events[index]
+                index += 1
+            if self.state in _TERMINAL:
+                return
+            self._signal.clear()
+            if index < len(self.events) or self.state in _TERMINAL:
+                continue
+            await self._signal.wait()
+
+
+class CompileService:
+    """The resident compile daemon (see module docstring)."""
+
+    def __init__(
+        self,
+        toolchain: Optional[Toolchain] = None,
+        workers: Optional[int] = None,
+        lru_capacity: int = 256,
+        disk_cache: Optional[object] = None,
+        max_queue_depth: int = 64,
+        executor: Optional[Executor] = None,
+        compile_fn=None,
+    ):
+        """
+        Args:
+            toolchain: pass pipeline served by this daemon (default flow).
+            workers: process-pool width.  ``0`` runs compiles on a small
+                in-process thread pool (test/debug mode — no process
+                spawn, but the GIL serializes scheduling work); ``None``
+                picks cores - 1.
+            lru_capacity: entry bound of the in-memory LRU tier.
+            disk_cache: optional :class:`CompilationCache` or directory
+                path for the persistent tier behind the LRU.
+            max_queue_depth: queued-job bound for admission control.
+            executor: inject a pre-built executor instead of owning one
+                (the daemon never shuts an injected executor down).
+            compile_fn: test hook replacing the executor-side compile
+                callable (signature ``(toolchain, request) -> report``).
+        """
+        self.toolchain = toolchain or Toolchain.default()
+        if disk_cache is not None and not hasattr(disk_cache, "get"):
+            disk_cache = CompilationCache(disk_cache)
+        self.cache = TieredCache(MemoryCache(lru_capacity), disk_cache)
+        if max_queue_depth < 1:
+            raise ServiceError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.metrics = ServiceMetrics()
+        self._compile_fn = compile_fn or _execute_request
+        self._owns_executor = executor is None
+        if executor is not None:
+            self.executor = executor
+            width = getattr(executor, "_max_workers", 1)
+        elif workers == 0:
+            self.executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-serve"
+            )
+            width = 2
+        else:
+            import multiprocessing
+
+            from ..api.batch import DEFAULT_WORKERS
+
+            width = workers if workers is not None else DEFAULT_WORKERS
+            # The daemon forks nothing: workers come up via the "spawn"
+            # context (fork+exec).  Fork-starting pool workers from a
+            # live multi-threaded asyncio process is a deadlock lottery —
+            # a worker can inherit a held call-queue lock and wedge the
+            # whole pool (observed in practice); spawn sidesteps it at
+            # the cost of a one-time per-worker import, which
+            # :meth:`start` pays up front by pre-warming.
+            self.executor = ProcessPoolExecutor(
+                max_workers=width,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        self._max_concurrency = max(1, width)
+
+        self._lanes: Dict[str, Deque[Job]] = {
+            lane: deque() for lane in PRIORITY_LANES
+        }
+        self._inflight: Dict[str, Job] = {}  # key -> live (queued/running) job
+        self._jobs: "Dict[int, Job]" = {}  # id -> job (bounded history)
+        self._job_order: Deque[int] = deque()
+        self._next_id = 1
+        self._tasks: set = set()
+        self._running = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        await self.warm_pool()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def warm_pool(self) -> None:
+        """Spin up the owned process pool before accepting traffic.
+
+        Spawned workers pay their interpreter + import cost here, once,
+        instead of inside the first compile request.  The staggered
+        probes hold each worker busy long enough that the pool actually
+        launches all of them rather than reusing the first.
+        """
+        if not (self._owns_executor and isinstance(self.executor, ProcessPoolExecutor)):
+            return
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(self.executor, _warm_probe, 0.05)
+                for _ in range(self._max_concurrency)
+            )
+        )
+
+    def request_drain(self) -> None:
+        """Stop admitting; finish in-flight work, then report drained."""
+        if self._draining:
+            return
+        self._draining = True
+        self._check_drained()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def close(self) -> None:
+        """Stop the server and release owned resources."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._owns_executor:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+
+    def final_metrics(self) -> Dict[str, object]:
+        """The closing metrics snapshot (flushed on drain)."""
+        return self.metrics_snapshot()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def queue_depths(self) -> Dict[str, int]:
+        return {lane: len(queue) for lane, queue in self._lanes.items()}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return self.metrics.snapshot(
+            queue_depths=self.queue_depths(),
+            in_flight=self._running,
+            cache_counters=self.cache.counters(),
+            draining=self._draining,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission / dispatch
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: object) -> Tuple[Job, bool, Optional[Dict[str, object]]]:
+        """Admit one compile payload.
+
+        Returns ``(job, created, immediate)``: *immediate* is the result
+        dict when a cache tier answered (no job runs then and *job* is
+        ``None``); otherwise *job* is the (possibly pre-existing,
+        coalesced) in-flight job and *created* says whether this call
+        created it.
+        """
+        if self._draining:
+            raise ServiceError("service is draining; not admitting", status=503)
+        parsed = parse_compile_payload(payload)
+        self.metrics.record_request(parsed.priority)
+        started = time.perf_counter()
+        key = content_hash(parsed.request, pipeline=self.toolchain.pass_names)
+
+        report, tier = self.cache.get_tiered(key)
+        if report is not None:
+            self.metrics.latency.observe(time.perf_counter() - started)
+            return None, False, self._result_payload(
+                None, report, served_from=tier, key=key
+            )
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            existing.subscribers += 1
+            self.metrics.coalesced += 1
+            existing.emit("coalesced", subscribers=existing.subscribers)
+            return existing, False, None
+
+        self._admit_or_reject(parsed)
+        job = Job(self._next_id, key, parsed)
+        self._next_id += 1
+        self._register(job)
+        self._inflight[key] = job
+        self._lanes[parsed.priority].append(job)
+        self.metrics.admission_accepted += 1
+        job.emit(
+            "admitted",
+            lane=parsed.priority,
+            queue_depth=sum(self.queue_depths().values()),
+        )
+        self._maybe_dispatch()
+        return job, True, None
+
+    def _admit_or_reject(self, parsed: ParsedJob) -> None:
+        depth = sum(len(queue) for queue in self._lanes.values())
+        if depth < self.max_queue_depth:
+            return
+        # Full: shed a strictly lower-priority queued job, newest first
+        # (its waiters invested the least), else reject the newcomer.
+        incoming_rank = PRIORITY_LANES.index(parsed.priority)
+        for lane in reversed(PRIORITY_LANES):  # low, normal, high
+            if PRIORITY_LANES.index(lane) <= incoming_rank:
+                break
+            queue = self._lanes[lane]
+            if queue:
+                victim = queue.pop()
+                self._shed(victim)
+                return
+        self.metrics.admission_rejected += 1
+        raise ServiceError(
+            f"queue full ({depth}/{self.max_queue_depth}); "
+            f"{parsed.priority}-priority request rejected",
+            status=429,
+        )
+
+    def _shed(self, job: Job) -> None:
+        self.metrics.admission_shed += 1
+        job.state = "shed"
+        job.emit("shed", reason="admission control: queue full")
+        self._inflight.pop(job.key, None)
+        job.future.set_exception(
+            ServiceError(
+                f"job {job.id} shed by admission control (queue full)",
+                status=503,
+            )
+        )
+        # The exception is always retrieved by at least the submitting
+        # handler, but guard against fire-and-forget (wait=false) jobs.
+        job.future.exception()
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._job_order.append(job.id)
+        while len(self._job_order) > _JOB_HISTORY:
+            old = self._job_order.popleft()
+            if self._jobs.get(old) is not None and self._jobs[old].state in _TERMINAL:
+                del self._jobs[old]
+            else:  # still live: keep it, retry trimming later
+                self._job_order.appendleft(old)
+                break
+
+    def _maybe_dispatch(self) -> None:
+        while self._running < self._max_concurrency:
+            job = None
+            for lane in PRIORITY_LANES:  # high first, FIFO within a lane
+                if self._lanes[lane]:
+                    job = self._lanes[lane].popleft()
+                    break
+            if job is None:
+                return
+            self._running += 1
+            task = asyncio.get_running_loop().create_task(self._run_job(job))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.emit("started", workers=self._max_concurrency)
+        self.metrics.compiles_started += 1
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            report = await loop.run_in_executor(
+                self.executor, self._compile_fn, self.toolchain, job.request
+            )
+        except ReproError as err:
+            self._finish_error(job, err, status=422)
+        except Exception as err:  # noqa: BLE001 - daemon must not die
+            self._finish_error(job, err, status=500)
+        else:
+            elapsed = time.perf_counter() - started
+            self.cache.put(job.key, report)
+            self.metrics.compiles_completed += 1
+            self.metrics.latency.observe(elapsed)
+            for timing in report.timings:
+                job.emit(
+                    "pass", name=timing.pass_name,
+                    ms=round(1e3 * timing.seconds, 3),
+                )
+            job.emit("ii_trajectory", trajectory=list(report.ii_trajectory))
+            job.state = "done"
+            result = self._result_payload(
+                job, report, served_from="compile", key=job.key
+            )
+            job.emit(
+                "done", ii=report.result.ii, seconds=round(elapsed, 4),
+            )
+            job.future.set_result(result)
+        finally:
+            self._running -= 1
+            self._inflight.pop(job.key, None)
+            self._maybe_dispatch()
+            self._check_drained()
+
+    def _finish_error(self, job: Job, err: Exception, status: int) -> None:
+        self.metrics.compiles_failed += 1
+        job.state = "failed"
+        job.emit("failed", error=str(err), error_type=type(err).__name__)
+        job.future.set_exception(
+            ServiceError(f"{type(err).__name__}: {err}", status=status)
+        )
+        job.future.exception()  # fire-and-forget jobs must not warn
+
+    def _check_drained(self) -> None:
+        if (
+            self._draining
+            and self._running == 0
+            and not any(self._lanes.values())
+        ):
+            self._drained.set()
+
+    def _result_payload(
+        self,
+        job: Optional[Job],
+        report: CompilationReport,
+        served_from: str,
+        key: Optional[str] = None,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "job": job.id if job is not None else None,
+            "status": "done",
+            "served_from": served_from,
+            "cache_key": key,
+            "report": report.to_dict(),
+            "fingerprint": schedule_fingerprint(report.result),
+        }
+        want_assembly = (
+            job.parsed.want_assembly if job is not None else False
+        )
+        if want_assembly:
+            from ..codegen import assembly_for
+
+            try:
+                payload["assembly"] = assembly_for(
+                    report.result, report.compiled.allocation
+                )
+            except ReproError as err:  # pragma: no cover - defensive
+                payload["assembly_error"] = str(err)
+        return payload
+
+    # ------------------------------------------------------------------
+    # HTTP surface
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await h.read_request(reader)
+            except ServiceError as err:
+                await h.write_response(
+                    writer, h.json_response(err.status, {"error": str(err)})
+                )
+                return
+            if request is None:  # bare port probe
+                return
+            await self._route(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(self, request: h.HTTPRequest, writer) -> None:
+        route = request.route
+        try:
+            if route == ("healthz",):
+                if request.method != "GET":
+                    raise ServiceError("use GET /healthz", status=405)
+                status = "draining" if self._draining else "ok"
+                await h.write_response(
+                    writer,
+                    h.json_response(
+                        200 if not self._draining else 503,
+                        {
+                            "status": status,
+                            "uptime_seconds": round(
+                                time.time() - self.metrics.started_at, 3
+                            ),
+                        },
+                    ),
+                )
+            elif route == ("metrics",):
+                if request.method != "GET":
+                    raise ServiceError("use GET /metrics", status=405)
+                await h.write_response(
+                    writer, h.json_response(200, self.metrics_snapshot())
+                )
+            elif route == ("compile",):
+                if request.method != "POST":
+                    raise ServiceError("use POST /compile", status=405)
+                await self._handle_compile(request, writer)
+            elif len(route) == 2 and route[0] == "jobs":
+                job = self._job_for(route[1])
+                await h.write_response(
+                    writer, h.json_response(200, job.describe())
+                )
+            elif len(route) == 3 and route == ("jobs", route[1], "events"):
+                job = self._job_for(route[1])
+                await h.write_event_stream(writer, job.stream_events())
+            else:
+                raise ServiceError(f"no route {request.path!r}", status=404)
+        except ServiceError as err:
+            await h.write_response(
+                writer, h.json_response(err.status, {"error": str(err)})
+            )
+
+    def _job_for(self, token: str) -> Job:
+        try:
+            job_id = int(token)
+        except ValueError:
+            raise ServiceError(f"bad job id {token!r}", status=400)
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id}", status=404)
+        return job
+
+    async def _handle_compile(self, request: h.HTTPRequest, writer) -> None:
+        payload = request.json()
+        wait = True
+        if isinstance(payload, dict) and payload.get("wait") is False:
+            wait = False
+        job, created, immediate = self.submit(payload)
+        if immediate is not None:
+            await h.write_response(writer, h.json_response(200, immediate))
+            return
+        if not wait:
+            await h.write_response(
+                writer,
+                h.json_response(
+                    202,
+                    {
+                        "job": job.id,
+                        "status": job.state,
+                        "coalesced": not created,
+                    },
+                ),
+            )
+            return
+        try:
+            result = await asyncio.shield(job.future)
+        except ServiceError as err:
+            await h.write_response(
+                writer,
+                h.json_response(
+                    err.status, {"error": str(err), "job": job.id}
+                ),
+            )
+            return
+        if not created:
+            result = dict(result, served_from="coalesced")
+        await h.write_response(writer, h.json_response(200, result))
+
+
+# ----------------------------------------------------------------------
+# Daemon entry point (shared by ``repro serve`` and the smoke driver)
+# ----------------------------------------------------------------------
+
+
+async def run_service(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+    lru_capacity: int = 256,
+    disk_cache: Optional[object] = None,
+    max_queue_depth: int = 64,
+    port_file: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    toolchain: Optional[Toolchain] = None,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Run a :class:`CompileService` until SIGTERM/SIGINT drains it.
+
+    Binds, optionally writes the bound ``host:port`` to *port_file* (so
+    callers using an ephemeral port can discover it), serves until a
+    drain signal arrives, finishes in-flight work, then returns the
+    final metrics snapshot (also written to *metrics_out* when given).
+    """
+    service = CompileService(
+        toolchain=toolchain,
+        workers=workers,
+        lru_capacity=lru_capacity,
+        disk_cache=disk_cache,
+        max_queue_depth=max_queue_depth,
+    )
+    bound_host, bound_port = await service.start(host, port)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, service.request_drain)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    if port_file:
+        from pathlib import Path
+
+        Path(port_file).write_text(f"{bound_host}:{bound_port}\n")
+    if not quiet:
+        print(
+            f"repro serve listening on {bound_host}:{bound_port} "
+            f"(workers={service._max_concurrency}, "
+            f"lru={service.cache.memory.capacity}, "
+            f"queue={service.max_queue_depth})",
+            flush=True,
+        )
+    try:
+        await service.wait_drained()
+        # Let handlers waiting on just-finished jobs flush their
+        # responses before the listener goes away.
+        await asyncio.sleep(0.1)
+    finally:
+        snapshot = service.final_metrics()
+        if metrics_out:
+            from pathlib import Path
+
+            Path(metrics_out).write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            )
+        if not quiet:
+            print(
+                "repro serve drained: "
+                + json.dumps(
+                    {
+                        "requests": snapshot["requests"]["total"],
+                        "compiles": snapshot["compiles"],
+                        "cache_hit_ratio": snapshot["cache"]["hit_ratio"],
+                    },
+                    sort_keys=True,
+                ),
+                file=sys.stderr,
+                flush=True,
+            )
+        await service.close()
+    return snapshot

@@ -1,0 +1,131 @@
+"""Live service metrics: counters, gauges and a latency histogram.
+
+Everything is plain in-process arithmetic updated from the event loop
+(single-threaded, so no locks) and rendered as one JSON document by
+:meth:`ServiceMetrics.snapshot` — the body of ``GET /metrics``.  The
+same snapshot is flushed to stderr (and ``--metrics-out``) when the
+daemon drains, so a terminated service leaves its final hit ratios
+behind.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds in milliseconds (log-ish spacing wide
+#: enough for cache hits at the bottom and cold wide-unroll compiles at
+#: the top).  The last bucket is unbounded.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with streaming percentiles."""
+
+    def __init__(self, bounds_ms: Tuple[float, ...] = LATENCY_BUCKETS_MS):
+        self.bounds_ms = bounds_ms
+        self.counts: List[int] = [0] * (len(bounds_ms) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = 1e3 * seconds
+        index = len(self.bounds_ms)
+        for i, bound in enumerate(self.bounds_ms):
+            if ms <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket bound holding quantile *q* (None when empty)."""
+        if not self.total:
+            return None
+        rank = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if i < len(self.bounds_ms):
+                    return self.bounds_ms[i]
+                return self.max_ms
+        return self.max_ms  # pragma: no cover - rank <= total always hits
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {
+            f"le_{bound:g}ms": count
+            for bound, count in zip(self.bounds_ms, self.counts)
+        }
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(self.sum_ms / self.total, 3) if self.total else None,
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.quantile(0.50),
+            "p90_ms": self.quantile(0.90),
+            "p99_ms": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """All counters the daemon exposes on ``/metrics``."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.requests_by_lane: Dict[str, int] = {}
+        self.admission_accepted = 0
+        self.admission_rejected = 0
+        self.admission_shed = 0
+        self.coalesced = 0
+        self.compiles_started = 0
+        self.compiles_completed = 0
+        self.compiles_failed = 0
+        self.latency = LatencyHistogram()
+
+    def record_request(self, lane: str) -> None:
+        self.requests_total += 1
+        self.requests_by_lane[lane] = self.requests_by_lane.get(lane, 0) + 1
+
+    def snapshot(
+        self,
+        queue_depths: Dict[str, int],
+        in_flight: int,
+        cache_counters: Dict[str, object],
+        draining: bool,
+    ) -> Dict[str, object]:
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "draining": draining,
+            "queue_depth": dict(
+                queue_depths, total=sum(queue_depths.values())
+            ),
+            "in_flight": in_flight,
+            "requests": {
+                "total": self.requests_total,
+                "by_lane": dict(self.requests_by_lane),
+            },
+            "admission": {
+                "accepted": self.admission_accepted,
+                "rejected": self.admission_rejected,
+                "shed": self.admission_shed,
+            },
+            "dedup": {"coalesced": self.coalesced},
+            "cache": dict(cache_counters),
+            "compiles": {
+                "started": self.compiles_started,
+                "completed": self.compiles_completed,
+                "failed": self.compiles_failed,
+            },
+            "latency_ms": self.latency.to_dict(),
+        }

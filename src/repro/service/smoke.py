@@ -1,0 +1,206 @@
+"""CI smoke driver for the compilation service.
+
+``python -m repro.service.smoke --out metrics.json`` starts a real
+``repro serve`` daemon as a subprocess, drives a cold burst, a warm
+(LRU-served) burst and a concurrent identical burst through
+:class:`~repro.service.client.ServiceClient`, asserts the ``/metrics``
+counters tell the right story, SIGTERMs the daemon and checks it drains
+cleanly.  The collected metrics land in the ``--out`` JSON (uploaded as
+a CI artifact) so a failing run leaves evidence behind.
+
+Exit status 0 = every check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List
+
+from ..errors import ServiceError
+from .client import ServiceClient
+
+#: (payload, label) pairs for the cold/warm bursts: small kernels across
+#: distinct machines so each is its own cache entry.
+BURST = [
+    ({"kernel": "fir_filter", "clusters": 4, "config": {"search": "ladder"}}, "fir/ring4"),
+    ({"kernel": "daxpy", "clusters": 2, "config": {"search": "ladder"}}, "daxpy/ring2"),
+    ({"kernel": "dot_product", "clusters": 4, "topology": "mesh",
+      "config": {"search": "ladder"}}, "dot/mesh4"),
+    ({"kernel": "vector_add", "clusters": 2, "unclustered": True,
+      "config": {"search": "ladder"}}, "vadd/unclustered"),
+]
+
+#: Payload for the dedup burst (untouched by BURST so it starts cold).
+DEDUP_PAYLOAD = {
+    "kernel": "complex_multiply",
+    "clusters": 4,
+    "config": {"search": "ladder"},
+}
+DEDUP_FANOUT = 6
+
+
+class SmokeFailure(Exception):
+    pass
+
+
+def _check(checks: List[Dict[str, object]], name: str, ok: bool, detail: str) -> None:
+    checks.append({"check": name, "ok": bool(ok), "detail": detail})
+    marker = "ok" if ok else "FAIL"
+    print(f"[smoke] {marker:<4} {name}: {detail}", flush=True)
+    if not ok:
+        raise SmokeFailure(f"{name}: {detail}")
+
+
+def _wait_for_port_file(path: str, timeout: float) -> str:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if os.path.exists(path):
+            text = open(path).read().strip()
+            if text:
+                return text
+        time.sleep(0.1)
+    raise SmokeFailure(f"daemon never wrote {path}")
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    checks: List[Dict[str, object]] = []
+    artifact: Dict[str, object] = {"checks": checks}
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-")
+    port_file = os.path.join(tmp, "port.txt")
+    final_metrics_path = os.path.join(tmp, "final_metrics.json")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--workers", str(args.workers),
+            "--lru-capacity", "64",
+            "--port-file", port_file,
+            "--metrics-out", final_metrics_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        address = _wait_for_port_file(port_file, args.timeout)
+        client = ServiceClient(address, timeout=args.timeout)
+        _check(checks, "startup", client.healthz().get("status") == "ok",
+               f"daemon healthy at {address}")
+
+        # Cold burst: every payload compiles.
+        for payload, label in BURST:
+            result = client.compile(payload)
+            _check(
+                checks, f"cold:{label}",
+                result["served_from"] == "compile",
+                f"served_from={result['served_from']} "
+                f"ii={result['report']['ii']}",
+            )
+        cold = client.metrics()
+        _check(checks, "cold-compiles",
+               cold["compiles"]["started"] == len(BURST),
+               f"{cold['compiles']['started']} compiles for {len(BURST)} requests")
+
+        # Warm burst: same payloads, zero new compiles, all memory hits.
+        for payload, label in BURST:
+            result = client.compile(payload)
+            _check(
+                checks, f"warm:{label}",
+                result["served_from"] == "memory",
+                f"served_from={result['served_from']}",
+            )
+        warm = client.metrics()
+        _check(checks, "warm-no-compiles",
+               warm["compiles"]["started"] == cold["compiles"]["started"],
+               "warm burst started no new compiles")
+        _check(checks, "warm-hit-ratio",
+               warm["cache"]["memory_hits"] >= len(BURST)
+               and warm["cache"]["hit_ratio"] >= 0.4,
+               f"memory_hits={warm['cache']['memory_hits']} "
+               f"hit_ratio={warm['cache']['hit_ratio']:.2f}")
+
+        # Dedup burst: identical concurrent requests coalesce onto one
+        # compile (stragglers that arrive after completion hit the LRU).
+        with ThreadPoolExecutor(max_workers=DEDUP_FANOUT) as pool:
+            results = list(
+                pool.map(
+                    lambda _: client.compile(dict(DEDUP_PAYLOAD)),
+                    range(DEDUP_FANOUT),
+                )
+            )
+        sources = sorted(r["served_from"] for r in results)
+        fingerprints = {r["fingerprint"] for r in results}
+        after = client.metrics()
+        _check(checks, "dedup-one-compile",
+               after["compiles"]["started"] == cold["compiles"]["started"] + 1,
+               f"{DEDUP_FANOUT} identical requests -> "
+               f"{after['compiles']['started'] - cold['compiles']['started']} compile(s); "
+               f"sources={sources}")
+        _check(checks, "dedup-identical-results", len(fingerprints) == 1,
+               f"{len(fingerprints)} distinct fingerprint(s)")
+
+        latency = after["latency_ms"]
+        _check(checks, "latency-histogram",
+               latency["count"] >= 2 * len(BURST) + DEDUP_FANOUT - after["dedup"]["coalesced"]
+               and latency["p50_ms"] is not None,
+               f"count={latency['count']} p50={latency['p50_ms']}ms "
+               f"p99={latency['p99_ms']}ms")
+        artifact["live_metrics"] = after
+
+        # Graceful drain on SIGTERM.
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=args.timeout)
+        _check(checks, "clean-shutdown", proc.returncode == 0,
+               f"exit={proc.returncode}")
+        _check(checks, "final-metrics-file",
+               os.path.exists(final_metrics_path),
+               final_metrics_path)
+        final = json.load(open(final_metrics_path))
+        artifact["final_metrics"] = final
+        _check(checks, "drained-flag", final["draining"] is True,
+               "final snapshot carries draining=true")
+        artifact["daemon_stdout"] = out
+        artifact["daemon_stderr"] = err
+        status = 0
+    except (SmokeFailure, ServiceError, subprocess.TimeoutExpired) as err:
+        artifact["error"] = str(err)
+        status = 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[smoke] wrote {args.out}", flush=True)
+    print(f"[smoke] {'PASS' if status == 0 else 'FAIL'}", flush=True)
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.smoke",
+        description="end-to-end smoke test of the repro serve daemon",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="write the metrics artifact here"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="daemon process-pool width"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="per-step timeout (s)"
+    )
+    return run_smoke(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

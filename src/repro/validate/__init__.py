@@ -25,6 +25,7 @@ from .oracle import (
     execute_program,
     verify_compiled,
     verify_loop,
+    verify_many,
 )
 from .fuzz import (
     Disagreement,
@@ -45,4 +46,5 @@ __all__ = [
     "run_fuzz",
     "verify_compiled",
     "verify_loop",
+    "verify_many",
 ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..codegen.kernel import SlotBinding, VLIWProgram, build_program
 from ..errors import (
@@ -607,3 +607,31 @@ def verify_loop(
         CompilationRequest(loop=loop, machine=machine, **request_kwargs)
     )
     return verify_compiled(report.compiled, iterations=iterations)
+
+
+def _verify_job(job: Tuple[CompiledLoop, Optional[int]]) -> DifferentialReport:
+    """Worker-side entry for :func:`verify_many` (module-level: picklable)."""
+    compiled, iterations = job
+    return verify_compiled(compiled, iterations=iterations)
+
+
+def verify_many(
+    jobs: Sequence[Tuple[CompiledLoop, Optional[int]]],
+    workers: Optional[int] = None,
+) -> List[DifferentialReport]:
+    """Differentially verify many compiled loops, optionally in parallel.
+
+    *jobs* is a sequence of ``(compiled, iterations)`` pairs (iterations
+    ``None`` = the :func:`verify_compiled` default sizing).  With
+    ``workers`` > 1 the verification fans across a process pool — the
+    oracle phase of ``repro verify`` gets the same ``--workers`` speedup
+    its compile phase already has.  Reports come back in job order.
+    """
+    jobs = list(jobs)
+    if workers is None or workers <= 1 or len(jobs) <= 1:
+        return [_verify_job(job) for job in jobs]
+    from concurrent.futures import ProcessPoolExecutor
+
+    chunksize = max(1, len(jobs) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_verify_job, jobs, chunksize=chunksize))

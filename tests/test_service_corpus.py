@@ -1,0 +1,123 @@
+"""Service/local bit-identity across the golden-fingerprint corpus.
+
+The golden suite (``test_perf_fingerprints.py``) pins the raw schedulers;
+this suite pins the *service*: every case in the same matrix — the full
+kernel suite x {ring, linear, mesh, crossbar} x {2, 4, 8} clusters, plus
+the unrolled DMS and IMS reference cases — is compiled both through a
+local :class:`~repro.api.Toolchain` and through a live ``repro serve``
+daemon (loop serialized over the wire via ``compile_request``), and the
+schedule fingerprints must agree exactly.  Cases where the local compile
+raises must fail remotely with the same error class.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api import CompilationRequest, Toolchain
+from repro.errors import ReproError, ServiceError
+from repro.machine import clustered_vliw, unclustered_vliw
+from repro.scheduling.fingerprint import schedule_fingerprint
+from repro.workloads import KERNELS, make_kernel
+
+from ._fingerprint_cases import (
+    CLUSTER_COUNTS,
+    IMS_CASES,
+    LADDER_CONFIG,
+    TOPOLOGIES,
+    UNROLLED_CASES,
+)
+from .test_service import jsonable, running_service
+
+
+def corpus_requests():
+    """The golden case matrix as (name, CompilationRequest) pairs."""
+    cases = []
+    for kernel in sorted(KERNELS):
+        for topology in TOPOLOGIES:
+            for k in CLUSTER_COUNTS:
+                cases.append(
+                    (
+                        f"{kernel}/{topology}-{k}",
+                        CompilationRequest(
+                            loop=make_kernel(kernel),
+                            machine=clustered_vliw(k, topology=topology),
+                            config=LADDER_CONFIG,
+                        ),
+                    )
+                )
+    for label, kernel, kwargs, unroll, topology, k in UNROLLED_CASES:
+        cases.append(
+            (
+                label,
+                CompilationRequest(
+                    loop=make_kernel(kernel, **kwargs),
+                    machine=clustered_vliw(k, topology=topology),
+                    config=LADDER_CONFIG,
+                    unroll=unroll,
+                ),
+            )
+        )
+    for label, kernel, unroll, k in IMS_CASES:
+        cases.append(
+            (
+                label,
+                CompilationRequest(
+                    loop=make_kernel(kernel),
+                    machine=unclustered_vliw(k),
+                    config=LADDER_CONFIG,
+                    unroll=unroll if unroll > 1 else None,
+                    scheduler="ims",
+                ),
+            )
+        )
+    return cases
+
+
+def local_outcome(toolchain, request):
+    try:
+        report = toolchain.compile(request)
+    except ReproError as err:
+        return ("error", type(err).__name__)
+    return ("ok", jsonable(schedule_fingerprint(report.result)))
+
+
+def service_outcome(client, request):
+    try:
+        result = client.compile_request(request)
+    except ServiceError as err:
+        if err.status != 422:  # only compile failures are expected
+            raise
+        # The daemon reports "<ErrorClass>: <message>".
+        return ("error", str(err).split(":", 1)[0])
+    return ("ok", result["fingerprint"])
+
+
+def test_service_is_bit_identical_to_local_toolchain_over_corpus():
+    cases = corpus_requests()
+    toolchain = Toolchain.default()
+    local = {name: local_outcome(toolchain, request) for name, request in cases}
+
+    with running_service(lru_capacity=len(cases)) as (service, client, _loop):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            remote_results = pool.map(
+                lambda case: (case[0], service_outcome(client, case[1])), cases
+            )
+            remote = dict(remote_results)
+        metrics = client.metrics()
+
+    mismatches = [
+        f"{name}: local={local[name][0]}:{str(local[name][1])[:60]} "
+        f"service={remote[name][0]}:{str(remote[name][1])[:60]}"
+        for name, _ in cases
+        if local[name] != remote[name]
+    ]
+    assert not mismatches, (
+        f"{len(mismatches)}/{len(cases)} corpus cases diverge between the "
+        "service and the local toolchain:\n" + "\n".join(mismatches[:20])
+    )
+    # Every case really went through the daemon (distinct keys: no dedup).
+    assert metrics["requests"]["total"] == len(cases)
+    compiles = metrics["compiles"]
+    assert compiles["started"] == len(cases)
+    assert compiles["completed"] + compiles["failed"] == len(cases)
+    succeeded = sum(1 for outcome in local.values() if outcome[0] == "ok")
+    assert compiles["completed"] == succeeded

@@ -1,0 +1,210 @@
+"""Unit tests for the service's HTTP framing layer.
+
+Everything here exercises the pure functions in
+:mod:`repro.service.http` (plus the client's response splitter) without
+opening a socket: request-head parsing, response formatting, chunked
+encoding and the incremental chunk decoder the sync client uses.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient, _parse_address
+from repro.service.http import (
+    LAST_CHUNK,
+    MAX_HEAD_BYTES,
+    ProtocolError,
+    decode_chunks,
+    encode_chunk,
+    format_response_head,
+    json_response,
+    parse_request_head,
+)
+
+
+# ----------------------------------------------------------------------
+# Request-head parsing
+# ----------------------------------------------------------------------
+
+
+def test_parse_request_head_basic():
+    request = parse_request_head(
+        b"POST /compile HTTP/1.1\r\nHost: x\r\nContent-Length: 12"
+    )
+    assert request.method == "POST"
+    assert request.path == "/compile"
+    assert request.headers["host"] == "x"
+    assert request.headers["content-length"] == "12"
+
+
+def test_parse_request_head_lowercases_method_and_headers():
+    request = parse_request_head(b"get /healthz HTTP/1.0\r\nX-Thing:  v  ")
+    assert request.method == "GET"
+    assert request.headers["x-thing"] == "v"
+
+
+@pytest.mark.parametrize(
+    "head",
+    [
+        b"GET /x",  # too few request-line tokens
+        b"GET /x HTTP/1.1 extra",  # too many
+        b"GET /x SPDY/3",  # wrong protocol
+        b"GET /x HTTP/1.1\r\nbadheader",  # header without colon
+        b"GET /x HTTP/1.1\r\n: novalue",  # empty header name
+    ],
+)
+def test_parse_request_head_rejects_malformed(head):
+    with pytest.raises(ProtocolError):
+        parse_request_head(head)
+
+
+def test_protocol_error_maps_to_400():
+    err = ProtocolError("nope")
+    assert isinstance(err, ServiceError)
+    assert err.status == 400
+
+
+def test_route_and_query_parsing():
+    request = parse_request_head(b"GET /jobs/3/events?wait=1&x= HTTP/1.1")
+    assert request.route == ("jobs", "3", "events")
+    assert request.query == {"wait": "1", "x": ""}
+    bare = parse_request_head(b"GET / HTTP/1.1")
+    assert bare.route == ()
+    assert bare.query == {}
+
+
+def test_request_body_json():
+    request = parse_request_head(b"POST /compile HTTP/1.1")
+    request.body = json.dumps({"kernel": "daxpy"}).encode()
+    assert request.json() == {"kernel": "daxpy"}
+    request.body = b""
+    assert request.json() == {}
+    request.body = b"{nope"
+    with pytest.raises(ProtocolError):
+        request.json()
+
+
+def test_head_size_limit_is_sane():
+    assert MAX_HEAD_BYTES >= 4096
+
+
+# ----------------------------------------------------------------------
+# Response formatting
+# ----------------------------------------------------------------------
+
+
+def test_format_response_head_content_length():
+    head = format_response_head(200, content_length=5).decode()
+    assert head.startswith("HTTP/1.1 200 OK\r\n")
+    assert "Content-Length: 5\r\n" in head
+    assert "Connection: close\r\n" in head
+    assert head.endswith("\r\n\r\n")
+
+
+def test_format_response_head_chunked():
+    head = format_response_head(200, chunked=True).decode()
+    assert "Transfer-Encoding: chunked\r\n" in head
+    assert "Content-Length" not in head
+
+
+def test_format_response_head_unknown_status_and_extras():
+    head = format_response_head(599, content_length=0, extra_headers={"X-A": "1"})
+    assert b"HTTP/1.1 599 Unknown" in head
+    assert b"X-A: 1" in head
+
+
+def test_json_response_roundtrip():
+    raw = json_response(422, {"error": "bad"})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert b"422 Unprocessable Entity" in head
+    assert json.loads(body) == {"error": "bad"}
+    assert f"Content-Length: {len(body)}".encode() in head
+
+
+# ----------------------------------------------------------------------
+# Chunked transfer coding
+# ----------------------------------------------------------------------
+
+
+def test_encode_decode_chunk_roundtrip():
+    payload = b'{"event": "done"}\n'
+    wire = encode_chunk(payload) + LAST_CHUNK
+    chunks, rest, finished = decode_chunks(wire)
+    assert chunks == [payload]
+    assert rest == b""
+    assert finished
+
+
+def test_decode_chunks_incremental():
+    # Feed the stream one byte at a time, as a socket might deliver it.
+    events = [b"alpha", b"beta-longer-chunk", b"g"]
+    wire = b"".join(encode_chunk(e) for e in events) + LAST_CHUNK
+    seen, buffer = [], b""
+    finished = False
+    for i in range(len(wire)):
+        buffer += wire[i : i + 1]
+        chunks, buffer, finished = decode_chunks(buffer)
+        seen.extend(chunks)
+    assert seen == events
+    assert finished
+
+
+def test_decode_chunks_partial_returns_remainder():
+    wire = encode_chunk(b"hello")
+    chunks, rest, finished = decode_chunks(wire[:3])
+    assert chunks == []
+    assert rest == wire[:3]
+    assert not finished
+
+
+def test_decode_chunks_rejects_bad_size():
+    with pytest.raises(ProtocolError):
+        decode_chunks(b"zz\r\ndata\r\n")
+
+
+def test_decode_chunks_rejects_missing_crlf():
+    bad = b"5\r\nhelloXX"
+    with pytest.raises(ProtocolError):
+        decode_chunks(bad)
+
+
+def test_decode_chunks_with_extension_token():
+    # "5;ext=1" size lines are legal HTTP; the decoder ignores the extension.
+    wire = b"5;ext=1\r\nhello\r\n" + LAST_CHUNK
+    chunks, _, finished = decode_chunks(wire)
+    assert chunks == [b"hello"]
+    assert finished
+
+
+# ----------------------------------------------------------------------
+# Client-side response splitting / addressing
+# ----------------------------------------------------------------------
+
+
+def test_client_split_head():
+    raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\r\n{}"
+    status, headers, body = ServiceClient._split_head(raw)
+    assert status == 200
+    assert headers["content-type"] == "application/json"
+    assert body == b"{}"
+
+
+def test_client_split_head_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        ServiceClient._split_head(b"NOTHTTP nope\r\n\r\n")
+    with pytest.raises(ProtocolError):
+        ServiceClient._split_head(b"HTTP/1.1 abc Bad\r\n\r\n")
+    with pytest.raises(ProtocolError):
+        ServiceClient._split_head(b"no blank line at all")
+
+
+def test_parse_address_forms():
+    assert _parse_address("127.0.0.1:8731") == ("127.0.0.1", 8731)
+    assert _parse_address(("localhost", 9)) == ("localhost", 9)
+    assert _parse_address(":123") == ("127.0.0.1", 123)
+    with pytest.raises(ServiceError):
+        _parse_address("nakedhost")
+    with pytest.raises(ServiceError):
+        _parse_address("host:notaport")
