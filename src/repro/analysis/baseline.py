@@ -1,0 +1,106 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON map from :meth:`Finding.baseline_key` to the
+finding's descriptive fields plus a ``count`` (the same line of code can
+legitimately fire the same rule more than once per file, e.g. a repeated
+idiom).  Matching consumes counts: if the tree has three occurrences and
+the baseline recorded two, one finding is *new* and fails the gate.
+
+Baselined entries that no longer match anything are reported as
+*resolved* so ``--update-baseline`` shrinks the file over time instead
+of accreting dead weight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+
+BASELINE_SCHEMA = 1
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of matching current findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    resolved: List[Dict[str, object]] = field(default_factory=list)
+
+
+class Baseline:
+    """Load/match/save the grandfathered-findings file."""
+
+    def __init__(self, entries: Dict[str, Dict[str, object]] = None):
+        self.entries = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            raise LintError(f"cannot read lint baseline {path}: {err}")
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise LintError(f"lint baseline {path} has no 'entries' map")
+        if doc.get("schema") != BASELINE_SCHEMA:
+            raise LintError(
+                f"lint baseline {path} has schema {doc.get('schema')!r}; "
+                f"this engine writes schema {BASELINE_SCHEMA} "
+                "(regenerate with --update-baseline)"
+            )
+        return cls(doc["entries"])
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            entry = entries.get(key)
+            if entry is None:
+                entries[key] = {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "snippet": finding.snippet.strip(),
+                    "count": 1,
+                }
+            else:
+                entry["count"] += 1
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "schema": BASELINE_SCHEMA,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    def diff(self, findings: List[Finding]) -> BaselineDiff:
+        """Split *findings* into new vs. grandfathered, noting resolved."""
+        remaining = {k: int(v.get("count", 1)) for k, v in self.entries.items()}
+        diff = BaselineDiff()
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                diff.baselined.append(finding)
+            else:
+                diff.new.append(finding)
+        for key, count in remaining.items():
+            if count > 0:
+                entry = dict(self.entries[key])
+                entry["unmatched"] = count
+                entry["key"] = key
+                diff.resolved.append(entry)
+        diff.resolved.sort(key=lambda e: (str(e["path"]), str(e["rule"])))
+        return diff
+
+    def __len__(self) -> int:
+        return sum(int(v.get("count", 1)) for v in self.entries.values())

@@ -1,0 +1,231 @@
+"""``cache-discipline``: mutate the source of truth → invalidate the cache.
+
+PR 3 hung derived-state caches off the hot data structures (DDG
+adjacency snapshots, MRT lane occupancy tuples) and PR 4's fuzzer found
+the bugs that happen when a mutator forgets to invalidate.  The
+contract is mechanical, so this rule checks it mechanically: for every
+:class:`~repro.analysis.config.CacheGuard` matching the file, any
+method of a guarded class that *mutates* a guarded attribute must also
+*invalidate* — directly (assign/``del``/``pop``/``clear`` a cache
+attribute, touch a ``*version*`` attribute, call a named invalidator)
+or transitively through another method of the same class.
+
+Mutation detection is attribute-name based on *any* receiver
+(``self._ops[x] = op``, ``ddg._out.setdefault(...)``,
+``lane.rows[row] = ...`` all count), covering classmethods and local
+aliases.  Invalidation propagates through the class-internal call graph
+to a fixed point, so ``remove_operation → _remove_edge →
+_touch_endpoints`` satisfies the contract without annotations.
+``__init__``/``__post_init__`` are exempt — construction *establishes*
+state, it does not invalidate it.  The blind spot is mutation through
+an alias that escapes the class (returning ``self._ops`` and mutating
+the return value); the rule keeps honest code honest, the fuzzer hunts
+the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..rules import LintRule
+from ..visitor import ModuleContext, attr_name
+
+#: Method calls that mutate their receiver in place.
+MUTATING_METHODS = {
+    "append", "add", "remove", "discard", "insert", "extend",
+    "update", "clear", "pop", "popitem", "setdefault",
+}
+
+#: Free functions whose first argument is mutated in place.
+MUTATING_FUNCTIONS = {
+    "bisect.insort", "bisect.insort_left", "bisect.insort_right",
+    "insort", "insort_left", "insort_right",
+    "heapq.heappush", "heapq.heappop", "heappush", "heappop",
+}
+
+SKIP_METHODS = {"__init__", "__post_init__"}
+
+
+class CacheDisciplineRule(LintRule):
+    rule_id = "cache-discipline"
+    description = (
+        "methods that mutate guarded source-of-truth attributes must "
+        "invalidate the derived caches (directly or transitively)"
+    )
+
+    def applies_to(self, rel_path: str, config) -> bool:
+        return bool(config.guards_for(rel_path))
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        for guard in ctx.config.guards_for(ctx.rel_path):
+            if node.name in guard.classes:
+                self._check_class(node, guard, ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_class(self, cls: ast.ClassDef, guard, ctx: ModuleContext) -> None:
+        guarded = set(guard.guarded)
+        caches = set(guard.caches)
+        invalidators = set(guard.invalidators)
+
+        methods: Dict[str, ast.AST] = {}
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[item.name] = item
+
+        mutators: Dict[str, ast.AST] = {}   # name -> first mutating node
+        invalidates: Set[str] = set(invalidators)
+        calls: Dict[str, Set[str]] = {}     # name -> same-class callees
+
+        for name, body in methods.items():
+            callees: Set[str] = set()
+            found_mutation = None
+            found_invalidation = False
+            for sub in ast.walk(body):
+                if sub is body:
+                    continue
+                if self._touches(sub, caches, ctx) or self._bumps_version(sub):
+                    found_invalidation = True
+                mutation = self._mutation(sub, guarded, ctx)
+                if mutation is not None and found_mutation is None:
+                    found_mutation = mutation
+                callee = self._class_call(sub, methods)
+                if callee is not None:
+                    callees.add(callee)
+            calls[name] = callees
+            if found_invalidation:
+                invalidates.add(name)
+            if found_mutation is not None and name not in SKIP_METHODS:
+                mutators[name] = found_mutation
+
+        # Fixed point: calling an invalidating method is invalidating.
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name not in invalidates and callees & invalidates:
+                    invalidates.add(name)
+                    changed = True
+
+        for name, node in sorted(
+            mutators.items(), key=lambda kv: kv[1].lineno
+        ):
+            if name in invalidates:
+                continue
+            self.report(
+                ctx, node,
+                f"{cls.name}.{name} mutates a guarded attribute "
+                f"({', '.join(sorted(guarded))}) without invalidating the "
+                f"derived caches ({', '.join(sorted(caches))}); stale reads "
+                "will follow",
+            )
+
+    # -- mutation / invalidation primitives ----------------------------
+
+    def _mutation(
+        self, node: ast.AST, guarded: Set[str], ctx: ModuleContext
+    ):
+        """Return the offending node when *node* mutates a guarded attr."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            for target in self._targets(node):
+                if self._target_mutates(target, guarded):
+                    return node
+        if isinstance(node, ast.Call):
+            method = attr_name(node.func)
+            if method in MUTATING_METHODS and isinstance(
+                node.func, ast.Attribute
+            ):
+                if self._mentions_attr(node.func.value, guarded):
+                    return node
+            name = ctx.resolve(node.func)
+            if name in MUTATING_FUNCTIONS and node.args:
+                if self._mentions_attr(node.args[0], guarded):
+                    return node
+        return None
+
+    def _touches(
+        self, node: ast.AST, caches: Set[str], ctx: ModuleContext
+    ) -> bool:
+        """True when *node* writes/clears a cache attribute."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            return any(
+                self._target_mutates(t, caches) for t in self._targets(node)
+            )
+        if isinstance(node, ast.Call):
+            method = attr_name(node.func)
+            if method in MUTATING_METHODS and isinstance(
+                node.func, ast.Attribute
+            ):
+                return self._mentions_attr(node.func.value, caches)
+        return False
+
+    @staticmethod
+    def _bumps_version(node: ast.AST) -> bool:
+        """True for writes *through* a name/attr containing 'version'.
+
+        ``self._adj_version[u] += 1`` and ``versions[u] += 1`` (a local
+        alias) both count; the plain rebinding ``versions = ...`` does
+        not — binding a name is not an invalidation.
+        """
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            for target in CacheDisciplineRule._targets(node):
+                if isinstance(target, ast.Name):
+                    continue
+                for sub in ast.walk(target):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and "version" in sub.attr
+                    ):
+                        return True
+                    if isinstance(sub, ast.Name) and "version" in sub.id:
+                        return True
+        return False
+
+    @staticmethod
+    def _targets(node: ast.AST) -> Iterable[ast.AST]:
+        if isinstance(node, ast.AugAssign):
+            return (node.target,)
+        return node.targets  # Assign / Delete
+
+    @staticmethod
+    def _target_mutates(target: ast.AST, names: Set[str]) -> bool:
+        """True when assigning/deleting *target* mutates a tracked object.
+
+        A bare ``Name`` target is a *rebinding* of a local (``counts =
+        lane.counts`` just creates an alias) — not a mutation.  Anything
+        deeper (``counts[row] = x``, ``self._ops[i] = op``,
+        ``lane.cached[row] = None``) writes through the object and is.
+        """
+        if isinstance(target, ast.Name):
+            return False
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(
+                CacheDisciplineRule._target_mutates(elt, names)
+                for elt in target.elts
+            )
+        return CacheDisciplineRule._mentions_attr(target, names)
+
+    @staticmethod
+    def _mentions_attr(node: ast.AST, names: Set[str]) -> bool:
+        """True when the subtree reaches through an attribute in *names*.
+
+        Name nodes match too: ``versions = self._adj_version`` followed by
+        ``versions[x] += 1`` keeps the alias visible as a bare name.
+        """
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr in names:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in names:
+                return True
+        return False
+
+    @staticmethod
+    def _class_call(node: ast.AST, methods: Dict[str, ast.AST]):
+        """Callee name for ``self.<method>(...)`` / ``cls.<method>(...)``."""
+        if not isinstance(node, ast.Call):
+            return None
+        method = attr_name(node.func)
+        if method in methods:
+            return method
+        return None

@@ -1,0 +1,151 @@
+"""``determinism``: no ambient nondeterminism on the bit-identity paths.
+
+Schedules, fingerprints and cache hashes are contractually bit-identical
+across runs, hosts and process counts (the 343-case golden-fingerprint
+suite pins this).  Inside the configured determinism paths this rule
+bans every construct whose value varies run to run:
+
+* wall clocks (``time.time``/``monotonic``/``perf_counter``,
+  ``datetime.now`` and friends) — timestamps must never reach a result;
+* the *global* RNGs (``random.random``, ``numpy.random.rand`` …); only
+  explicitly seeded generator objects (``random.Random(seed)``,
+  ``numpy.random.default_rng(seed)``) are deterministic;
+* ``uuid``/``os.urandom``/``secrets`` — randomness by design;
+* builtin ``hash()`` — salted per process for str/bytes
+  (PYTHONHASHSEED), so hash-derived orderings differ between workers;
+* builtin ``id()`` — including as a ``key=`` — identity ordering is
+  allocation order;
+* iterating a set display / ``set()`` call / set comprehension directly
+  in a ``for`` or comprehension: set iteration order is hash order.
+  (Set-typed *variables* are invisible to this check — wrap reads in
+  ``sorted()`` at the producer.)
+
+Known-good escapes: ``sorted(...)`` around the set, seeded generator
+objects, and doing the timing one layer up (pass wall-clock measurements
+in; never sample them on a deterministic path).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import path_in
+from ..rules import LintRule
+from ..visitor import ModuleContext
+
+#: Exact resolved call names that are nondeterministic per call.
+BANNED_CALLS = {
+    "time.time": "wall clock",
+    "time.time_ns": "wall clock",
+    "time.monotonic": "process-relative clock",
+    "time.monotonic_ns": "process-relative clock",
+    "time.perf_counter": "process-relative clock",
+    "time.perf_counter_ns": "process-relative clock",
+    "datetime.datetime.now": "wall clock",
+    "datetime.datetime.utcnow": "wall clock",
+    "datetime.datetime.today": "wall clock",
+    "datetime.date.today": "wall clock",
+    "uuid.uuid1": "randomness",
+    "uuid.uuid4": "randomness",
+    "os.urandom": "randomness",
+    "os.getrandom": "randomness",
+    "hash": "per-process hash salt (PYTHONHASHSEED)",
+    "id": "allocation-order identity",
+}
+
+#: Module-level global-RNG entry points (seeded *objects* are fine).
+GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.", "secrets.")
+GLOBAL_RNG_ALLOWED = {
+    "random.Random",
+    "random.SystemRandom",  # still banned below via secrets-style message
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+SORT_CALLS = {"sorted", "min", "max"}
+
+
+class DeterminismRule(LintRule):
+    rule_id = "determinism"
+    description = (
+        "no clocks, global RNGs, hash()/id() ordering or set-iteration "
+        "order on paths that feed fingerprints, cache hashes or schedules"
+    )
+
+    def applies_to(self, rel_path: str, config) -> bool:
+        return path_in(rel_path, config.determinism_paths)
+
+    # -- calls ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = ctx.resolve(node.func)
+        if name is None:
+            return
+        reason = BANNED_CALLS.get(name)
+        if reason is not None:
+            self.report(
+                ctx, node,
+                f"{name}() is nondeterministic ({reason}); its value must "
+                "never feed a schedule, fingerprint or cache hash",
+            )
+            return
+        if name.startswith(GLOBAL_RNG_PREFIXES) and name not in GLOBAL_RNG_ALLOWED:
+            self.report(
+                ctx, node,
+                f"{name}() draws from a shared/global entropy source; use an "
+                "explicitly seeded generator object "
+                "(numpy.random.default_rng(seed) / random.Random(seed))",
+            )
+            return
+        if name in SORT_CALLS:
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "key"
+                    and isinstance(keyword.value, ast.Name)
+                    and ctx.resolve(keyword.value) == "id"
+                ):
+                    self.report(
+                        ctx, node,
+                        f"{name}(..., key=id) orders by allocation address; "
+                        "order differs run to run",
+                    )
+
+    # -- set iteration -------------------------------------------------
+
+    def visit_For(self, node: ast.For, ctx: ModuleContext) -> None:
+        self._check_iter(node.iter, ctx)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor, ctx: ModuleContext) -> None:
+        self._check_iter(node.iter, ctx)
+
+    def visit_comprehension(
+        self, node: ast.comprehension, ctx: ModuleContext
+    ) -> None:
+        self._check_iter(node.iter, ctx)
+
+    def _check_iter(self, iterable: ast.AST, ctx: ModuleContext) -> None:
+        if self._is_set_expr(iterable, ctx):
+            self.report(
+                ctx, iterable,
+                "iterating a set visits elements in hash order, which varies "
+                "per process; wrap in sorted(...) before the order can leak "
+                "into a result",
+            )
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, ctx: ModuleContext) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.resolve(node.func) in {"set", "frozenset"}
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra: a | {..}, {..} - b, ...
+            return DeterminismRule._is_set_expr(
+                node.left, ctx
+            ) or DeterminismRule._is_set_expr(node.right, ctx)
+        return False

@@ -1,0 +1,133 @@
+"""``exception-discipline``: no silent swallows, typed errors at the API.
+
+Two contracts, both earned by past bugs:
+
+* **No broad catch without re-raise.**  ``except:`` is always a
+  finding.  ``except Exception`` / ``except BaseException`` (alone or
+  in a tuple) is a finding *unless* the handler contains a ``raise`` —
+  catch-log-reraise and catch-cleanup-reraise are fine, catch-and-eat
+  is not.  A handler whose body is only ``pass``/``...`` gets the
+  sharper "silently swallows" message: that shape hid the cache-read
+  corruption this PR fixes (``api/cache.py``).  Where a broad catch
+  without re-raise is genuinely correct (the daemon's job-isolation
+  boundary), say so with an inline
+  ``# repro: lint-ignore[exception-discipline]: <why>``.
+
+* **Typed errors at the API boundary.**  Inside the configured
+  ``api_paths``, ``raise ValueError(...)``-style builtin exceptions are
+  findings: callers of :mod:`repro.api` and the service dispatch on
+  :class:`repro.errors.ReproError` subclasses (422 vs 500 depends on
+  it), and a builtin leaking through turns a user error into a daemon
+  bug.  ``NotImplementedError`` and ``AssertionError`` stay allowed
+  (abstract methods, invariant checks), as do bare ``raise`` and
+  re-raising a caught variable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import path_in
+from ..rules import LintRule
+from ..visitor import ModuleContext
+
+BROAD_TYPES = {"Exception", "BaseException"}
+
+#: Builtin exception types that must not cross the API boundary.
+BUILTIN_RAISES = {
+    "Exception", "BaseException", "ValueError", "TypeError",
+    "RuntimeError", "KeyError", "IndexError", "OSError", "IOError",
+    "AttributeError", "LookupError", "ArithmeticError", "EOFError",
+}
+
+#: Builtins that remain fine everywhere.
+ALLOWED_RAISES = {"NotImplementedError", "AssertionError", "StopIteration",
+                  "StopAsyncIteration", "KeyboardInterrupt", "SystemExit"}
+
+
+class ExceptionDisciplineRule(LintRule):
+    rule_id = "exception-discipline"
+    description = (
+        "no bare/broad except without re-raise; API-boundary modules "
+        "raise repro.errors types, not builtins"
+    )
+
+    # -- broad handlers ------------------------------------------------
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: ModuleContext
+    ) -> None:
+        if node.type is None:
+            self.report(
+                ctx, node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt too; "
+                "name the exception type (and re-raise what you can't "
+                "handle)",
+            )
+            return
+        if not self._is_broad(node.type, ctx):
+            return
+        if self._swallows_silently(node):
+            self.report(
+                ctx, node,
+                "broad except that silently swallows the error (body is "
+                "pass/...): failures vanish without a counter, log line or "
+                "re-raise",
+            )
+            return
+        if not self._reraises(node):
+            self.report(
+                ctx, node,
+                "`except Exception` without a re-raise hides real failures; "
+                "narrow the type, or re-raise after cleanup — if this "
+                "boundary truly must absorb everything, annotate it with "
+                "`# repro: lint-ignore[exception-discipline]: <why>`",
+            )
+
+    # -- API-boundary raises -------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise, ctx: ModuleContext) -> None:
+        if not path_in(ctx.rel_path, ctx.config.api_paths):
+            return
+        exc = node.exc
+        if exc is None:
+            return  # bare `raise` re-raises: always fine
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = ctx.resolve(exc)
+        if name in ALLOWED_RAISES:
+            return
+        if name in BUILTIN_RAISES:
+            self.report(
+                ctx, node,
+                f"raise {name} at the API boundary: callers dispatch on "
+                "repro.errors.ReproError subclasses (the service maps them "
+                "to 422); raise a typed error instead",
+            )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST, ctx: ModuleContext) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [ctx.resolve(elt) for elt in type_node.elts]
+        else:
+            names = [ctx.resolve(type_node)]
+        return any(name in BROAD_TYPES for name in names)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(sub, ast.Raise) for sub in ast.walk(handler))
+
+    @staticmethod
+    def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or `...`
+            return False
+        return True

@@ -1,0 +1,171 @@
+"""``pool-safety``: process pools must spawn, and their jobs must pickle.
+
+PR 6 learned the hard way that fork-starting pool workers from a live
+multi-threaded (or asyncio) parent is a deadlock lottery: a forked
+worker can inherit a held call-queue lock and wedge the pool.  The
+``concurrent.futures`` default start method *is* fork on Linux, so a
+``ProcessPoolExecutor(...)`` without an explicit ``mp_context`` is a
+latent deadlock waiting for its call site to gain a thread.  This rule
+flags:
+
+* ``ProcessPoolExecutor(...)`` with no ``mp_context=`` (use
+  :func:`repro.pools.spawn_pool`, which pins the spawn context);
+* any explicit ``get_context("fork")`` / ``get_context("forkserver")``
+  and bare ``multiprocessing.Pool(...)`` (same fork default);
+* submitting un-picklable work: a ``lambda`` or a function *defined
+  inside the enclosing function* handed to ``submit``/``map`` of a
+  known process pool (a name bound from a pool constructor by
+  assignment or ``with ... as``).  Spawn workers re-import the job by
+  qualified name; only module-level callables survive the trip.
+  Thread pools are exempt — nothing pickles across a thread.
+
+Mutable module globals captured by workers are the same bug class but
+need whole-program analysis; keep worker inputs explicit (arguments,
+initializer payloads) and the spawn context makes the capture visible
+immediately — a spawn worker simply does not see parent mutations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from ..rules import LintRule
+from ..visitor import ModuleContext, attr_name
+
+POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+}
+
+SPAWN_HELPERS = {
+    "repro.pools.spawn_pool",
+    "pools.spawn_pool",
+    "spawn_pool",
+}
+
+
+class PoolSafetyRule(LintRule):
+    rule_id = "pool-safety"
+    description = (
+        "process pools need an explicit spawn context and "
+        "module-level (picklable) work functions"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = ctx.resolve(node.func)
+        if name in POOL_CONSTRUCTORS:
+            self._check_constructor(node, ctx)
+            return
+        if name is not None and name.endswith(".get_context"):
+            self._check_get_context(node, ctx)
+            return
+        if name in {"multiprocessing.Pool", "multiprocessing.pool.Pool"}:
+            self.report(
+                ctx, node,
+                "multiprocessing.Pool() uses the platform default start "
+                "method (fork on Linux); build it from "
+                "get_context('spawn') instead",
+            )
+            return
+        if attr_name(node.func) in {"submit", "map"}:
+            self._check_job(node, ctx)
+
+    def visit_Assign(self, node: ast.Assign, ctx: ModuleContext) -> None:
+        """Track names bound to process-pool constructors."""
+        if not self._is_pool_ctor(node.value, ctx):
+            return
+        pools: Set[str] = ctx.scratch("pool-safety:names", set)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                pools.add(target.id)
+
+    def visit_withitem(self, node: ast.withitem, ctx: ModuleContext) -> None:
+        """Track ``with ProcessPoolExecutor(...) as pool:`` bindings."""
+        if not self._is_pool_ctor(node.context_expr, ctx):
+            return
+        if isinstance(node.optional_vars, ast.Name):
+            pools: Set[str] = ctx.scratch("pool-safety:names", set)
+            pools.add(node.optional_vars.id)
+
+    @staticmethod
+    def _is_pool_ctor(node: ast.AST, ctx: ModuleContext) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = ctx.resolve(node.func)
+        return name in POOL_CONSTRUCTORS or name in SPAWN_HELPERS
+
+    # ------------------------------------------------------------------
+
+    def _check_constructor(self, node: ast.Call, ctx: ModuleContext) -> None:
+        for keyword in node.keywords:
+            if keyword.arg == "mp_context":
+                return  # context is explicit; fork-ness caught at get_context
+            if keyword.arg is None:
+                return  # **kwargs: can't see inside; give it the benefit
+        self.report(
+            ctx, node,
+            "ProcessPoolExecutor without mp_context= inherits the platform "
+            "start method (fork on Linux), which deadlocks under threaded "
+            "parents; use repro.pools.spawn_pool(...) or pass "
+            "mp_context=multiprocessing.get_context('spawn')",
+        )
+
+    def _check_get_context(self, node: ast.Call, ctx: ModuleContext) -> None:
+        for arg in node.args[:1]:
+            if isinstance(arg, ast.Constant) and arg.value in (
+                "fork", "forkserver"
+            ):
+                self.report(
+                    ctx, node,
+                    f"get_context({arg.value!r}) forks the parent process; "
+                    "forked workers can inherit held locks from a threaded "
+                    "parent — use the 'spawn' context",
+                )
+
+    def _check_job(self, node: ast.Call, ctx: ModuleContext) -> None:
+        receiver = node.func.value if isinstance(node.func, ast.Attribute) else None
+        if not self._looks_like_pool(receiver, ctx):
+            return
+        if not node.args:
+            return
+        job = node.args[0]
+        if isinstance(job, ast.Lambda):
+            self.report(
+                ctx, node,
+                "lambdas do not pickle; pool work functions must be "
+                "module-level callables",
+            )
+            return
+        if isinstance(job, ast.Name) and job.id in self._nested_defs(ctx):
+            self.report(
+                ctx, node,
+                f"{job.id!r} is defined inside a function and will not "
+                "pickle across the process boundary; hoist it to module "
+                "level",
+            )
+
+    @staticmethod
+    def _looks_like_pool(receiver, ctx: ModuleContext) -> bool:
+        """Only names *known* to hold process pools (assignment/with
+        tracking) qualify: the pickling constraint is specific to the
+        process boundary, and a name heuristic would misfire on
+        ThreadPoolExecutor, where lambdas are fine."""
+        pools: Set[str] = ctx.scratch("pool-safety:names", set)
+        return isinstance(receiver, ast.Name) and receiver.id in pools
+
+    @staticmethod
+    def _nested_defs(ctx: ModuleContext) -> Set[str]:
+        """Names of functions defined inside the current function."""
+        frame = ctx.current_function
+        if frame is None:
+            return set()
+        nested: Set[str] = set()
+        for child in ast.walk(frame.node):
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not frame.node
+            ):
+                nested.add(child.name)
+        return nested

@@ -1,0 +1,64 @@
+"""Finding model for ``repro lint``.
+
+A :class:`Finding` is one rule violation pinned to a source location.
+Findings carry the *stripped source line* they fired on (``snippet``):
+the baseline key is derived from ``(rule, path, snippet)`` rather than
+the line number, so grandfathered findings survive unrelated edits that
+shift lines, and resurface only when the offending code itself moves
+between files or changes rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def baseline_key(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        blob = f"{self.rule}\x1f{self.path}\x1f{self.snippet.strip()}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "key": self.baseline_key(),
+        }
+
+
+@dataclass
+class FileReport:
+    """All findings produced while analysing one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)

@@ -1,0 +1,90 @@
+"""Rendering lint results for humans (text) and machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .findings import Finding
+
+REPORT_SCHEMA = 1
+
+
+@dataclass
+class LintResult:
+    """Everything one ``repro lint`` run produced.
+
+    *findings* is every unsuppressed finding; *new* / *baselined* split
+    it against the baseline; *resolved* lists baseline entries no
+    longer matched by anything (stale grandfathering — remove them).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    resolved: List[Dict[str, object]] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing outside the baseline fired."""
+        return not self.new
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "resolved": len(self.resolved),
+                "suppressed": self.suppressed,
+            },
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "resolved": list(self.resolved),
+        }
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Human-readable report: new findings, then a one-line summary."""
+    lines: List[str] = []
+    for finding in result.new:
+        lines.append(finding.render())
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(result.baselined)} grandfathered):")
+        for finding in result.baselined:
+            lines.append("  " + finding.render())
+    if result.resolved:
+        lines.append("")
+        lines.append(
+            f"{len(result.resolved)} baseline entr"
+            f"{'y is' if len(result.resolved) == 1 else 'ies are'} no longer "
+            "matched — run `repro lint --update-baseline` to drop:"
+        )
+        for entry in result.resolved:
+            lines.append(
+                f"  {entry.get('rule', '?')} at {entry.get('path', '?')} "
+                f"(key {entry.get('key', '?')})"
+            )
+    if lines:
+        lines.append("")
+    summary = (
+        f"checked {result.files_checked} files, "
+        f"{len(result.rules_run)} rules: "
+        f"{len(result.new)} new, {len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)

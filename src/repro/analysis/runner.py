@@ -1,0 +1,154 @@
+"""The lint driver: collect files, run rules, fold in suppressions + baseline.
+
+:func:`run_lint` is the single entry point the CLI, CI and tests share.
+It is deterministic by construction — files are visited in sorted
+relative-path order, findings sort by (path, line, col, rule) — so two
+runs over the same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import LintError
+from . import checks  # noqa: F401 - import registers the builtin rules
+from .baseline import Baseline
+from .config import LintConfig, path_in
+from .findings import Finding
+from .report import LintResult
+from .rules import (
+    PARSE_ERROR,
+    META_RULE_IDS,
+    LintRule,
+    all_rule_ids,
+    get_rule,
+    registered_rules,
+)
+from .suppress import scan_suppressions
+from .visitor import ModuleContext, Walker
+
+
+def collect_files(config: LintConfig) -> List[Path]:
+    """Python files under ``config.paths``, minus ``config.exclude``."""
+    root = Path(config.root)
+    seen = set()
+    out: List[Path] = []
+    for entry in config.paths:
+        base = root / entry
+        if base.is_file() and base.suffix == ".py":
+            candidates: Iterable[Path] = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            rel = path.relative_to(root).as_posix()
+            if rel in seen or path_in(rel, config.exclude):
+                continue
+            seen.add(rel)
+            out.append(path)
+    return sorted(out, key=lambda p: p.relative_to(root).as_posix())
+
+
+def select_rules(only: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Registered rules, optionally narrowed to *only* (validated ids)."""
+    if only is None:
+        return [get_rule(rule_id) for rule_id in registered_rules()]
+    chosen: List[LintRule] = []
+    for rule_id in only:
+        if rule_id in META_RULE_IDS:
+            continue  # meta findings are always produced; nothing to run
+        chosen.append(get_rule(rule_id))  # raises LintError on unknown ids
+    return chosen
+
+
+def lint_file(
+    path: Path,
+    rel_path: str,
+    rules: Sequence[LintRule],
+    config: LintConfig,
+) -> tuple[List[Finding], int]:
+    """All unsuppressed findings for one file + the suppressed count."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [
+            Finding(
+                rule=PARSE_ERROR, path=rel_path, line=1, col=1,
+                message=f"cannot read file: {err}", snippet="",
+            )
+        ], 0
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as err:
+        return [
+            Finding(
+                rule=PARSE_ERROR, path=rel_path,
+                line=err.lineno or 1, col=(err.offset or 1),
+                message=f"syntax error: {err.msg}", snippet="",
+            )
+        ], 0
+
+    active = [r for r in rules if r.applies_to(rel_path, config)]
+    ctx = ModuleContext(
+        rel_path=rel_path, source=source, tree=tree, config=config
+    )
+    if active:
+        Walker(ctx, active).run()
+
+    table = scan_suppressions(rel_path, source, all_rule_ids())
+    kept = [f for f in ctx.findings if not table.suppresses(f)]
+    suppressed = len(ctx.findings) - len(kept)
+    kept.extend(table.problems)
+    return sorted(kept, key=Finding.sort_key), suppressed
+
+
+def run_lint(
+    config: LintConfig,
+    *,
+    only: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint the tree described by *config* and diff against *baseline*.
+
+    When *baseline* is None the committed baseline file is loaded (a
+    missing file is an empty baseline, never an error).
+    """
+    rules = select_rules(only)
+    if baseline is None:
+        baseline = Baseline.load(config.baseline_path())
+
+    result = LintResult(rules_run=sorted(r.rule_id for r in rules))
+    root = Path(config.root)
+    for path in collect_files(config):
+        rel = path.relative_to(root).as_posix()
+        findings, suppressed = lint_file(path, rel, rules, config)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+
+    result.findings.sort(key=Finding.sort_key)
+    diff = baseline.diff(result.findings)
+    result.new = diff.new
+    result.baselined = diff.baselined
+    result.resolved = diff.resolved
+    return result
+
+
+def update_baseline(config: LintConfig, result: LintResult) -> Path:
+    """Write the baseline matching *result* and return its path."""
+    path = config.baseline_path()
+    Baseline.from_findings(result.findings).save(path)
+    return path
+
+
+__all__ = [
+    "collect_files",
+    "select_rules",
+    "lint_file",
+    "run_lint",
+    "update_baseline",
+    "LintError",
+]

@@ -1,0 +1,114 @@
+"""Inline suppressions: ``# repro: lint-ignore[rule-id]: justification``.
+
+A suppression comment silences findings of the named rule(s) on its own
+line — or, when the comment stands alone on a line, on the next code
+line.  The justification after the closing bracket is **required**: a
+suppression without one, or one naming a rule id the engine does not
+know, is itself reported (rule id ``bad-suppression``), so suppressions
+cannot rot silently.
+
+Comments are located with :mod:`tokenize`, not a substring scan, so a
+string literal that merely *talks about* the syntax never suppresses
+anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .findings import Finding
+from .rules import BAD_SUPPRESSION
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*lint-ignore\[(?P<ids>[^\]]*)\]\s*(?::\s*(?P<why>.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed lint-ignore comment."""
+
+    line: int  # comment's own line
+    rule_ids: Tuple[str, ...]
+    justification: str
+    standalone: bool  # comment is the only thing on its line
+
+    @property
+    def target_line(self) -> int:
+        """The code line this suppression applies to."""
+        return self.line + 1 if self.standalone else self.line
+
+
+@dataclass
+class SuppressionTable:
+    """All suppressions of one file plus their own malformedness findings."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    problems: List[Finding] = field(default_factory=list)
+
+    def suppresses(self, finding: Finding) -> bool:
+        return finding.rule in self.by_line.get(finding.line, set())
+
+
+def scan_suppressions(
+    rel_path: str, source: str, known_rule_ids: Set[str]
+) -> SuppressionTable:
+    """Parse every lint-ignore comment in *source*."""
+    table = SuppressionTable()
+    for line, text, standalone in _comments(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        ids = tuple(
+            token.strip() for token in match.group("ids").split(",") if token.strip()
+        )
+        why = (match.group("why") or "").strip()
+        suppression = Suppression(line, ids, why, standalone)
+        snippet = text.strip()
+        if not ids:
+            table.problems.append(
+                Finding(
+                    BAD_SUPPRESSION, rel_path, line, 1,
+                    "lint-ignore names no rule id", snippet,
+                )
+            )
+            continue
+        unknown = [rule_id for rule_id in ids if rule_id not in known_rule_ids]
+        for rule_id in unknown:
+            table.problems.append(
+                Finding(
+                    BAD_SUPPRESSION, rel_path, line, 1,
+                    f"lint-ignore names unknown rule id {rule_id!r}", snippet,
+                )
+            )
+        if not why:
+            table.problems.append(
+                Finding(
+                    BAD_SUPPRESSION, rel_path, line, 1,
+                    "lint-ignore needs a justification "
+                    "(`# repro: lint-ignore[rule-id]: why`)",
+                    snippet,
+                )
+            )
+            continue
+        if unknown:
+            continue  # malformed: never silences anything
+        table.by_line.setdefault(suppression.target_line, set()).update(ids)
+    return table
+
+
+def _comments(source: str):
+    """Yield ``(line, text, standalone)`` for every comment token."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            line_text = token.line[: token.start[1]]
+            yield token.start[0], token.string, not line_text.strip()
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return  # unparsable files are reported by the runner, not here

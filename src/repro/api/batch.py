@@ -14,10 +14,11 @@ holds that property over the whole kernel suite.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..errors import ReproError
+from ..pools import spawn_pool
 from .cache import CompilationCache, content_hash
 from .request import CompilationReport, CompilationRequest
 from .toolchain import Toolchain
@@ -115,7 +116,7 @@ class BatchCompiler:
                     progress(f"compiled {done}/{len(requests)} jobs")
         elif workers > 1 and len(pending) > 1:
             chunksize = max(1, len(pending) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with spawn_pool(workers) as pool:
                 outcomes = pool.map(_compile_job, jobs, chunksize=chunksize)
                 for index, outcome in zip(pending, outcomes):
                     reports[index] = self._finish(keys[index], outcome)

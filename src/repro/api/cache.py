@@ -173,9 +173,16 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Entries that existed but could not be loaded (corrupt/unreadable).
+    #: These also count as misses; a rising value means the cache
+    #: directory is being damaged faster than it is repopulated.
+    errors: int = 0
 
     def summary(self) -> str:
-        return f"cache: {self.hits} hits, {self.misses} misses, {self.writes} writes"
+        text = f"cache: {self.hits} hits, {self.misses} misses, {self.writes} writes"
+        if self.errors:
+            text += f", {self.errors} errors"
+        return text
 
 
 class CompilationCache:
@@ -206,7 +213,13 @@ class CompilationCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            # Everything a truncated/corrupt/stale-schema pickle can
+            # throw.  Anything outside this set (MemoryError, a bug in
+            # CompilationReport.__setstate__) propagates — swallowing it
+            # here hid real failures before the `errors` counter existed.
+            self.stats.errors += 1
             try:
                 path.unlink()
             except OSError:
@@ -214,6 +227,7 @@ class CompilationCache:
             self.stats.misses += 1
             return None
         if not isinstance(report, CompilationReport):
+            self.stats.errors += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -392,6 +406,7 @@ class TieredCache:
             "evictions": self.memory.evictions,
             "memory_entries": len(self.memory),
             "memory_capacity": self.memory.capacity,
+            "disk_errors": disk_stats.errors,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

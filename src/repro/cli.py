@@ -373,6 +373,45 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final metrics snapshot JSON here on drain",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-aware static analysis (invariant-enforcing AST rules)",
+    )
+    lint.add_argument(
+        "--root", type=str, default=".",
+        help="repository root holding pyproject.toml (default: cwd)",
+    )
+    lint.add_argument(
+        "--rules", type=str, default=None,
+        help="comma-separated rule ids to run (default: all); "
+             "'help' lists every rule with its description",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", type=str, default=None,
+        help="baseline file (default: [tool.repro.lint] baseline, "
+             "else LINT_baseline.json)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    lint.add_argument(
+        "--fail-on-new", action="store_true",
+        help="exit 1 when any finding outside the baseline exists (CI gate)",
+    )
+    lint.add_argument(
+        "--out", type=str, default=None,
+        help="also write the JSON report to this path",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="text format: also list baselined (grandfathered) findings",
+    )
     return parser
 
 
@@ -516,6 +555,62 @@ def _serve_command(args: argparse.Namespace) -> int:
             metrics_out=args.metrics_out,
         )
     )
+    return 0
+
+
+def _lint_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        load_config,
+        render_json,
+        render_text,
+        run_lint,
+        update_baseline,
+    )
+    from .analysis.rules import META_RULE_IDS, get_rule, registered_rules
+    from .errors import LintError
+
+    try:
+        config = load_config(Path(args.root))
+        if args.baseline is not None:
+            config.baseline = args.baseline
+        if args.rules == "help":
+            for rule_id in registered_rules():
+                print(f"{rule_id:<22} {get_rule(rule_id).description}")
+            for rule_id in META_RULE_IDS:
+                print(f"{rule_id:<22} (engine-level finding)")
+            return 0
+        only = None
+        if args.rules is not None:
+            only = [part.strip() for part in args.rules.split(",") if part.strip()]
+        if args.update_baseline and only is not None:
+            print(
+                "repro lint: --update-baseline needs the full rule set "
+                "(a narrowed run would drop other rules' baseline entries)",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_lint(config, only=only)
+    except LintError as err:
+        print(f"repro lint: {err}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        path = update_baseline(config, result)
+        print(
+            f"baseline updated: {path} "
+            f"({len(result.findings)} findings grandfathered)"
+        )
+        return 0
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_json(result) + "\n")
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    if args.fail_on_new and not result.ok:
+        return 1
     return 0
 
 
@@ -908,6 +1003,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _sensitivity_command(args)
     if args.command == "serve":
         return _serve_command(args)
+    if args.command == "lint":
+        return _lint_command(args)
     return _figures_command(args)
 
 

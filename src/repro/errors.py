@@ -71,6 +71,10 @@ class TargetError(ReproError):
     """Raised for invalid target descriptions, files or registry lookups."""
 
 
+class LintError(ReproError):
+    """Raised for static-analysis misuse (bad rule ids, broken baselines)."""
+
+
 class ServiceError(ReproError):
     """Raised for compilation-service failures (daemon and client side)."""
 

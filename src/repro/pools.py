@@ -1,0 +1,41 @@
+"""Process-pool construction with a pinned spawn start method.
+
+Every process pool in this codebase must use the ``spawn`` start
+method: the CLI, the daemon and the batch driver all run pools from
+processes that already own threads (asyncio loops, metrics writers),
+and a forked worker can inherit a held call-queue lock and wedge the
+pool forever.  ``spawn`` workers start from a clean interpreter and
+re-import work functions by qualified name — which also forces the
+discipline the ``pool-safety`` lint rule checks: work functions must be
+module-level and their inputs explicit.
+
+Use :func:`spawn_pool` instead of constructing
+``ProcessPoolExecutor`` directly; the lint rule flags direct
+constructions without an ``mp_context``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, Tuple
+
+
+def spawn_context() -> multiprocessing.context.SpawnContext:
+    """The multiprocessing spawn context (safe under threaded parents)."""
+    return multiprocessing.get_context("spawn")
+
+
+def spawn_pool(
+    max_workers: int,
+    *,
+    initializer: Optional[Callable[..., Any]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> ProcessPoolExecutor:
+    """A ``ProcessPoolExecutor`` pinned to the spawn start method."""
+    return ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=spawn_context(),
+        initializer=initializer,
+        initargs=initargs,
+    )

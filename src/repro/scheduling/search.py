@@ -441,13 +441,13 @@ class PortfolioPolicy(SearchPolicy):
         pool = None
         if workers > 1 and salts > 1 and payload is not None:
             try:
-                from concurrent.futures import ProcessPoolExecutor
+                from ..pools import spawn_pool
 
                 # The initializer rebuilds the runner once per worker;
                 # attempt jobs then carry only (ii, salt), so neither the
                 # graph nor the machine crosses the pipe per attempt.
-                pool = ProcessPoolExecutor(
-                    max_workers=workers,
+                pool = spawn_pool(
+                    workers,
                     initializer=_pool_initializer,
                     initargs=(payload,),
                 )

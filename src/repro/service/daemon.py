@@ -47,7 +47,12 @@ import signal
 import sys
 import time
 from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Deque, Dict, Optional, Tuple
 
 from ..api import CompilationReport, CompilationRequest, Toolchain, content_hash
@@ -187,9 +192,8 @@ class CompileService:
             )
             width = 2
         else:
-            import multiprocessing
-
             from ..api.batch import DEFAULT_WORKERS
+            from ..pools import spawn_pool
 
             width = workers if workers is not None else DEFAULT_WORKERS
             # The daemon forks nothing: workers come up via the "spawn"
@@ -199,10 +203,7 @@ class CompileService:
             # whole pool (observed in practice); spawn sidesteps it at
             # the cost of a one-time per-worker import, which
             # :meth:`start` pays up front by pre-warming.
-            self.executor = ProcessPoolExecutor(
-                max_workers=width,
-                mp_context=multiprocessing.get_context("spawn"),
-            )
+            self.executor = spawn_pool(width)
         self._max_concurrency = max(1, width)
 
         self._lanes: Dict[str, Deque[Job]] = {
@@ -411,7 +412,20 @@ class CompileService:
             )
         except ReproError as err:
             self._finish_error(job, err, status=422)
-        except Exception as err:  # noqa: BLE001 - daemon must not die
+        except MemoryError:
+            # Process-level trouble, not a property of this job: fail the
+            # request, then let the error propagate to the loop's
+            # exception handler instead of dressing it up as a 500.
+            self._finish_error(job, ReproError("compile worker ran out of memory"),
+                               status=503)
+            raise
+        except BrokenExecutor as err:
+            # The worker pool is dead; every future compile would fail
+            # the same way.  Fail this job as unavailable and start
+            # draining so the supervisor restarts us clean.
+            self._finish_error(job, err, status=503)
+            self.request_drain()
+        except Exception as err:  # repro: lint-ignore[exception-discipline]: job isolation boundary - one failed compile must not kill the daemon; the error is surfaced as this job's 500 response and counted in compiles_failed
             self._finish_error(job, err, status=500)
         else:
             elapsed = time.perf_counter() - started
@@ -641,7 +655,10 @@ async def run_service(
     if port_file:
         from pathlib import Path
 
-        Path(port_file).write_text(f"{bound_host}:{bound_port}\n")
+        # File I/O off the loop: a slow disk here would stall accepts.
+        await loop.run_in_executor(
+            None, Path(port_file).write_text, f"{bound_host}:{bound_port}\n"
+        )
     if not quiet:
         print(
             f"repro serve listening on {bound_host}:{bound_port} "
@@ -660,8 +677,10 @@ async def run_service(
         if metrics_out:
             from pathlib import Path
 
-            Path(metrics_out).write_text(
-                json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            await loop.run_in_executor(
+                None,
+                Path(metrics_out).write_text,
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
             )
         if not quiet:
             print(

@@ -63,7 +63,8 @@ def _wait_for_port_file(path: str, timeout: float) -> str:
     deadline = time.time() + timeout
     while time.time() < deadline:
         if os.path.exists(path):
-            text = open(path).read().strip()
+            with open(path) as handle:
+                text = handle.read().strip()
             if text:
                 return text
         time.sleep(0.1)
@@ -162,7 +163,8 @@ def run_smoke(args: argparse.Namespace) -> int:
         _check(checks, "final-metrics-file",
                os.path.exists(final_metrics_path),
                final_metrics_path)
-        final = json.load(open(final_metrics_path))
+        with open(final_metrics_path) as handle:
+            final = json.load(handle)
         artifact["final_metrics"] = final
         _check(checks, "drained-flag", final["draining"] is True,
                "final snapshot carries draining=true")

@@ -630,8 +630,8 @@ def verify_many(
     jobs = list(jobs)
     if workers is None or workers <= 1 or len(jobs) <= 1:
         return [_verify_job(job) for job in jobs]
-    from concurrent.futures import ProcessPoolExecutor
+    from ..pools import spawn_pool
 
     chunksize = max(1, len(jobs) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with spawn_pool(workers) as pool:
         return list(pool.map(_verify_job, jobs, chunksize=chunksize))

@@ -1,0 +1,34 @@
+"""async-blocking fixture: blocking idioms in and out of coroutines."""
+
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+def sync_code(path):
+    time.sleep(0.1)  # ok: not on an event loop
+    return Path(path).read_text()  # ok: sync function
+
+
+async def blocking_service(path, pool, job):
+    time.sleep(0.5)  # EXPECT: async-blocking
+    subprocess.run(["true"])  # EXPECT: async-blocking
+    Path(path).write_text("snapshot")  # EXPECT: async-blocking
+    with open(path) as handle:  # EXPECT: async-blocking
+        data = handle.read()
+    report = pool.submit(job).result()  # EXPECT: async-blocking
+    return data, report
+
+
+async def offloaded_service(path, pool, job):
+    loop = asyncio.get_running_loop()
+    await asyncio.sleep(0.5)  # ok: async sleep
+    data = await loop.run_in_executor(None, Path(path).read_text)  # ok
+    report = await loop.run_in_executor(pool, job)  # ok: awaited future
+
+    def flush(text):
+        time.sleep(0.01)  # ok: sync helper runs wherever it is called
+        return text
+
+    return data, report, flush

@@ -1,0 +1,52 @@
+"""cache-discipline fixture.
+
+The test config guards class ``Table``: mutating ``_rows`` obliges the
+method to invalidate ``_cache`` (directly, via a ``*version*`` bump, or
+transitively through ``_invalidate``).
+"""
+
+from bisect import insort
+
+
+class Table:
+    def __init__(self):
+        self._rows = {}
+        self._order = []
+        self._cache = None
+        self._gen_version = 0  # ok: __init__ establishes, never invalidates
+
+    def _invalidate(self):
+        self._cache = None
+
+    def insert(self, key, row):
+        self._rows[key] = row  # ok: invalidates directly below
+        self._cache = None
+
+    def insert_sorted(self, key):
+        insort(self._order, key)  # ok: _order is not a guarded attribute
+        self._rows[key] = key  # ok: version bump below counts as invalidation
+        self._gen_version += 1
+
+    def remove(self, key):
+        del self._rows[key]  # ok: transitive via _invalidate
+        self._invalidate()
+
+    def remove_many(self, keys):
+        for key in keys:
+            self.remove(key)  # ok: calls an invalidating method
+        return len(keys)
+
+    def forgot(self, key, row):
+        self._rows[key] = row  # EXPECT: cache-discipline
+
+    def forgot_append(self, key, row):
+        self._rows.setdefault(key, []).append(row)  # EXPECT: cache-discipline
+
+    def lookup(self, key):
+        rows = self._rows  # ok: rebinding a local is a read, not a write
+        return rows.get(key)
+
+
+class Unguarded:
+    def mutate(self, key, row):
+        self._rows = {key: row}  # ok: class is not under a cache guard

@@ -1,0 +1,59 @@
+"""exception-discipline fixture.
+
+The test config puts this file on the API paths, so builtin raises are
+findings while ``repro.errors`` types are not.
+"""
+
+from repro.errors import ReproError
+
+
+def narrow(payload):
+    try:
+        return payload["kernel"]
+    except KeyError:
+        return None  # ok: narrow catch
+
+
+def broad_with_reraise(handle):
+    try:
+        return handle.read()
+    except Exception:
+        handle.close()
+        raise  # ok: cleanup then re-raise
+
+
+def swallows(handle):
+    try:
+        return handle.read()
+    except Exception:  # EXPECT: exception-discipline
+        pass
+
+
+def broad_in_tuple(handle):
+    try:
+        return handle.read()
+    except (ValueError, Exception) as err:  # EXPECT: exception-discipline
+        return str(err)
+
+
+def bare(handle):
+    try:
+        return handle.read()
+    except:  # EXPECT: exception-discipline
+        return None
+
+
+def typed_error(name):
+    raise ReproError(f"unknown kernel {name!r}")  # ok: typed at the boundary
+
+
+def builtin_error(name):
+    raise ValueError(f"unknown kernel {name!r}")  # EXPECT: exception-discipline
+
+
+def unfinished():
+    raise NotImplementedError  # ok: allowed builtin
+
+
+def reraise_variable(err):
+    raise err  # ok: re-raising a caught variable

@@ -1,0 +1,27 @@
+"""Suppression-semantics fixture (no EXPECT scheme here: the engine
+tests assert on this file's findings directly, because suppression
+comments must stay exactly as written — a trailing marker would be
+parsed as part of the justification)."""
+
+import time
+
+
+def inline_ok():
+    return time.time()  # repro: lint-ignore[determinism]: display-only timing
+
+
+def standalone_ok():
+    # repro: lint-ignore[determinism]: wall time never reaches the schedule
+    return time.time()
+
+
+def unknown_rule():
+    return time.time()  # repro: lint-ignore[not-a-rule]: typo in the id
+
+
+def missing_why():
+    return time.time()  # repro: lint-ignore[determinism]
+
+
+def empty_ids():
+    return time.time()  # repro: lint-ignore[]: nothing named

@@ -1,0 +1,149 @@
+"""``repro lint`` CLI: exit codes, formats, baseline workflow, and the
+meta-test that the committed tree itself lints clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).parents[1]
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """A miniature project with one determinism finding."""
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint]\n"
+        'paths = ["src"]\n'
+        'determinism-paths = ["src"]\n'
+        "api-paths = []\n"
+    )
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n"
+    )
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# The tree gates itself
+# ----------------------------------------------------------------------
+
+
+def test_repo_is_clean_modulo_committed_baseline(capsys):
+    """The CI gate on this very checkout: zero non-baselined findings."""
+    assert main(["lint", "--root", str(REPO_ROOT), "--fail-on-new"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new" in out
+
+
+def test_repo_baseline_matches_tree_exactly(capsys):
+    """No stale grandfathering: every baseline entry is still matched."""
+    assert main(
+        ["lint", "--root", str(REPO_ROOT), "--format", "json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["counts"]["resolved"] == 0
+    assert payload["counts"]["baselined"] == len(payload["baselined"])
+
+
+# ----------------------------------------------------------------------
+# Exit codes and formats
+# ----------------------------------------------------------------------
+
+
+def test_fail_on_new_exits_1(project, capsys):
+    assert main(["lint", "--root", str(project), "--fail-on-new"]) == 1
+    assert "[determinism]" in capsys.readouterr().out
+
+
+def test_report_only_exits_0(project):
+    assert main(["lint", "--root", str(project)]) == 0
+
+
+def test_json_format_and_out_file(project, capsys, tmp_path):
+    out_file = tmp_path / "report.json"
+    code = main(
+        ["lint", "--root", str(project), "--format", "json",
+         "--out", str(out_file)]
+    )
+    assert code == 0
+    printed = json.loads(capsys.readouterr().out)
+    written = json.loads(out_file.read_text())
+    assert printed == written
+    assert printed["counts"]["new"] == 1
+    assert printed["new"][0]["rule"] == "determinism"
+
+
+def test_rules_help_lists_all_rules(capsys):
+    assert main(["lint", "--rules", "help"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "determinism", "async-blocking", "pool-safety", "cache-discipline",
+        "exception-discipline", "resource-hygiene", "bad-suppression",
+        "parse-error",
+    ):
+        assert rule_id in out
+
+
+def test_unknown_rule_exits_2(capsys):
+    assert main(["lint", "--rules", "no-such-rule"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_rule_narrowing_runs_single_rule(project, capsys):
+    assert main(
+        ["lint", "--root", str(project), "--rules", "pool-safety",
+         "--format", "json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["pool-safety"]
+    assert payload["counts"]["new"] == 0  # determinism rule not run
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+
+
+def test_update_baseline_then_gate_passes(project, capsys):
+    assert main(["lint", "--root", str(project), "--update-baseline"]) == 0
+    assert "1 findings grandfathered" in capsys.readouterr().out
+    assert (project / "LINT_baseline.json").exists()
+    assert main(["lint", "--root", str(project), "--fail-on-new"]) == 0
+
+
+def test_fixed_finding_reports_resolved(project, capsys):
+    main(["lint", "--root", str(project), "--update-baseline"])
+    (project / "src" / "mod.py").write_text("VALUE = 1\n")
+    assert main(["lint", "--root", str(project), "--fail-on-new"]) == 0
+    capsys.readouterr()
+    assert main(
+        ["lint", "--root", str(project), "--format", "json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["resolved"] == 1
+
+
+def test_new_finding_on_top_of_baseline_fails(project, capsys):
+    main(["lint", "--root", str(project), "--update-baseline"])
+    (project / "src" / "other.py").write_text(
+        "import uuid\n\n\ndef tag():\n    return uuid.uuid4()\n"
+    )
+    capsys.readouterr()
+    assert main(["lint", "--root", str(project), "--fail-on-new"]) == 1
+    out = capsys.readouterr().out
+    assert "uuid.uuid4" in out and "1 new, 1 baselined" in out
+
+
+def test_update_baseline_refuses_narrowed_rule_set(project, capsys):
+    code = main(
+        ["lint", "--root", str(project), "--rules", "determinism",
+         "--update-baseline"]
+    )
+    assert code == 2
+    assert "full rule set" in capsys.readouterr().err

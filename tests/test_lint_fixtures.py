@@ -1,0 +1,103 @@
+"""The lint rules against the fixture corpus in ``tests/lint_fixtures/``.
+
+Every fixture line carrying a trailing ``# EXPECT: rule-id[, rule-id]``
+comment must produce exactly those findings on that line, and *no other
+line may produce any finding* — so each fixture file proves its rule's
+true positives and true negatives in one exact comparison.
+
+``fix_suppress.py`` is exempt from the EXPECT scheme (a trailing marker
+would parse as part of the suppression justification); its semantics
+are asserted directly in ``test_lint_engine.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import CacheGuard, LintConfig, lint_file
+from repro.analysis.rules import get_rule, registered_rules
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+CONFIG = LintConfig(
+    root=FIXTURES,
+    paths=(".",),
+    determinism_paths=("fix_determinism.py",),
+    api_paths=("fix_exception.py",),
+    cache_guards=(
+        CacheGuard(
+            file="fix_cache.py",
+            classes=("Table",),
+            guarded=("_rows",),
+            caches=("_cache",),
+            invalidators=("_invalidate",),
+        ),
+    ),
+)
+
+EXPECT_FILES = sorted(
+    path.name
+    for path in FIXTURES.glob("fix_*.py")
+    if path.name != "fix_suppress.py"
+)
+
+
+def _expectations(source):
+    """``{lineno: {rule-id, ...}}`` parsed from trailing EXPECT comments."""
+    expected = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        if "# EXPECT:" not in line:
+            continue
+        ids = line.split("# EXPECT:", 1)[1]
+        expected[lineno] = {
+            part.strip() for part in ids.split(",") if part.strip()
+        }
+    return expected
+
+
+def _run(name):
+    rules = [get_rule(rule_id) for rule_id in registered_rules()]
+    return lint_file(FIXTURES / name, name, rules, CONFIG)
+
+
+@pytest.mark.parametrize("name", EXPECT_FILES)
+def test_fixture_findings_match_expectations(name):
+    source = (FIXTURES / name).read_text()
+    expected = _expectations(source)
+    assert expected, f"{name} has no EXPECT annotations"
+    findings, suppressed = _run(name)
+    assert suppressed == 0
+    actual = {}
+    for finding in findings:
+        actual.setdefault(finding.line, set()).add(finding.rule)
+    assert actual == expected
+
+
+def test_every_rule_has_a_fixture_true_positive():
+    seen = set()
+    for name in EXPECT_FILES:
+        for ids in _expectations((FIXTURES / name).read_text()).values():
+            seen |= ids
+    assert set(registered_rules()) <= seen
+
+
+def test_findings_carry_location_and_snippet():
+    findings, _ = _run("fix_resource.py")
+    assert findings
+    for finding in findings:
+        assert finding.path == "fix_resource.py"
+        assert finding.line > 0 and finding.col > 0
+        assert finding.snippet  # the offending source line, stripped
+        assert finding.rule in finding.render()
+        assert f"{finding.line}:{finding.col}" in finding.location()
+
+
+def test_out_of_scope_file_skips_scoped_rules():
+    """Moving the determinism fixture out of the determinism paths
+    silences the rule — path scoping, not file content, gates it."""
+    config = LintConfig(root=FIXTURES, paths=(".",), determinism_paths=())
+    rules = [get_rule(rule_id) for rule_id in registered_rules()]
+    findings, _ = lint_file(
+        FIXTURES / "fix_determinism.py", "fix_determinism.py", rules, config
+    )
+    assert not [f for f in findings if f.rule == "determinism"]
