@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from .. import faults
 from ..errors import CacheError
 from ..ir.ddg import DDG
 from ..machine.machine import MachineSpec
@@ -203,10 +204,13 @@ class CompilationCache:
     def get(self, key: str) -> Optional[CompilationReport]:
         """Load the report for *key*, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss and is deleted, so
-        a damaged cache degrades to recompilation instead of failing.
+        Read-repair: a corrupt or unreadable entry counts as a miss
+        *and is deleted*, so a damaged cache degrades to recompilation
+        (whose ``put`` rewrites the entry) instead of failing the same
+        way on every future lookup.
         """
         path = self.path_for(key)
+        faults.damage_cache_entry(path)
         try:
             with open(path, "rb") as handle:
                 report = pickle.load(handle)
@@ -227,7 +231,14 @@ class CompilationCache:
             self.stats.misses += 1
             return None
         if not isinstance(report, CompilationReport):
+            # Unpickled cleanly but is the wrong thing (e.g. an entry
+            # written by foreign tooling): just as corrupt for our
+            # purposes — repair it away too.
             self.stats.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             self.stats.misses += 1
             return None
         self.stats.hits += 1

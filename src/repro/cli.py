@@ -373,6 +373,27 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final metrics snapshot JSON here on drain",
     )
+    serve.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help="persistent job-journal file: wait=false submissions are "
+             "replayed after a crash-restart against the same path",
+    )
+    serve.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="arm deterministic fault injection (e.g. "
+             "'worker-crash:times=3;conn-reset:times=2'); test/chaos use",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for probabilistic fault rules (default: 0)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -553,6 +574,9 @@ def _serve_command(args: argparse.Namespace) -> int:
             max_queue_depth=args.max_queue,
             port_file=args.port_file,
             metrics_out=args.metrics_out,
+            journal=args.journal,
+            fault_spec=args.faults,
+            fault_seed=args.fault_seed,
         )
     )
     return 0

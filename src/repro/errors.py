@@ -76,8 +76,22 @@ class LintError(ReproError):
 
 
 class ServiceError(ReproError):
-    """Raised for compilation-service failures (daemon and client side)."""
+    """Raised for compilation-service failures (daemon and client side).
 
-    def __init__(self, message: str, status: int = 500):
+    ``retry_after`` (seconds), when set, tells clients the failure is
+    backpressure: the daemon sends it as a ``Retry-After`` header and
+    the retrying client sleeps that long before re-submitting.
+    """
+
+    def __init__(self, message: str, status: int = 500, retry_after=None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class JournalError(ReproError):
+    """Raised when the persistent job journal cannot be used at all."""
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault-injection specs or unknown fault points."""

@@ -12,6 +12,13 @@ module-level and their inputs explicit.
 Use :func:`spawn_pool` instead of constructing
 ``ProcessPoolExecutor`` directly; the lint rule flags direct
 constructions without an ``mp_context``.
+
+Spawned workers start from a clean interpreter, so process-wide state
+armed in the parent — in particular a programmatically installed
+:class:`repro.faults.FaultPlan` — would silently vanish in the pool.
+:func:`spawn_pool` therefore forwards the parent's active fault plan
+through the worker initializer (composing with any caller-supplied
+initializer), so a fault-armed daemon's workers crash on schedule too.
 """
 
 from __future__ import annotations
@@ -20,10 +27,24 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Optional, Tuple
 
+from . import faults
+
 
 def spawn_context() -> multiprocessing.context.SpawnContext:
     """The multiprocessing spawn context (safe under threaded parents)."""
     return multiprocessing.get_context("spawn")
+
+
+def _arm_then_init(
+    spec: str,
+    seed: int,
+    inner: Optional[Callable[..., Any]],
+    inner_args: Tuple[Any, ...],
+) -> None:
+    """Worker initializer: arm the parent's fault plan, then chain."""
+    faults.install_from_spec(spec, seed)
+    if inner is not None:
+        inner(*inner_args)
 
 
 def spawn_pool(
@@ -33,6 +54,14 @@ def spawn_pool(
     initargs: Tuple[Any, ...] = (),
 ) -> ProcessPoolExecutor:
     """A ``ProcessPoolExecutor`` pinned to the spawn start method."""
+    plan = faults.active()
+    if plan is not None and plan.rules:
+        initializer, initargs = _arm_then_init, (
+            plan.spec,
+            plan.seed,
+            initializer,
+            initargs,
+        )
     return ProcessPoolExecutor(
         max_workers=max_workers,
         mp_context=spawn_context(),

@@ -3,11 +3,15 @@
 A long-lived asyncio daemon that keeps a warm process pool and an
 in-memory LRU across compile requests, coalesces identical in-flight
 work, applies priority-lane admission control and exposes live metrics.
+Fault tolerance rides on three pieces: a persistent job journal
+(:mod:`repro.service.journal`), worker-pool supervision
+(:mod:`repro.service.supervisor`) and a retrying client policy
+(:class:`~repro.service.client.RetryPolicy`).
 See :mod:`repro.service.daemon` for the architecture overview and
 :mod:`repro.service.client` for the blocking client.
 """
 
-from .client import ServiceClient
+from .client import NO_RETRY, RetryPolicy, ServiceClient, TransportError
 from .daemon import CompileService, Job, run_service
 from .jobs import (
     PRIORITY_LANES,
@@ -19,16 +23,25 @@ from .jobs import (
     parse_compile_payload,
     request_to_payload,
 )
+from .journal import JobJournal, JournalEntry, ReplayStats
 from .metrics import LatencyHistogram, ServiceMetrics
+from .supervisor import PoolSupervisor
 
 __all__ = [
     "CompileService",
     "Job",
+    "JobJournal",
+    "JournalEntry",
     "LatencyHistogram",
+    "NO_RETRY",
     "PRIORITY_LANES",
     "ParsedJob",
+    "PoolSupervisor",
+    "ReplayStats",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceMetrics",
+    "TransportError",
     "ddg_from_dict",
     "ddg_to_dict",
     "loop_from_dict",

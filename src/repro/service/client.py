@@ -8,27 +8,101 @@ the natural handle for driving a shared daemon from scripts::
 
     from repro.service import ServiceClient
 
-    client = ServiceClient("127.0.0.1:8731")
-    result = client.compile({"kernel": "fir_filter", "clusters": 4})
-    print(result["report"]["ii"], result["served_from"])
+    with ServiceClient("127.0.0.1:8731") as client:
+        result = client.compile({"kernel": "fir_filter", "clusters": 4})
+        print(result["report"]["ii"], result["served_from"])
 
-Every call opens one connection (the server is ``Connection: close``),
-so a client object is stateless and trivially thread-safe.
+Every call opens one connection (the server is ``Connection: close``);
+open sockets are tracked on the client and released by :meth:`close`
+(or the ``with`` block), so an exception mid-stream never leaks a
+handle.
+
+Transient failures are retried under a :class:`RetryPolicy`:
+
+* **transport errors** — connection refused/reset, read timeouts,
+  truncated responses — are retried with exponential backoff plus
+  deterministic *seeded* jitter (no unseeded RNG anywhere, per the
+  project determinism rule: two clients built with the same
+  ``jitter_seed`` back off identically);
+* **backpressure** — a 429/503 carrying a ``Retry-After`` header — is
+  retried after the server-suggested delay.
+
+Re-submission is safe because every compile is keyed on its content
+hash server-side: a retried POST either coalesces onto the original
+in-flight job or is served from cache — it never runs twice.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..errors import ServiceError
 from .http import ProtocolError, decode_chunks
 from .jobs import request_to_payload
 
-#: Default socket timeout: compiles are seconds-scale; leave margin for a
+#: Default connect timeout: establishing a TCP connection to a live
+#: daemon is milliseconds-scale; ten seconds means "it is not there".
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Default read timeout: compiles are seconds-scale; leave margin for a
 #: queued job behind a deep backlog.
-DEFAULT_TIMEOUT = 300.0
+DEFAULT_READ_TIMEOUT = 300.0
+
+#: Back-compat alias for the pre-split single timeout (read semantics).
+DEFAULT_TIMEOUT = DEFAULT_READ_TIMEOUT
+
+
+class TransportError(ServiceError):
+    """Connection-level failure (refused, reset, timed out, truncated).
+
+    Distinct from a server-sent error status: the request may never
+    have reached the daemon, so the retry loop treats these as always
+    safe to retry (service requests are idempotent, see module doc).
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, status=503)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how a :class:`ServiceClient` retries.
+
+    ``max_attempts=1`` disables retrying entirely.  Backoff before
+    attempt *n* (2-based) is
+    ``min(cap, base * factor**(n-2)) * (1 + jitter * u)`` with *u*
+    drawn from a :class:`random.Random` seeded with ``jitter_seed`` —
+    deterministic per client, decorrelated across differently-seeded
+    clients.  ``retry_busy`` gates honoring ``Retry-After`` on 429/503.
+    """
+
+    max_attempts: int = 4
+    connect_timeout: float = DEFAULT_CONNECT_TIMEOUT
+    read_timeout: float = DEFAULT_READ_TIMEOUT
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    jitter_seed: int = 0
+    retry_busy: bool = True
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before *attempt* (the first retry is attempt 2)."""
+        step = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 2),
+        )
+        return step * (1.0 + self.jitter * rng.random())
+
+
+#: A policy that never retries (probing exact admission behavior).
+NO_RETRY = RetryPolicy(max_attempts=1)
 
 
 def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
@@ -48,30 +122,76 @@ def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
 
 
 class ServiceClient:
-    """Blocking client for one ``repro serve`` daemon."""
+    """Blocking, retrying client for one ``repro serve`` daemon.
+
+    A client is cheap to construct; build one per thread when the
+    deterministic backoff sequence matters (the jitter RNG is
+    per-client state).
+    """
 
     def __init__(
         self,
         address: Union[str, Tuple[str, int]],
-        timeout: float = DEFAULT_TIMEOUT,
+        timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
     ):
+        """
+        Args:
+            address: ``"host:port"`` or a ``(host, port)`` tuple.
+            timeout: back-compat single timeout — sets both the connect
+                and read timeouts of *policy* when given.
+            policy: retry/timeout policy (default :class:`RetryPolicy`).
+        """
         self.host, self.port = _parse_address(address)
-        self.timeout = timeout
+        policy = policy or RetryPolicy()
+        if timeout is not None:
+            policy = dataclasses.replace(
+                policy, connect_timeout=timeout, read_timeout=timeout
+            )
+        self.policy = policy
+        self._rng = random.Random(policy.jitter_seed)
+        self._sockets: set = set()
+        self.retries: Dict[str, int] = {"transport": 0, "busy": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every socket this client still has open."""
+        while self._sockets:
+            self._release(self._sockets.pop())
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
 
     def _connect(self) -> socket.socket:
+        """One tracked connection; release with :meth:`_release`."""
         try:
-            return socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.policy.connect_timeout
             )
         except OSError as err:
-            raise ServiceError(
-                f"cannot reach service at {self.host}:{self.port}: {err}",
-                status=503,
+            raise TransportError(
+                f"cannot reach service at {self.host}:{self.port}: {err}"
             )
+        sock.settimeout(self.policy.read_timeout)
+        self._sockets.add(sock)
+        return sock
+
+    def _release(self, sock: socket.socket) -> None:
+        self._sockets.discard(sock)
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close on a dead socket
+            pass
 
     def _send_request(
         self, sock: socket.socket, method: str, path: str, payload: Optional[object]
@@ -92,7 +212,7 @@ class ServiceClient:
     def _split_head(raw: bytes) -> Tuple[int, Dict[str, str], bytes]:
         head, sep, rest = raw.partition(b"\r\n\r\n")
         if not sep:
-            raise ProtocolError("truncated response from service")
+            raise TransportError("truncated response from service")
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split(None, 2)
         if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
@@ -107,38 +227,92 @@ class ServiceClient:
             headers[name.strip().lower()] = value.strip()
         return status, headers, rest
 
-    def _roundtrip(
-        self, method: str, path: str, payload: Optional[object] = None
-    ) -> Tuple[int, object]:
-        """One full request/response exchange (fixed-length responses)."""
-        with self._connect() as sock:
+    def _roundtrip_once(
+        self, method: str, path: str, payload: Optional[object]
+    ) -> Tuple[int, Dict[str, str], object]:
+        """One request/response exchange (fixed-length responses)."""
+        sock = self._connect()
+        try:
             self._send_request(sock, method, path, payload)
             raw = b""
             while True:
-                piece = sock.recv(65536)
+                try:
+                    piece = sock.recv(65536)
+                except OSError as err:
+                    raise TransportError(f"read from service failed: {err}")
                 if not piece:
                     break
                 raw += piece
+        finally:
+            self._release(sock)
         status, headers, body = self._split_head(raw)
         if headers.get("transfer-encoding") == "chunked":
             chunks, _, finished = decode_chunks(body)
             if not finished:
-                raise ProtocolError("truncated chunked response")
+                raise TransportError("truncated chunked response")
             body = b"".join(chunks)
         try:
             document = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as err:
             raise ProtocolError(f"service sent invalid JSON: {err}")
-        return status, document
+        return status, headers, document
 
-    def _expect_ok(self, status: int, document: object) -> object:
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        retry_busy: Optional[bool] = None,
+    ) -> Tuple[int, Dict[str, str], object]:
+        """The retrying exchange (see the module doc for the policy)."""
+        policy = self.policy
+        busy_ok = policy.retry_busy if retry_busy is None else retry_busy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                status, headers, document = self._roundtrip_once(
+                    method, path, payload
+                )
+            except TransportError:
+                if attempt >= policy.max_attempts:
+                    raise
+                self.retries["transport"] += 1
+                time.sleep(policy.backoff(attempt + 1, self._rng))
+                continue
+            if (
+                busy_ok
+                and status in (429, 503)
+                and "retry-after" in headers
+                and attempt < policy.max_attempts
+            ):
+                self.retries["busy"] += 1
+                try:
+                    delay = float(headers["retry-after"])
+                except ValueError:
+                    delay = policy.backoff(attempt + 1, self._rng)
+                time.sleep(delay)
+                continue
+            return status, headers, document
+
+    def _expect_ok(
+        self, status: int, document: object, headers: Optional[Dict[str, str]] = None
+    ) -> object:
         if status >= 400:
             message = (
                 document.get("error", f"service error {status}")
                 if isinstance(document, dict)
                 else f"service error {status}"
             )
-            raise ServiceError(str(message), status=status)
+            retry_after = None
+            if headers and "retry-after" in headers:
+                try:
+                    retry_after = float(headers["retry-after"])
+                except ValueError:
+                    retry_after = None
+            raise ServiceError(
+                str(message), status=status, retry_after=retry_after
+            )
         return document
 
     # ------------------------------------------------------------------
@@ -146,14 +320,17 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def healthz(self) -> Dict[str, object]:
-        """Daemon liveness: ``{"status": "ok" | "draining", ...}``."""
-        _, document = self._roundtrip("GET", "/healthz")
+        """Daemon liveness: ``{"status": "ok" | "draining", ...}``.
+
+        Never busy-retried: a draining daemon's 503 *is* the answer.
+        """
+        _, _, document = self._roundtrip("GET", "/healthz", retry_busy=False)
         return document  # 503-when-draining still carries the body
 
     def metrics(self) -> Dict[str, object]:
         """The full ``/metrics`` snapshot."""
-        status, document = self._roundtrip("GET", "/metrics")
-        return self._expect_ok(status, document)
+        status, headers, document = self._roundtrip("GET", "/metrics")
+        return self._expect_ok(status, document, headers)
 
     def compile(self, payload: Dict[str, object], wait: bool = True) -> Dict[str, object]:
         """Submit one compile payload (see :mod:`repro.service.jobs`).
@@ -165,8 +342,8 @@ class ServiceClient:
         body = dict(payload)
         if not wait:
             body["wait"] = False
-        status, document = self._roundtrip("POST", "/compile", body)
-        return self._expect_ok(status, document)
+        status, headers, document = self._roundtrip("POST", "/compile", body)
+        return self._expect_ok(status, document, headers)
 
     def compile_request(
         self, request, priority: str = "normal", **extra
@@ -177,16 +354,20 @@ class ServiceClient:
 
     def job(self, job_id: int) -> Dict[str, object]:
         """Status document for one job id."""
-        status, document = self._roundtrip("GET", f"/jobs/{job_id}")
-        return self._expect_ok(status, document)
+        status, headers, document = self._roundtrip("GET", f"/jobs/{job_id}")
+        return self._expect_ok(status, document, headers)
 
     def events(self, job_id: int) -> Iterator[Dict[str, object]]:
         """Stream a job's events until it reaches a terminal state.
 
         Yields each event dict as the daemon emits it (chunked JSON
-        lines decoded incrementally).
+        lines decoded incrementally).  Streaming is never retried — a
+        reconnect would replay events the caller already consumed — but
+        the socket is always released, even when the consumer abandons
+        the generator mid-stream.
         """
-        with self._connect() as sock:
+        sock = self._connect()
+        try:
             self._send_request(sock, "GET", f"/jobs/{job_id}/events", None)
             buffer = b""
             head_done = False
@@ -211,7 +392,7 @@ class ServiceClient:
                                 break
                             buffer += piece
                         document = json.loads(buffer.decode("utf-8") or "{}")
-                        self._expect_ok(status, document)
+                        self._expect_ok(status, document, headers)
                         return
                 chunks, buffer, finished = decode_chunks(buffer)
                 for chunk in chunks:
@@ -222,6 +403,8 @@ class ServiceClient:
                             yield json.loads(line.decode("utf-8"))
             if pending_text.strip():
                 yield json.loads(pending_text.decode("utf-8"))
+        finally:
+            self._release(sock)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ServiceClient {self.host}:{self.port}>"

@@ -23,7 +23,21 @@ expensive state of a compile session resident between requests:
 * ``/healthz`` and ``/metrics`` with queue depth, in-flight count,
   LRU/disk hit ratios, a latency histogram and admission counters;
 * **graceful drain**: on SIGTERM the daemon stops admitting, finishes
-  in-flight jobs, flushes its final metrics and exits cleanly.
+  in-flight jobs, flushes its final metrics and exits cleanly;
+* a **persistent job journal** (:mod:`repro.service.journal`): every
+  lifecycle transition is fsync'd to an append-only JSONL file *before*
+  the client is acknowledged, and on startup the daemon replays it —
+  interrupted ``wait=false`` jobs are re-enqueued, orphaned waiting
+  jobs are closed out, and the journal is compacted — so a ``kill -9``
+  loses no submitted work;
+* **pool supervision** (:mod:`repro.service.supervisor`): a
+  ``BrokenExecutor`` respawns the warm pool and retries the in-flight
+  job under a bounded budget instead of draining the daemon; jobs that
+  kill workers twice are quarantined as poison;
+* deterministic **fault injection** (:mod:`repro.faults`): the
+  ``worker-crash``/``slow-compile``/``conn-reset`` points thread
+  through the compile path and the HTTP writer so every recovery path
+  above is testable on demand.
 
 The HTTP surface (see :mod:`repro.service.http` for framing):
 
@@ -42,6 +56,7 @@ GET      ``/jobs/<id>/events``  chunked event stream until terminal
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import signal
 import sys
@@ -55,26 +70,36 @@ from concurrent.futures import (
 )
 from typing import Deque, Dict, Optional, Tuple
 
+from .. import faults
 from ..api import CompilationReport, CompilationRequest, Toolchain, content_hash
 from ..api.cache import CompilationCache, MemoryCache, TieredCache
 from ..errors import ReproError, ServiceError
 from ..scheduling.fingerprint import schedule_fingerprint
 from . import http as h
 from .jobs import PRIORITY_LANES, ParsedJob, parse_compile_payload
+from .journal import JobJournal, JournalEntry
 from .metrics import ServiceMetrics
+from .supervisor import PoolSupervisor
 
-#: Job states; the last three are terminal.
-JOB_STATES = ("queued", "running", "done", "failed", "shed")
-_TERMINAL = frozenset({"done", "failed", "shed"})
+#: Job states; the last four are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "shed", "quarantined")
+_TERMINAL = frozenset({"done", "failed", "shed", "quarantined"})
 
 #: Jobs to retain in the id registry after completion (for /jobs/<id>).
 _JOB_HISTORY = 1024
+
+#: Backoff hint (seconds) sent as ``Retry-After`` with 429 rejections.
+#: Queue-full is transient at compile timescales; a quarter second is
+#: long enough for a dispatch slot to open without idling the client.
+RETRY_AFTER_HINT = 0.25
 
 
 def _execute_request(
     toolchain: Toolchain, request: CompilationRequest
 ) -> CompilationReport:
     """Executor-side compile entry point (module-level: picklable)."""
+    faults.slowpoint("slow-compile")
+    faults.crashpoint("worker-crash")
     return toolchain.compile(request)
 
 
@@ -82,6 +107,13 @@ def _warm_probe(hold_seconds: float) -> int:
     """Pool pre-warm task: spin up a worker and hold it briefly."""
     time.sleep(hold_seconds)
     return 0
+
+
+def _retry_headers(err: ServiceError) -> Optional[Dict[str, str]]:
+    """The ``Retry-After`` header for backpressure errors, else ``None``."""
+    if err.retry_after is None:
+        return None
+    return {"Retry-After": f"{err.retry_after:g}"}
 
 
 class Job:
@@ -94,6 +126,9 @@ class Job:
         self.state = "queued"
         self.created = time.time()
         self.subscribers = 1
+        self.crashes = 0  # workers this job has killed (supervisor budget)
+        self.pool_generation = 0  # pool generation it last dispatched on
+        self.recovered = False  # re-enqueued from the journal on startup
         self.events: list = []
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._signal = asyncio.Event()
@@ -105,6 +140,10 @@ class Job:
     @property
     def lane(self) -> str:
         return self.parsed.priority
+
+    @property
+    def wait(self) -> bool:
+        return self.parsed.wait
 
     def emit(self, event: str, **fields) -> None:
         entry = {"event": event, "job": self.id, "t": round(time.time(), 3)}
@@ -122,6 +161,10 @@ class Job:
             "subscribers": self.subscribers,
             "events": len(self.events),
         }
+        if self.crashes:
+            info["crashes"] = self.crashes
+        if self.recovered:
+            info["recovered"] = True
         if self.state == "done":
             info["result"] = self.future.result()
         elif self.state in _TERMINAL:
@@ -156,6 +199,9 @@ class CompileService:
         max_queue_depth: int = 64,
         executor: Optional[Executor] = None,
         compile_fn=None,
+        journal: Optional[object] = None,
+        max_job_crashes: int = 2,
+        max_respawns: int = 8,
     ):
         """
         Args:
@@ -169,9 +215,19 @@ class CompileService:
                 path for the persistent tier behind the LRU.
             max_queue_depth: queued-job bound for admission control.
             executor: inject a pre-built executor instead of owning one
-                (the daemon never shuts an injected executor down).
+                (the daemon never shuts an injected executor down, and
+                cannot respawn it after a crash — ``BrokenExecutor``
+                falls back to drain).
             compile_fn: test hook replacing the executor-side compile
                 callable (signature ``(toolchain, request) -> report``).
+            journal: optional :class:`~repro.service.journal.JobJournal`
+                or path for the persistent job journal; when set,
+                submissions are journaled before acknowledgement and
+                replayed by :meth:`start` after a crash.
+            max_job_crashes: worker crashes one job may cause before it
+                is quarantined as poison.
+            max_respawns: pool respawns before the daemon gives up and
+                drains (crash-loop bound).
         """
         self.toolchain = toolchain or Toolchain.default()
         if disk_cache is not None and not hasattr(disk_cache, "get"):
@@ -183,28 +239,32 @@ class CompileService:
         self.metrics = ServiceMetrics()
         self._compile_fn = compile_fn or _execute_request
         self._owns_executor = executor is None
+        self._workers = workers
         if executor is not None:
             self.executor = executor
             width = getattr(executor, "_max_workers", 1)
-        elif workers == 0:
-            self.executor = ThreadPoolExecutor(
-                max_workers=2, thread_name_prefix="repro-serve"
-            )
-            width = 2
+            self._executor_width = max(1, width)
         else:
-            from ..api.batch import DEFAULT_WORKERS
-            from ..pools import spawn_pool
+            self.executor = self.build_executor()
+        self._max_concurrency = self._executor_width
+        self.supervisor = PoolSupervisor(
+            self, max_job_crashes=max_job_crashes, max_respawns=max_respawns
+        )
 
-            width = workers if workers is not None else DEFAULT_WORKERS
-            # The daemon forks nothing: workers come up via the "spawn"
-            # context (fork+exec).  Fork-starting pool workers from a
-            # live multi-threaded asyncio process is a deadlock lottery —
-            # a worker can inherit a held call-queue lock and wedge the
-            # whole pool (observed in practice); spawn sidesteps it at
-            # the cost of a one-time per-worker import, which
-            # :meth:`start` pays up front by pre-warming.
-            self.executor = spawn_pool(width)
-        self._max_concurrency = max(1, width)
+        self._owns_journal = journal is not None and not hasattr(journal, "append")
+        if self._owns_journal:
+            journal = JobJournal(journal)
+        self.journal: Optional[JobJournal] = journal
+        # All journal I/O funnels through one thread: appends stay
+        # ordered exactly as awaited, and the event loop never blocks
+        # on an fsync.
+        self._journal_pool: Optional[ThreadPoolExecutor] = None
+        if journal is not None:
+            self._journal_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-journal"
+            )
+        self._recovered_jobs = 0
+        self._replay_stats = None
 
         self._lanes: Dict[str, Deque[Job]] = {
             lane: deque() for lane in PRIORITY_LANES
@@ -220,12 +280,48 @@ class CompileService:
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------
+    # Executor construction (startup and supervisor respawn)
+    # ------------------------------------------------------------------
+
+    @property
+    def owns_executor(self) -> bool:
+        """Whether this daemon built (and may respawn/shut down) its pool."""
+        return self._owns_executor
+
+    def build_executor(self) -> Executor:
+        """A fresh executor of the configured shape.
+
+        Called once from ``__init__`` and again by the
+        :class:`PoolSupervisor` when a ``BrokenExecutor`` forces a
+        respawn; both paths must produce identically-shaped pools.
+        """
+        if self._workers == 0:
+            self._executor_width = 2
+            return ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-serve"
+            )
+        from ..api.batch import DEFAULT_WORKERS
+        from ..pools import spawn_pool
+
+        width = self._workers if self._workers is not None else DEFAULT_WORKERS
+        self._executor_width = max(1, width)
+        # The daemon forks nothing: workers come up via the "spawn"
+        # context (fork+exec).  Fork-starting pool workers from a
+        # live multi-threaded asyncio process is a deadlock lottery —
+        # a worker can inherit a held call-queue lock and wedge the
+        # whole pool (observed in practice); spawn sidesteps it at
+        # the cost of a one-time per-worker import, which
+        # :meth:`start` pays up front by pre-warming.
+        return spawn_pool(width)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
         """Bind and start serving; returns the actual (host, port)."""
         await self.warm_pool()
+        await self._recover()
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
         )
@@ -251,6 +347,81 @@ class CompileService:
             )
         )
 
+    # ------------------------------------------------------------------
+    # Journal plumbing and crash recovery
+    # ------------------------------------------------------------------
+
+    async def _journal_event(self, event: str, key: str, **fields) -> None:
+        """Durably record one lifecycle transition (no-op sans journal).
+
+        Runs on the single journal thread so appends land in await
+        order and the fsync never stalls the event loop.
+        """
+        if self.journal is None:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._journal_pool,
+            functools.partial(self.journal.append, event, key, **fields),
+        )
+
+    async def _recover(self) -> None:
+        """Replay the journal: finish the past, re-enqueue the interrupted.
+
+        Runs before the listener binds.  Live ``wait=false`` entries are
+        re-submitted (bypassing admission — they were already admitted
+        once); live ``wait=true`` entries are closed out as failed, since
+        the waiting connection died with the previous daemon and nobody
+        can receive the result.  The journal is then compacted so each
+        crash-restart cycle starts from a minimal file.
+        """
+        if self.journal is None:
+            return
+        loop = asyncio.get_running_loop()
+        entries, stats = await loop.run_in_executor(
+            self._journal_pool, functools.partial(self.journal.replay, True)
+        )
+        self._replay_stats = stats
+        recovered = 0
+        for key, entry in sorted(entries.items()):
+            if entry.terminal:
+                continue
+            if entry.wait or entry.payload is None:
+                await self._journal_event(
+                    "failed",
+                    key,
+                    error=(
+                        "daemon restarted; waiting client connection lost"
+                        if entry.wait
+                        else "journal record carries no payload to replay"
+                    ),
+                )
+                continue
+            try:
+                job, _, immediate = await self.submit(entry.payload, recovered=entry)
+            except ServiceError as err:
+                await self._journal_event(
+                    "failed", key, error=f"replay rejected: {err}"
+                )
+                continue
+            if immediate is not None:
+                # A cache tier already has the result (the compile
+                # finished before the crash, or an identical job did).
+                await self._journal_event(
+                    "done", key, served_from=immediate.get("served_from")
+                )
+            elif job is not None and job.key != key:
+                # The content hash changed across the restart (e.g. a
+                # different toolchain); the work continues under the new
+                # key, so retire the stale one.
+                await self._journal_event(
+                    "failed", key, error=f"re-keyed on replay to {job.key}"
+                )
+            else:
+                recovered += 1
+        self._recovered_jobs = recovered
+        await loop.run_in_executor(self._journal_pool, self.journal.compact)
+
     def request_drain(self) -> None:
         """Stop admitting; finish in-flight work, then report drained."""
         if self._draining:
@@ -269,6 +440,12 @@ class CompileService:
             self._server = None
         if self._owns_executor:
             self.executor.shutdown(wait=False, cancel_futures=True)
+        if self._journal_pool is not None:
+            # wait=True: any in-flight append must hit the disk before
+            # the journal handle goes away underneath it.
+            self._journal_pool.shutdown(wait=True)
+        if self.journal is not None and self._owns_journal:
+            self.journal.close()
 
     def final_metrics(self) -> Dict[str, object]:
         """The closing metrics snapshot (flushed on drain)."""
@@ -282,18 +459,30 @@ class CompileService:
         return {lane: len(queue) for lane, queue in self._lanes.items()}
 
     def metrics_snapshot(self) -> Dict[str, object]:
+        plan = faults.active()
+        journal_counters = None
+        if self.journal is not None:
+            journal_counters = self.journal.counters()
+            journal_counters["recovered_jobs"] = self._recovered_jobs
+            if self._replay_stats is not None:
+                journal_counters["replay"] = self._replay_stats.to_dict()
         return self.metrics.snapshot(
             queue_depths=self.queue_depths(),
             in_flight=self._running,
             cache_counters=self.cache.counters(),
             draining=self._draining,
+            supervisor=self.supervisor.counters(),
+            journal=journal_counters,
+            faults=plan.counters() if plan is not None else None,
         )
 
     # ------------------------------------------------------------------
     # Admission / dispatch
     # ------------------------------------------------------------------
 
-    def submit(self, payload: object) -> Tuple[Job, bool, Optional[Dict[str, object]]]:
+    async def submit(
+        self, payload: object, recovered: Optional[JournalEntry] = None
+    ) -> Tuple[Job, bool, Optional[Dict[str, object]]]:
         """Admit one compile payload.
 
         Returns ``(job, created, immediate)``: *immediate* is the result
@@ -301,6 +490,12 @@ class CompileService:
         ``None``); otherwise *job* is the (possibly pre-existing,
         coalesced) in-flight job and *created* says whether this call
         created it.
+
+        When a journal is configured, the ``submitted`` record is
+        durable before this returns — a 202 acknowledgement therefore
+        survives a daemon crash.  *recovered* marks journal-replay
+        re-submissions: they bypass admission control (they were
+        admitted before the crash) and inherit the entry's crash budget.
         """
         if self._draining:
             raise ServiceError("service is draining; not admitting", status=503)
@@ -323,9 +518,12 @@ class CompileService:
             existing.emit("coalesced", subscribers=existing.subscribers)
             return existing, False, None
 
-        self._admit_or_reject(parsed)
+        victim = None if recovered is not None else self._admit_or_reject(parsed)
         job = Job(self._next_id, key, parsed)
         self._next_id += 1
+        if recovered is not None:
+            job.crashes = recovered.crashes
+            job.recovered = True
         self._register(job)
         self._inflight[key] = job
         self._lanes[parsed.priority].append(job)
@@ -335,13 +533,28 @@ class CompileService:
             lane=parsed.priority,
             queue_depth=sum(self.queue_depths().values()),
         )
+        if victim is not None:
+            await self._journal_event("shed", victim.key, job=victim.id)
+        # Durability before acknowledgement: the submitted record (with
+        # the payload needed to replay it) is on disk before any client
+        # sees a job id.
+        await self._journal_event(
+            "submitted",
+            key,
+            job=job.id,
+            wait=parsed.wait,
+            priority=parsed.priority,
+            payload=parsed.raw,
+            crashes=job.crashes or None,
+        )
         self._maybe_dispatch()
         return job, True, None
 
-    def _admit_or_reject(self, parsed: ParsedJob) -> None:
+    def _admit_or_reject(self, parsed: ParsedJob) -> Optional[Job]:
+        """Make room for *parsed*; returns the shed victim, if any."""
         depth = sum(len(queue) for queue in self._lanes.values())
         if depth < self.max_queue_depth:
-            return
+            return None
         # Full: shed a strictly lower-priority queued job, newest first
         # (its waiters invested the least), else reject the newcomer.
         incoming_rank = PRIORITY_LANES.index(parsed.priority)
@@ -352,12 +565,13 @@ class CompileService:
             if queue:
                 victim = queue.pop()
                 self._shed(victim)
-                return
+                return victim
         self.metrics.admission_rejected += 1
         raise ServiceError(
             f"queue full ({depth}/{self.max_queue_depth}); "
             f"{parsed.priority}-priority request rejected",
             status=429,
+            retry_after=RETRY_AFTER_HINT,
         )
 
     def _shed(self, job: Job) -> None:
@@ -402,31 +616,41 @@ class CompileService:
 
     async def _run_job(self, job: Job) -> None:
         job.state = "running"
-        job.emit("started", workers=self._max_concurrency)
+        job.pool_generation = self.supervisor.generation
+        job.emit(
+            "started", workers=self._max_concurrency, attempt=job.crashes + 1
+        )
+        await self._journal_event("started", job.key, job=job.id)
         self.metrics.compiles_started += 1
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
+        requeued = False
         try:
             report = await loop.run_in_executor(
                 self.executor, self._compile_fn, self.toolchain, job.request
             )
         except ReproError as err:
             self._finish_error(job, err, status=422)
+            await self._journal_event(
+                "failed", job.key, job=job.id, error=str(err)
+            )
         except MemoryError:
             # Process-level trouble, not a property of this job: fail the
             # request, then let the error propagate to the loop's
             # exception handler instead of dressing it up as a 500.
             self._finish_error(job, ReproError("compile worker ran out of memory"),
                                status=503)
+            await self._journal_event(
+                "failed", job.key, job=job.id, error="MemoryError in worker"
+            )
             raise
         except BrokenExecutor as err:
-            # The worker pool is dead; every future compile would fail
-            # the same way.  Fail this job as unavailable and start
-            # draining so the supervisor restarts us clean.
-            self._finish_error(job, err, status=503)
-            self.request_drain()
+            requeued = await self._handle_worker_crash(job, err)
         except Exception as err:  # repro: lint-ignore[exception-discipline]: job isolation boundary - one failed compile must not kill the daemon; the error is surfaced as this job's 500 response and counted in compiles_failed
             self._finish_error(job, err, status=500)
+            await self._journal_event(
+                "failed", job.key, job=job.id, error=str(err)
+            )
         else:
             elapsed = time.perf_counter() - started
             self.cache.put(job.key, report)
@@ -445,12 +669,81 @@ class CompileService:
             job.emit(
                 "done", ii=report.result.ii, seconds=round(elapsed, 4),
             )
+            # Journal before resolving the future: once a client can see
+            # the result, the journal must already know the job is done.
+            await self._journal_event(
+                "done",
+                job.key,
+                job=job.id,
+                ii=report.result.ii,
+                seconds=round(elapsed, 4),
+            )
             job.future.set_result(result)
         finally:
             self._running -= 1
-            self._inflight.pop(job.key, None)
+            if not requeued:
+                self._inflight.pop(job.key, None)
             self._maybe_dispatch()
             self._check_drained()
+
+    async def _handle_worker_crash(self, job: Job, err: BrokenExecutor) -> bool:
+        """Supervise a ``BrokenExecutor``: respawn, then retry or poison.
+
+        Returns ``True`` when the job went back to the front of its lane
+        (it keeps its in-flight slot so coalesced waiters stay attached).
+        Draining — the pre-supervisor behavior — remains only as the
+        last resort when the pool cannot be respawned.
+        """
+        verdict = self.supervisor.crash_verdict(job)
+        healthy = await self.supervisor.ensure_pool(job.pool_generation)
+        if not healthy:
+            self._finish_error(
+                job,
+                ServiceError(
+                    f"worker pool broken and not respawnable: {err}", status=503
+                ),
+                status=503,
+            )
+            await self._journal_event(
+                "failed", job.key, job=job.id,
+                error="worker pool broken; drain", crashes=job.crashes,
+            )
+            self.request_drain()
+            return False
+        if verdict == "poison":
+            self._quarantine(job, err)
+            await self._journal_event(
+                "quarantined", job.key, job=job.id, crashes=job.crashes
+            )
+            return False
+        job.state = "queued"
+        job.emit(
+            "retrying",
+            crashes=job.crashes,
+            pool_generation=self.supervisor.generation,
+        )
+        await self._journal_event(
+            "retrying", job.key, job=job.id, crashes=job.crashes
+        )
+        # Front of the lane: the job already waited its turn once.
+        self._lanes[job.lane].appendleft(job)
+        return True
+
+    def _quarantine(self, job: Job, err: Exception) -> None:
+        """Poison terminal state: this job kills workers; stop retrying."""
+        self.metrics.compiles_failed += 1
+        job.state = "quarantined"
+        job.emit(
+            "quarantined", crashes=job.crashes, error_type=type(err).__name__
+        )
+        job.future.set_exception(
+            ServiceError(
+                f"job {job.id} quarantined as poison: its compile crashed "
+                f"{job.crashes} workers ({type(err).__name__})",
+                status=500,
+            )
+        )
+        job.future.exception()  # fire-and-forget jobs must not warn
 
     def _finish_error(self, job: Job, err: Exception, status: int) -> None:
         self.metrics.compiles_failed += 1
@@ -564,7 +857,12 @@ class CompileService:
                 raise ServiceError(f"no route {request.path!r}", status=404)
         except ServiceError as err:
             await h.write_response(
-                writer, h.json_response(err.status, {"error": str(err)})
+                writer,
+                h.json_response(
+                    err.status,
+                    {"error": str(err)},
+                    extra_headers=_retry_headers(err),
+                ),
             )
 
     def _job_for(self, token: str) -> Job:
@@ -582,7 +880,7 @@ class CompileService:
         wait = True
         if isinstance(payload, dict) and payload.get("wait") is False:
             wait = False
-        job, created, immediate = self.submit(payload)
+        job, created, immediate = await self.submit(payload)
         if immediate is not None:
             await h.write_response(writer, h.json_response(200, immediate))
             return
@@ -630,6 +928,9 @@ async def run_service(
     metrics_out: Optional[str] = None,
     toolchain: Optional[Toolchain] = None,
     quiet: bool = False,
+    journal: Optional[object] = None,
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> Dict[str, object]:
     """Run a :class:`CompileService` until SIGTERM/SIGINT drains it.
 
@@ -637,13 +938,20 @@ async def run_service(
     callers using an ephemeral port can discover it), serves until a
     drain signal arrives, finishes in-flight work, then returns the
     final metrics snapshot (also written to *metrics_out* when given).
+    *journal* enables the persistent job journal (path or
+    :class:`JobJournal`); *fault_spec* arms the deterministic fault
+    plane (:meth:`repro.faults.FaultPlan.from_spec`) before the daemon
+    builds its pool, so workers inherit the plan.
     """
+    if fault_spec:
+        faults.install(faults.FaultPlan.from_spec(fault_spec, seed=fault_seed))
     service = CompileService(
         toolchain=toolchain,
         workers=workers,
         lru_capacity=lru_capacity,
         disk_cache=disk_cache,
         max_queue_depth=max_queue_depth,
+        journal=journal,
     )
     bound_host, bound_port = await service.start(host, port)
     loop = asyncio.get_running_loop()

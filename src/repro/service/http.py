@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Dict, List, Mapping, Optional, Tuple
 
+from .. import faults
 from ..errors import ServiceError
 
 #: Largest request body the daemon will buffer (serialized DDGs for the
@@ -246,7 +247,18 @@ async def read_request(reader) -> Optional[HTTPRequest]:
 
 
 async def write_response(writer, data: bytes) -> None:
-    """Write a complete pre-formatted response and flush it."""
+    """Write a complete pre-formatted response and flush it.
+
+    The ``conn-reset`` fault point lives here: when armed, the daemon
+    aborts the transport instead of answering — the client sees the
+    reset-by-peer every load balancer eventually delivers for real, and
+    its retry path gets exercised on demand.
+    """
+    if faults.fire("conn-reset"):
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+        return
     writer.write(data)
     await writer.drain()
 

@@ -166,11 +166,20 @@ def loop_from_dict(data: Mapping[str, object]) -> Loop:
 
 @dataclass
 class ParsedJob:
-    """One admitted compile payload, fully resolved."""
+    """One admitted compile payload, fully resolved.
+
+    ``raw`` keeps the original JSON payload so the daemon's journal can
+    persist exactly what would be needed to replay the submission;
+    ``wait`` records whether a client connection is blocked on the
+    result (``wait=false`` jobs are the ones worth replaying after a
+    crash — their submitters poll, they don't hold a socket open).
+    """
 
     request: object  # CompilationRequest (imported lazily, see below)
     priority: str = "normal"
     want_assembly: bool = False
+    wait: bool = True
+    raw: Optional[Dict[str, object]] = None
 
 
 def _resolve_loop(payload: Mapping[str, object]) -> Loop:
@@ -294,6 +303,8 @@ def parse_compile_payload(payload: object) -> ParsedJob:
         request=request,
         priority=priority,
         want_assembly=bool(payload.get("assembly", False)),
+        wait=payload.get("wait") is not False,
+        raw=dict(payload),
     )
 
 

@@ -1,0 +1,356 @@
+"""Persistent job journal: ``wait=false`` submissions survive a restart.
+
+The daemon appends one JSONL record per job lifecycle transition —
+``submitted`` (carrying the original compile payload), ``started``,
+``retrying``, and the terminal ``done``/``failed``/``shed``/
+``quarantined`` — keyed by the batch-cache content hash.  Appends are
+flushed and fsync'd before the daemon acknowledges a submission, so a
+202 receipt means the job is durable: after a ``kill -9``,
+:meth:`JobJournal.replay` reconstructs every job's last known state and
+the daemon re-enqueues the interrupted ``wait=false`` ones.
+
+Record format — one JSON object per line::
+
+    {"v": 1, "seq": 7, "event": "submitted", "key": "<sha256>",
+     "wait": false, "payload": {...}, "sum": "<checksum>"}
+
+``sum`` is the first 16 hex chars of the SHA-256 over the canonical
+(sorted-keys) JSON of the record without its ``sum`` field.  Replay
+rejects any line whose checksum does not match (bit rot, interleaved
+garbage) and treats a final line without a newline as a torn write —
+the classic crash-mid-append shape — truncating it away on repair.
+Neither stops recovery: the journal degrades record by record.
+
+:meth:`compact` rewrites the file keeping one synthesized ``submitted``
+record per still-live job (terminal histories are dropped), atomically
+(tmp + fsync + rename), so the journal stays proportional to live work
+instead of growing forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .. import faults
+from ..errors import JournalError
+
+#: Journal record schema version.
+JOURNAL_VERSION = 1
+
+#: Lifecycle events in rank order: replay keeps the furthest-progressed
+#: state it sees for a key, so out-of-order appends cannot regress it.
+EVENT_RANK = {
+    "submitted": 0,
+    "started": 1,
+    "retrying": 1,
+    "done": 2,
+    "failed": 2,
+    "shed": 2,
+    "quarantined": 2,
+}
+
+TERMINAL_EVENTS = frozenset(
+    event for event, rank in EVENT_RANK.items() if rank == 2
+)
+
+
+def _checksum(record: Dict[str, object]) -> str:
+    """Line checksum: sha256 over the canonical record sans ``sum``."""
+    body = {name: value for name, value in record.items() if name != "sum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class JournalEntry:
+    """One job's replayed state: its furthest-progressed transition."""
+
+    key: str
+    event: str = "submitted"
+    wait: bool = True
+    priority: str = "normal"
+    payload: Optional[Dict[str, object]] = None
+    crashes: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.event in TERMINAL_EVENTS
+
+    def absorb(self, record: Dict[str, object]) -> None:
+        """Fold one valid record for this key into the entry."""
+        event = str(record.get("event"))
+        if record.get("payload") is not None:
+            self.payload = record["payload"]  # type: ignore[assignment]
+        if record.get("wait") is not None:
+            self.wait = bool(record["wait"])
+        if record.get("priority") is not None:
+            self.priority = str(record["priority"])
+        self.crashes = max(self.crashes, int(record.get("crashes", 0)))
+        if EVENT_RANK.get(event, -1) >= EVENT_RANK.get(self.event, -1):
+            self.event = event
+            self.extra = {
+                name: value
+                for name, value in record.items()
+                if name not in ("v", "seq", "event", "key", "wait",
+                                "priority", "payload", "crashes", "sum")
+            }
+
+
+@dataclass
+class ReplayStats:
+    """What one replay pass found (surfaced in ``/metrics``)."""
+
+    records: int = 0
+    corrupt_lines: int = 0
+    torn_tail: bool = False
+    live: int = 0
+    terminal: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "records": self.records,
+            "corrupt_lines": self.corrupt_lines,
+            "torn_tail": self.torn_tail,
+            "live": self.live,
+            "terminal": self.terminal,
+        }
+
+
+class JobJournal:
+    """Append-only, fsync'd, checksummed JSONL journal of job states."""
+
+    def __init__(self, path: os.PathLike, fsync: bool = True):
+        self.path = Path(path).expanduser()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        except OSError as err:
+            raise JournalError(f"cannot open journal {self.path}: {err}")
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.appends = 0
+        self.torn_writes = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, event: str, key: str, **fields) -> Dict[str, object]:
+        """Durably append one lifecycle record and return it.
+
+        The record is flushed and fsync'd before this returns (unless
+        the journal was opened with ``fsync=False``), so callers may
+        acknowledge the transition to clients afterwards.
+        """
+        if event not in EVENT_RANK:
+            raise JournalError(
+                f"unknown journal event {event!r}; "
+                f"known: {', '.join(sorted(EVENT_RANK))}"
+            )
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, object] = {
+                "v": JOURNAL_VERSION,
+                "seq": self._seq,
+                "event": event,
+                "key": key,
+            }
+            for name, value in fields.items():
+                if value is not None:
+                    record[name] = value
+            record["sum"] = _checksum(record)
+            line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            torn = faults.torn_write_size(len(line))
+            try:
+                if torn is not None:
+                    # Simulated crash mid-append: persist only a prefix.
+                    self.torn_writes += 1
+                    self._handle.write(line[:torn])
+                else:
+                    self._handle.write(line)
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+            except OSError as err:
+                raise JournalError(f"journal append failed: {err}")
+            self.appends += 1
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close on a dead fd
+                pass
+
+    # ------------------------------------------------------------------
+    # Replay / repair
+    # ------------------------------------------------------------------
+
+    def replay(
+        self, repair: bool = False
+    ) -> Tuple[Dict[str, JournalEntry], ReplayStats]:
+        """Reconstruct per-key job state from the journal file.
+
+        Returns ``(entries, stats)`` where *entries* maps content-hash
+        key to the furthest-progressed :class:`JournalEntry`.  Corrupt
+        lines (bad JSON, bad checksum) are skipped and counted; a final
+        line without a trailing newline is a torn write.  With
+        ``repair=True`` the file is truncated back to its last intact
+        record before the journal continues appending.
+        """
+        with self._lock:
+            self._handle.flush()
+            try:
+                raw = self.path.read_bytes()
+            except OSError as err:
+                raise JournalError(f"cannot read journal {self.path}: {err}")
+            entries: Dict[str, JournalEntry] = {}
+            stats = ReplayStats()
+            good_offset = 0
+            offset = 0
+            max_seq = 0
+            for line in raw.splitlines(keepends=True):
+                offset += len(line)
+                if not line.endswith(b"\n"):
+                    stats.torn_tail = True
+                    break
+                record = self._decode(line)
+                if record is None:
+                    stats.corrupt_lines += 1
+                    # The line is framed (newline-terminated) garbage:
+                    # keep scanning — later records are independent.
+                    good_offset = offset
+                    continue
+                good_offset = offset
+                stats.records += 1
+                max_seq = max(max_seq, int(record.get("seq", 0)))
+                key = str(record.get("key"))
+                entry = entries.get(key)
+                if entry is None:
+                    entry = entries[key] = JournalEntry(key=key)
+                entry.absorb(record)
+            if repair and good_offset < len(raw):
+                try:
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(good_offset)
+                except OSError as err:
+                    raise JournalError(
+                        f"cannot repair journal {self.path}: {err}"
+                    )
+            self._seq = max(self._seq, max_seq)
+            stats.live = sum(1 for e in entries.values() if not e.terminal)
+            stats.terminal = len(entries) - stats.live
+            return entries, stats
+
+    @staticmethod
+    def _decode(line: bytes) -> Optional[Dict[str, object]]:
+        """One line -> record, or ``None`` when it fails validation."""
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        declared = record.get("sum")
+        if not isinstance(declared, str) or _checksum(record) != declared:
+            return None
+        if record.get("event") not in EVENT_RANK or "key" not in record:
+            return None
+        return record
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> Tuple[int, int]:
+        """Drop terminal histories; keep one record per live job.
+
+        Rewrites the journal atomically with a synthesized ``submitted``
+        record per non-terminal key (payload, lane and crash budget
+        preserved), renumbered from ``seq=1``.  Idempotent: compacting a
+        compacted journal rewrites identical content.  Returns
+        ``(kept, dropped)`` key counts.
+        """
+        entries, _ = self.replay(repair=True)
+        live = sorted(
+            (entry for entry in entries.values() if not entry.terminal),
+            key=lambda entry: entry.key,
+        )
+        with self._lock:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), suffix=".journal.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    for seq, entry in enumerate(live, 1):
+                        record: Dict[str, object] = {
+                            "v": JOURNAL_VERSION,
+                            "seq": seq,
+                            "event": "submitted",
+                            "key": entry.key,
+                            "wait": entry.wait,
+                            "priority": entry.priority,
+                        }
+                        if entry.payload is not None:
+                            record["payload"] = entry.payload
+                        if entry.crashes:
+                            record["crashes"] = entry.crashes
+                        record["sum"] = _checksum(record)
+                        handle.write(
+                            (json.dumps(record, sort_keys=True) + "\n").encode(
+                                "utf-8"
+                            )
+                        )
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close on a dead fd
+                pass
+            try:
+                self._handle = open(self.path, "ab")
+            except OSError as err:
+                raise JournalError(
+                    f"cannot reopen compacted journal {self.path}: {err}"
+                )
+            self._seq = len(live)
+            self.compactions += 1
+        return len(live), len(entries) - len(live)
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "path": str(self.path),
+            "appends": self.appends,
+            "compactions": self.compactions,
+            "torn_writes": self.torn_writes,
+        }
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<JobJournal {str(self.path)!r} seq={self._seq}>"

@@ -103,7 +103,17 @@ class ServiceMetrics:
         in_flight: int,
         cache_counters: Dict[str, object],
         draining: bool,
+        supervisor: Optional[Dict[str, object]] = None,
+        journal: Optional[Dict[str, object]] = None,
+        faults: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
+        """One JSON document of everything.
+
+        The fault-tolerance sections are always present (stable schema
+        for scrapers): ``supervisor`` carries respawn/quarantine
+        counters, ``journal`` and ``faults`` are ``None`` when the
+        corresponding subsystem is not configured/armed.
+        """
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "draining": draining,
@@ -127,5 +137,8 @@ class ServiceMetrics:
                 "completed": self.compiles_completed,
                 "failed": self.compiles_failed,
             },
+            "supervisor": supervisor,
+            "journal": journal,
+            "faults": faults,
             "latency_ms": self.latency.to_dict(),
         }

@@ -1,4 +1,4 @@
-"""CI smoke driver for the compilation service.
+"""CI smoke drivers for the compilation service.
 
 ``python -m repro.service.smoke --out metrics.json`` starts a real
 ``repro serve`` daemon as a subprocess, drives a cold burst, a warm
@@ -7,6 +7,23 @@
 counters tell the right story, SIGTERMs the daemon and checks it drains
 cleanly.  The collected metrics land in the ``--out`` JSON (uploaded as
 a CI artifact) so a failing run leaves evidence behind.
+
+``--chaos --seed N`` runs the fault-tolerance story instead, end to end
+against real processes:
+
+1. a daemon armed with deterministic faults (a worker crash, connection
+   resets, jittered slow compiles) serves a burst — every request must
+   still succeed, the pool must respawn rather than drain, and the
+   client must have retried transport errors;
+2. a second daemon takes ``wait=false`` submissions into a persistent
+   journal and is then killed with SIGKILL mid-compile;
+3. a third daemon on the same journal + cache replays the interrupted
+   jobs to completion; their results must be served from cache and be
+   bit-identical to local compiles of the same payloads.
+
+All deadlines use ``time.monotonic()`` — wall-clock (``time.time()``)
+deadlines go wrong under NTP steps exactly when a long chaos run is in
+flight.
 
 Exit status 0 = every check passed.
 """
@@ -22,10 +39,10 @@ import sys
 import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import ServiceError
-from .client import ServiceClient
+from .client import RetryPolicy, ServiceClient
 
 #: (payload, label) pairs for the cold/warm bursts: small kernels across
 #: distinct machines so each is its own cache entry.
@@ -46,6 +63,26 @@ DEDUP_PAYLOAD = {
 }
 DEDUP_FANOUT = 6
 
+#: Fault plan for the chaos burst phase: each worker process counts its
+#: own occurrences, so ``worker-crash:times=2`` means "a worker dies on
+#: its second compile" — with 2 workers and 4 serial compiles some
+#: worker must reach 2, guaranteeing at least one pool respawn, while
+#: respawned (fresh) workers always survive a retried job's first
+#: attempt.  ``conn-reset`` counts in the daemon process: its second
+#: response write is aborted, forcing a client transport retry.
+CHAOS_FAULTS = "worker-crash:times=2;conn-reset:times=2;slow-compile:rate=0.3:delay=0.05"
+
+#: Fault plan for the kill/restart phase: every compile sleeps long
+#: enough that SIGKILL reliably lands while the jobs are live.
+KILL_PHASE_FAULTS = "slow-compile:every=1:delay=3"
+
+#: ``wait=false`` payloads for the kill/restart phase — disjoint from
+#: BURST/DEDUP so nothing is pre-cached.
+RECOVERY_PAYLOADS = [
+    ({"kernel": "dot_product", "clusters": 2, "wait": False}, "dot/ring2"),
+    ({"kernel": "daxpy", "clusters": 4, "wait": False}, "daxpy/ring4"),
+]
+
 
 class SmokeFailure(Exception):
     pass
@@ -60,8 +97,8 @@ def _check(checks: List[Dict[str, object]], name: str, ok: bool, detail: str) ->
 
 
 def _wait_for_port_file(path: str, timeout: float) -> str:
-    deadline = time.time() + timeout
-    while time.time() < deadline:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
         if os.path.exists(path):
             with open(path) as handle:
                 text = handle.read().strip()
@@ -71,23 +108,66 @@ def _wait_for_port_file(path: str, timeout: float) -> str:
     raise SmokeFailure(f"daemon never wrote {path}")
 
 
+def _start_daemon(
+    port_file: str,
+    workers: int,
+    extra: Optional[List[str]] = None,
+) -> subprocess.Popen:
+    # Each daemon gets its own session (= process group): its spawned
+    # pool workers inherit the stdout/stderr pipes, so killing only the
+    # daemon would leave orphans holding the pipes open and a later
+    # communicate() waiting for EOF forever.  _kill_hard() takes the
+    # whole group down instead.
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--workers", str(workers),
+            "--lru-capacity", "64",
+            "--port-file", port_file,
+            *(extra or []),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+
+
+def _kill_hard(proc: subprocess.Popen) -> None:
+    """SIGKILL the daemon *and* its pool workers (whole process group)."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (OSError, AttributeError):  # group already gone / no killpg
+        proc.kill()
+    proc.communicate()
+
+
+def _local_fingerprint(payload: Dict[str, object]) -> object:
+    """The JSON-normalized fingerprint of compiling *payload* locally."""
+    from ..api import Toolchain
+    from ..scheduling.fingerprint import schedule_fingerprint
+    from .jobs import parse_compile_payload
+
+    body = {k: v for k, v in payload.items() if k != "wait"}
+    report = Toolchain.default().compile(parse_compile_payload(body).request)
+    # The service ships fingerprints through JSON (tuples -> lists);
+    # normalize the local one the same way before comparing.
+    return json.loads(json.dumps(schedule_fingerprint(report.result)))
+
+
+# ----------------------------------------------------------------------
+# Normal mode
+# ----------------------------------------------------------------------
+
+
 def run_smoke(args: argparse.Namespace) -> int:
     checks: List[Dict[str, object]] = []
     artifact: Dict[str, object] = {"checks": checks}
     tmp = tempfile.mkdtemp(prefix="repro-smoke-")
     port_file = os.path.join(tmp, "port.txt")
     final_metrics_path = os.path.join(tmp, "final_metrics.json")
-    proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--workers", str(args.workers),
-            "--lru-capacity", "64",
-            "--port-file", port_file,
-            "--metrics-out", final_metrics_path,
-        ],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
+    proc = _start_daemon(
+        port_file, args.workers, ["--metrics-out", final_metrics_path]
     )
     try:
         address = _wait_for_port_file(port_file, args.timeout)
@@ -137,7 +217,7 @@ def run_smoke(args: argparse.Namespace) -> int:
                 )
             )
         sources = sorted(r["served_from"] for r in results)
-        fingerprints = {r["fingerprint"] for r in results}
+        fingerprints = {json.dumps(r["fingerprint"]) for r in results}
         after = client.metrics()
         _check(checks, "dedup-one-compile",
                after["compiles"]["started"] == cold["compiles"]["started"] + 1,
@@ -176,15 +256,147 @@ def run_smoke(args: argparse.Namespace) -> int:
         status = 1
     finally:
         if proc.poll() is None:
-            proc.kill()
-            proc.communicate()
-    if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(artifact, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"[smoke] wrote {args.out}", flush=True)
+            _kill_hard(proc)
+    _write_artifact(args.out, artifact)
     print(f"[smoke] {'PASS' if status == 0 else 'FAIL'}", flush=True)
     return status
+
+
+# ----------------------------------------------------------------------
+# Chaos mode
+# ----------------------------------------------------------------------
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    checks: List[Dict[str, object]] = []
+    artifact: Dict[str, object] = {"checks": checks, "seed": args.seed}
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-")
+    journal = os.path.join(tmp, "journal.jsonl")
+    cache_dir = os.path.join(tmp, "cache")
+    procs: List[subprocess.Popen] = []
+
+    def daemon(name: str, extra: List[str]) -> ServiceClient:
+        port_file = os.path.join(tmp, f"{name}.port")
+        proc = _start_daemon(
+            port_file, args.workers,
+            ["--journal", journal, "--cache", cache_dir, *extra],
+        )
+        procs.append(proc)
+        address = _wait_for_port_file(port_file, args.timeout)
+        return ServiceClient(
+            address,
+            policy=RetryPolicy(
+                max_attempts=5,
+                connect_timeout=10.0,
+                read_timeout=args.timeout,
+                jitter_seed=args.seed,
+            ),
+        )
+
+    try:
+        # Phase 1 — fault-armed burst: a worker crash and connection
+        # resets, but every request still succeeds.
+        client = daemon(
+            "chaos",
+            ["--faults", CHAOS_FAULTS, "--fault-seed", str(args.seed)],
+        )
+        _check(checks, "chaos-startup",
+               client.healthz().get("status") == "ok", "fault-armed daemon up")
+        for payload, label in BURST:
+            result = client.compile(payload)
+            _check(checks, f"chaos:{label}",
+                   result.get("status") == "done" and "fingerprint" in result,
+                   f"served_from={result['served_from']}")
+        live = client.metrics()
+        supervisor = live["supervisor"]
+        _check(checks, "chaos-pool-respawned",
+               supervisor["pool_respawns"] >= 1
+               and supervisor["worker_crashes"] >= 1,
+               f"respawns={supervisor['pool_respawns']} "
+               f"crashes={supervisor['worker_crashes']}")
+        _check(checks, "chaos-no-drain", live["draining"] is False,
+               "daemon survived the crash without draining")
+        _check(checks, "chaos-client-retried",
+               client.retries["transport"] >= 1,
+               f"transport retries={client.retries['transport']}")
+        artifact["chaos_metrics"] = live
+        procs[-1].send_signal(signal.SIGTERM)
+        out, err = procs[-1].communicate(timeout=args.timeout)
+        _check(checks, "chaos-clean-drain", procs[-1].returncode == 0,
+               f"exit={procs[-1].returncode}")
+
+        # Phase 2 — journal durability: wait=false jobs acknowledged,
+        # then the daemon is SIGKILLed mid-compile.
+        client = daemon("victim", ["--faults", KILL_PHASE_FAULTS])
+        for payload, label in RECOVERY_PAYLOADS:
+            receipt = client.compile(dict(payload), wait=False)
+            _check(checks, f"submit:{label}", "job" in receipt,
+                   f"202 receipt job={receipt.get('job')}")
+        _kill_hard(procs[-1])
+        _check(checks, "hard-kill", True, "daemon killed with SIGKILL")
+
+        # Phase 3 — recovery: a fresh daemon on the same journal + cache
+        # replays the interrupted jobs to completion.
+        client = daemon("recovery", [])
+        recovered = client.metrics()["journal"]
+        _check(checks, "journal-replayed",
+               recovered is not None
+               and recovered["recovered_jobs"] == len(RECOVERY_PAYLOADS),
+               f"recovered_jobs={recovered and recovered['recovered_jobs']}")
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline:
+            snap = client.metrics()
+            done = snap["compiles"]["completed"] >= len(RECOVERY_PAYLOADS)
+            idle = snap["in_flight"] == 0 and snap["queue_depth"]["total"] == 0
+            if done and idle:
+                break
+            time.sleep(0.2)
+        else:
+            raise SmokeFailure("recovered jobs never finished")
+        for payload, label in RECOVERY_PAYLOADS:
+            body = {k: v for k, v in payload.items() if k != "wait"}
+            result = client.compile(body)
+            _check(checks, f"recovered:{label}",
+                   result["served_from"] in ("memory", "disk"),
+                   f"served_from={result['served_from']}")
+            _check(checks, f"bit-identical:{label}",
+                   result["fingerprint"] == _local_fingerprint(payload),
+                   "recovered result matches a local compile")
+        artifact["recovery_metrics"] = client.metrics()
+        procs[-1].send_signal(signal.SIGTERM)
+        procs[-1].communicate(timeout=args.timeout)
+        _check(checks, "recovery-clean-drain", procs[-1].returncode == 0,
+               f"exit={procs[-1].returncode}")
+        status = 0
+    except (SmokeFailure, ServiceError, subprocess.TimeoutExpired) as err:
+        artifact["error"] = str(err)
+        status = 1
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                _kill_hard(proc)
+    try:
+        with open(journal) as handle:
+            artifact["journal"] = handle.read()
+    except OSError:
+        artifact["journal"] = None
+    _write_artifact(args.out, artifact)
+    if args.out and artifact.get("journal"):
+        journal_out = os.path.splitext(args.out)[0] + "-journal.jsonl"
+        with open(journal_out, "w") as handle:
+            handle.write(artifact["journal"])
+        print(f"[smoke] wrote {journal_out}", flush=True)
+    print(f"[smoke] chaos {'PASS' if status == 0 else 'FAIL'}", flush=True)
+    return status
+
+
+def _write_artifact(out: Optional[str], artifact: Dict[str, object]) -> None:
+    if not out:
+        return
+    with open(out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[smoke] wrote {out}", flush=True)
 
 
 def main(argv=None) -> int:
@@ -201,7 +413,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--timeout", type=float, default=120.0, help="per-step timeout (s)"
     )
-    return run_smoke(parser.parse_args(argv))
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the fault-injection / kill-restart story instead",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan and client-jitter seed for --chaos (default: 0)",
+    )
+    args = parser.parse_args(argv)
+    if args.chaos:
+        return run_chaos(args)
+    return run_smoke(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,106 @@
+"""Worker-pool supervision: respawn on collapse, retry, quarantine.
+
+Before this module existed, a single ``BrokenExecutor`` — one compile
+worker dying mid-job, for any reason — put the whole daemon into drain:
+every queued job failed and the process exited.  The supervisor turns
+that into a recoverable event:
+
+* the broken warm pool is **respawned** (same shape, same spawn
+  context, re-warmed) instead of the daemon draining;
+* the job that was in flight is **re-admitted** at the front of its
+  lane under a bounded per-job retry budget;
+* a job whose compile kills workers ``max_job_crashes`` times (default
+  twice) is **quarantined as poison**: it reaches a terminal
+  ``quarantined`` state, its waiters get an error naming the crash
+  count, and the ``/metrics`` supervisor section counts it — the job
+  can never wedge the pool in a crash loop;
+* a **respawn budget** (``max_respawns``) bounds pathological churn: a
+  pool that keeps collapsing faster than it can be rebuilt eventually
+  drains the daemon, which is the old behavior as a last resort.
+
+Generation counting makes concurrent crash handling idempotent: every
+dispatch records the pool generation it ran against, and only the first
+``BrokenExecutor`` from a given generation respawns the pool — the
+other in-flight victims of the same collapse see the bumped generation
+and skip straight to their own retry/quarantine decision.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .daemon import CompileService, Job
+
+
+class PoolSupervisor:
+    """Respawn policy and crash bookkeeping for one daemon's pool."""
+
+    def __init__(
+        self,
+        service: "CompileService",
+        max_job_crashes: int = 2,
+        max_respawns: int = 8,
+    ):
+        self.service = service
+        self.max_job_crashes = max_job_crashes
+        self.max_respawns = max_respawns
+        self.generation = 0
+        self.respawns = 0
+        self.worker_crashes = 0
+        self.jobs_retried = 0
+        self.jobs_quarantined = 0
+        self._lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+
+    async def ensure_pool(self, generation: int) -> bool:
+        """Make sure a healthy pool exists after a crash observed against
+        *generation*.
+
+        Returns ``True`` when the pool is (now) healthy — either this
+        call respawned it or a concurrent crash handler already did —
+        and ``False`` when respawning is impossible (injected executor)
+        or the respawn budget is exhausted, in which case the caller
+        should fall back to drain.
+        """
+        async with self._lock:
+            if generation < self.generation:
+                return True  # another victim of the same collapse fixed it
+            if not self.service.owns_executor:
+                return False  # injected pool: its lifecycle is not ours
+            if self.respawns >= self.max_respawns:
+                return False
+            self.generation += 1
+            self.respawns += 1
+            old = self.service.executor
+            self.service.executor = self.service.build_executor()
+            # The old pool is already broken; shutdown(wait=False) just
+            # reaps its bookkeeping without blocking the loop.
+            old.shutdown(wait=False, cancel_futures=True)
+            await self.service.warm_pool()
+            return True
+
+    def crash_verdict(self, job: "Job") -> str:
+        """``"retry"`` or ``"poison"`` for a job that just killed a worker."""
+        self.worker_crashes += 1
+        job.crashes += 1
+        if job.crashes >= self.max_job_crashes:
+            self.jobs_quarantined += 1
+            return "poison"
+        self.jobs_retried += 1
+        return "retry"
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "pool_generation": self.generation,
+            "pool_respawns": self.respawns,
+            "worker_crashes": self.worker_crashes,
+            "jobs_retried": self.jobs_retried,
+            "jobs_quarantined": self.jobs_quarantined,
+            "max_job_crashes": self.max_job_crashes,
+            "max_respawns": self.max_respawns,
+        }

@@ -18,6 +18,18 @@ def timestamps():
     return first, second
 
 
+def deadlines(timeout):
+    # Deadline math sampled on a determinism path (the service smoke's
+    # old bug used the wall clock, which an NTP step can fire early or
+    # hang): on these paths even the monotonic clocks are banned —
+    # timing belongs one layer up, passed in as a value.
+    expires = time.time() + timeout  # EXPECT: determinism
+    remaining = time.monotonic() - timeout  # EXPECT: determinism
+    while time.monotonic_ns() < remaining:  # EXPECT: determinism
+        pass
+    return expires
+
+
 def randomness(seed):
     ambient = random.random()  # EXPECT: determinism
     shared = np.random.rand(4)  # EXPECT: determinism

@@ -1,0 +1,215 @@
+"""Unit tests for the persistent job journal.
+
+Covers the crash shapes replay must absorb: torn final lines (a crash
+mid-append), checksum-failing records (bit rot / interleaved garbage),
+and repeated compaction (idempotence, byte-for-byte).
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import JournalError
+from repro.service.journal import (
+    EVENT_RANK,
+    JobJournal,
+    JournalEntry,
+    _checksum,
+)
+
+PAYLOAD = {"kernel": "daxpy", "clusters": 2, "wait": False}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def make_journal(tmp_path, name="jobs.jsonl"):
+    # fsync off in unit tests: the durability syscall is not what is
+    # under test, and it dominates runtime on CI disks.
+    return JobJournal(tmp_path / name, fsync=False)
+
+
+# ----------------------------------------------------------------------
+# Append / replay roundtrip
+# ----------------------------------------------------------------------
+
+
+def test_roundtrip_keeps_furthest_state_per_key(tmp_path):
+    with make_journal(tmp_path) as journal:
+        journal.append("submitted", "k1", wait=False, payload=PAYLOAD)
+        journal.append("submitted", "k2", wait=True)
+        journal.append("started", "k1", job=1)
+        journal.append("done", "k2", job=2)
+        entries, stats = journal.replay()
+    assert stats.records == 4
+    assert stats.corrupt_lines == 0 and stats.torn_tail is False
+    assert stats.live == 1 and stats.terminal == 1
+    assert entries["k1"].event == "started" and not entries["k1"].terminal
+    assert entries["k1"].payload == PAYLOAD
+    assert entries["k1"].wait is False
+    assert entries["k2"].event == "done" and entries["k2"].terminal
+
+
+def test_rank_monotonic_absorb_never_regresses():
+    entry = JournalEntry(key="k")
+    entry.absorb({"event": "done", "key": "k"})
+    # A late-arriving lower-rank record must not un-finish the job.
+    entry.absorb({"event": "started", "key": "k"})
+    assert entry.event == "done"
+    entry.absorb({"event": "retrying", "key": "k", "crashes": 1})
+    assert entry.event == "done"
+    assert entry.crashes == 1  # crash budget still accumulates
+
+
+def test_unknown_event_is_rejected(tmp_path):
+    with make_journal(tmp_path) as journal:
+        with pytest.raises(JournalError):
+            journal.append("exploded", "k1")
+
+
+# ----------------------------------------------------------------------
+# Torn writes and corruption
+# ----------------------------------------------------------------------
+
+
+def test_torn_tail_is_detected_and_repaired(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.append("submitted", "k1", wait=False, payload=PAYLOAD)
+    record = journal.append("submitted", "k2", wait=False)
+    journal.close()
+    # Simulate a crash mid-append: half a line, no newline.
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    with open(journal.path, "ab") as handle:
+        handle.write(line[: len(line) // 2])
+
+    reopened = make_journal(tmp_path)
+    entries, stats = reopened.replay()
+    assert stats.torn_tail is True
+    assert set(entries) == {"k1", "k2"}  # the torn line is simply absent
+
+    # repair=True truncates the torn bytes so appends continue cleanly.
+    before = reopened.path.read_bytes()
+    entries, stats = reopened.replay(repair=True)
+    after = reopened.path.read_bytes()
+    assert len(after) < len(before)
+    assert after.endswith(b"\n")
+    reopened.append("done", "k1")
+    entries, stats = reopened.replay()
+    assert stats.torn_tail is False
+    assert entries["k1"].terminal
+    reopened.close()
+
+
+def test_checksum_rejects_corrupt_lines_but_keeps_the_rest(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.append("submitted", "k1", wait=False, payload=PAYLOAD)
+    journal.append("submitted", "k2", wait=False)
+    journal.close()
+    raw = journal.path.read_bytes().splitlines(keepends=True)
+    # Flip payload bytes of the first record without touching its "sum".
+    garbled = raw[0].replace(b"daxpy", b"dxapy")
+    journal.path.write_bytes(garbled + raw[1] + b'{"not": "a record"}\n')
+
+    reopened = make_journal(tmp_path)
+    entries, stats = reopened.replay()
+    reopened.close()
+    assert stats.corrupt_lines == 2  # garbled checksum + schemaless line
+    assert stats.records == 1
+    assert set(entries) == {"k2"}
+
+
+def test_checksum_is_over_canonical_record():
+    record = {"v": 1, "seq": 3, "event": "done", "key": "abc"}
+    digest = _checksum(record)
+    assert _checksum({**record, "sum": digest}) == digest  # sum excluded
+    assert _checksum({**record, "seq": 4}) != digest
+
+
+def test_torn_write_fault_point_truncates_the_line(tmp_path):
+    faults.install(faults.FaultPlan.from_spec("journal-torn-write:times=2"))
+    journal = make_journal(tmp_path)
+    journal.append("submitted", "k1", wait=False, payload=PAYLOAD)
+    journal.append("submitted", "k2", wait=False, payload=PAYLOAD)  # torn
+    assert journal.torn_writes == 1
+    raw = journal.path.read_bytes()
+    assert not raw.endswith(b"\n")
+
+    entries, stats = journal.replay(repair=True)
+    assert stats.torn_tail is True
+    assert set(entries) == {"k1"}
+    # The journal heals: the torn bytes are gone and appends land again.
+    journal.append("submitted", "k3", wait=False)
+    entries, stats = journal.replay()
+    assert set(entries) == {"k1", "k3"} and stats.torn_tail is False
+    journal.close()
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+
+
+def test_compaction_drops_terminal_keeps_live_and_is_idempotent(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.append("submitted", "live-a", wait=False, payload=PAYLOAD,
+                   priority="low")
+    journal.append("submitted", "dead-b", wait=False)
+    journal.append("started", "live-a", job=1)
+    journal.append("retrying", "live-a", job=1, crashes=1)
+    journal.append("done", "dead-b", job=2)
+    kept, dropped = journal.compact()
+    assert (kept, dropped) == (1, 1)
+
+    entries, stats = journal.replay()
+    assert set(entries) == {"live-a"}
+    assert stats.records == 1
+    entry = entries["live-a"]
+    # Everything needed to replay the job survived compaction.
+    assert entry.payload == PAYLOAD
+    assert entry.priority == "low"
+    assert entry.crashes == 1
+    assert entry.wait is False
+
+    # Idempotent: compacting a compacted journal is a byte-level no-op.
+    first = journal.path.read_bytes()
+    assert journal.compact() == (1, 0)
+    assert journal.path.read_bytes() == first
+
+    # The journal stays appendable after the handle swap, with seq
+    # numbering continuing past the compacted records.
+    journal.append("done", "live-a", job=1)
+    entries, _ = journal.replay()
+    assert entries["live-a"].terminal
+    assert journal.compact() == (0, 1)
+    assert journal.path.read_bytes() == b""
+    assert journal.compactions == 3
+    journal.close()
+
+
+def test_compaction_repairs_a_torn_tail_first(tmp_path):
+    journal = make_journal(tmp_path)
+    record = journal.append("submitted", "k1", wait=False, payload=PAYLOAD)
+    journal.close()
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    with open(journal.path, "ab") as handle:
+        handle.write(line[: len(line) - 3])
+
+    reopened = make_journal(tmp_path)
+    assert reopened.compact() == (1, 0)
+    raw = reopened.path.read_bytes()
+    assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+    reopened.close()
+
+
+def test_event_rank_table_is_complete():
+    # Every event the daemon can journal has a rank, and the terminal
+    # set is exactly the rank-2 events.
+    assert set(EVENT_RANK) == {
+        "submitted", "started", "retrying", "done", "failed", "shed",
+        "quarantined",
+    }

@@ -5,7 +5,8 @@ Each test pins one bring-up fix:
 * the cache's silent ``except Exception`` swallow (now narrowed, with an
   ``errors`` counter surfaced through ``/metrics``);
 * the daemon's blanket ``noqa: BLE001`` catch (now re-raises
-  ``MemoryError`` and turns a broken worker pool into 503 + drain);
+  ``MemoryError``, and a broken worker pool is respawned when owned or
+  surfaced as 503 + drain when injected);
 * the event-loop-blocking metrics/port-file writes in ``run_service``;
 * the fork-default process pools in batch/search/oracle (now pinned to
   the spawn context via :func:`repro.pools.spawn_pool`).
@@ -20,7 +21,7 @@ import os
 import pickle
 import signal
 import textwrap
-from concurrent.futures import BrokenExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 
 import pytest
 
@@ -140,16 +141,26 @@ class TestDaemonExceptionBoundary:
             assert not service._draining  # one bad job doesn't drain
 
     def test_broken_executor_gives_503_and_drains(self):
+        # The original defect: a blanket catch dressed a dead worker
+        # pool up as an ordinary compile failure.  Since the supervisor
+        # landed, a crash on an *owned* pool is respawned and retried
+        # (pinned in test_service_faults); an injected executor is not
+        # the daemon's to rebuild, so that path must still surface the
+        # break as 503 + drain rather than swallow it.
         def broken_compile(toolchain, request):
             raise BrokenExecutor("worker died")
 
-        with running_service(compile_fn=broken_compile) as (
-            service, client, _loop,
-        ):
-            with pytest.raises(ServiceError) as err:
-                client.compile(dict(self.PAYLOAD))
-            assert err.value.status == 503
-            wait_until(lambda: service._draining, what="drain requested")
+        injected = ThreadPoolExecutor(max_workers=1)
+        try:
+            with running_service(
+                compile_fn=broken_compile, executor=injected,
+            ) as (service, client, _loop):
+                with pytest.raises(ServiceError) as err:
+                    client.compile(dict(self.PAYLOAD))
+                assert err.value.status == 503
+                wait_until(lambda: service._draining, what="drain requested")
+        finally:
+            injected.shutdown(wait=False, cancel_futures=True)
 
     def test_memory_error_fails_job_with_503_and_propagates(self):
         def oom_compile(toolchain, request):

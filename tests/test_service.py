@@ -27,7 +27,7 @@ from repro.config import DEFAULT_CONFIG
 from repro.errors import CacheError, ServiceError
 from repro.machine.machine import clustered_vliw
 from repro.scheduling.fingerprint import schedule_fingerprint
-from repro.service import CompileService, ServiceClient
+from repro.service import NO_RETRY, CompileService, ServiceClient
 from repro.validate import verify_many
 from repro.workloads import make_kernel
 
@@ -283,9 +283,14 @@ def test_admission_sheds_low_priority_then_rejects():
         # still shed low_a, and a third finds nothing lower to shed.
         normal2 = client.compile(payload(8, "normal", "mesh"), wait=False)
         assert client.job(low_a["job"])["status"] == "shed"
+        # The 429 carries Retry-After, which the default client would
+        # honor and retry; probe with a no-retry client so the rejected
+        # counter stays exact.
+        probe = ServiceClient((client.host, client.port), policy=NO_RETRY)
         with pytest.raises(ServiceError) as rejected:
-            client.compile(payload(2, "normal", "crossbar"), wait=False)
+            probe.compile(payload(2, "normal", "crossbar"), wait=False)
         assert rejected.value.status == 429
+        assert rejected.value.retry_after is not None
 
         metrics = client.metrics()
         assert metrics["admission"]["shed"] == 2
@@ -454,7 +459,7 @@ def test_http_error_surfaces():
             client.job(999999)
         assert missing.value.status == 404
         # Empty payload (neither kernel nor loop) -> 400, daemon stays up.
-        status, document = client._roundtrip("POST", "/compile", {})
+        status, _, document = client._roundtrip("POST", "/compile", {})
         assert status == 400
         assert "kernel" in document["error"]
         assert client.healthz()["status"] == "ok"

@@ -11,7 +11,7 @@ import json
 import pytest
 
 from repro.errors import ServiceError
-from repro.service.client import ServiceClient, _parse_address
+from repro.service.client import ServiceClient, TransportError, _parse_address
 from repro.service.http import (
     LAST_CHUNK,
     MAX_HEAD_BYTES,
@@ -196,7 +196,10 @@ def test_client_split_head_rejects_garbage():
         ServiceClient._split_head(b"NOTHTTP nope\r\n\r\n")
     with pytest.raises(ProtocolError):
         ServiceClient._split_head(b"HTTP/1.1 abc Bad\r\n\r\n")
-    with pytest.raises(ProtocolError):
+    # A head that never terminates is a truncated *transport* read (the
+    # peer hung up mid-response), not a malformed-but-complete reply —
+    # it must raise the retryable error so the client resubmits.
+    with pytest.raises(TransportError):
         ServiceClient._split_head(b"no blank line at all")
 
 
