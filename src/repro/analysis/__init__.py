@@ -4,20 +4,24 @@ The subsystem mirrors the pass-registry architecture of
 :mod:`repro.api.passes`: rules are stateless objects registered by id
 in :data:`~repro.analysis.rules.RULE_REGISTRY`; the driver
 (:func:`~repro.analysis.runner.run_lint`) walks each file's AST once,
-dispatching nodes to every interested rule, then folds in inline
-suppressions and the committed baseline.
+dispatching nodes to every interested rule, runs each rule's
+whole-module flow pass, then folds in inline suppressions and the
+committed baseline.
 
 Layers::
 
     findings.py   Finding / baseline keys
     rules.py      LintRule base + registry (+ meta rule ids)
     visitor.py    ModuleContext (scopes, aliases, parents) + Walker
+    cfg.py        intraprocedural control-flow graphs
+    dataflow.py   events + forward solver + reaching definitions
+    callgraph.py  project-wide symbol index / call graph (+ disk cache)
     suppress.py   # repro: lint-ignore[...] comment semantics
     baseline.py   grandfathered-findings file + diffing
     config.py     defaults + [tool.repro.lint] from pyproject.toml
-    report.py     LintResult + text/JSON rendering
+    report.py     LintResult + text/JSON/SARIF rendering
     runner.py     file collection + the run_lint driver
-    checks/       the six builtin rules
+    checks/       the builtin rules (syntactic and flow-aware)
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from __future__ import annotations
 from .baseline import Baseline, BaselineDiff
 from .config import CacheGuard, LintConfig, load_config
 from .findings import Finding
-from .report import LintResult, render_json, render_text
+from .report import LintResult, render_json, render_sarif, render_text
 from .rules import (
     BAD_SUPPRESSION,
     PARSE_ERROR,
@@ -57,6 +61,7 @@ __all__ = [
     "register_rule",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "select_rules",

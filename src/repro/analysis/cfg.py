@@ -1,0 +1,333 @@
+"""Intraprocedural control-flow graphs for the flow-aware lint rules.
+
+:func:`build_cfg` turns one function body into a graph of basic blocks.
+A block holds *elements* in evaluation order — plain statements, plus
+the test/iterable expressions of branching statements (an ``if``'s test
+lives in the block that branches on it, a loop's header owns its test) —
+so a forward dataflow pass that walks a block's elements sees values in
+the order the interpreter computes them.
+
+The graph is deliberately conservative where Python is dynamic:
+
+* ``try`` bodies edge into every handler from every block of the body
+  (an exception can surface anywhere inside), and ``finally`` bodies
+  are on every exit path;
+* ``break``/``continue``/``return``/``raise`` divert to the loop exit,
+  loop header, or the synthetic exit block, leaving no fallthrough;
+* short-circuit *expressions* (``and``/``or``/ternaries) stay inside a
+  single element — the event extractor in :mod:`repro.analysis.dataflow`
+  linearises them, which over-approximates "both sides evaluate" and is
+  safe for the may-analyses built on top.
+
+Block ids are assigned in construction order and every successor list
+preserves insertion order, so two builds of the same tree are
+identical — the determinism the lint gate itself is held to.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: What a block may contain: whole statements, or the controlling
+#: expression of a branch/loop (annotated with its role).
+Element = Union[ast.stmt, "BranchTest", "LoopHeader"]
+
+
+@dataclass(frozen=True)
+class BranchTest:
+    """An ``if``/``while`` test (or ``assert`` condition) as an element."""
+
+    expr: ast.expr
+
+
+@dataclass(frozen=True)
+class LoopHeader:
+    """A ``for``/``async for`` header: iterable load + target store."""
+
+    node: Union[ast.For, ast.AsyncFor]
+
+
+@dataclass
+class Block:
+    """One basic block: elements plus ordered successor/predecessor ids."""
+
+    bid: int
+    elements: List[Element] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function (or module) body."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self._new_block().bid
+        self.exit = self._new_block().bid  # synthetic; always empty
+
+    # -- construction --------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(bid=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    # -- queries -------------------------------------------------------
+
+    def block(self, bid: int) -> Block:
+        return self.blocks[bid]
+
+    def rpo(self) -> List[int]:
+        """Reverse post-order from the entry (stable across builds)."""
+        seen = set()
+        order: List[int] = []
+
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            bid, idx = stack[-1]
+            succs = self.blocks[bid].succs
+            if idx < len(succs):
+                stack[-1] = (bid, idx + 1)
+                nxt = succs[idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(bid)
+                stack.pop()
+        order.reverse()
+        return order
+
+
+class _LoopFrame:
+    """Targets for break/continue while building a loop body."""
+
+    def __init__(self, header: int, after: int):
+        self.header = header
+        self.after = after
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: List[_LoopFrame] = []
+        #: Handler-head block ids active for the statements being built;
+        #: every block created under a ``try`` edges into each of these.
+        self.handler_targets: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        tail = self._stmts(body, self.cfg.entry)
+        if tail is not None:
+            self.cfg._add_edge(tail, self.cfg.exit)
+        return self.cfg
+
+    def _fresh(self) -> int:
+        block = self.cfg._new_block()
+        for heads in self.handler_targets:
+            for head in heads:
+                self.cfg._add_edge(block.bid, head)
+        return block.bid
+
+    def _stmts(self, body: Sequence[ast.stmt], current: int) -> Optional[int]:
+        """Append *body* starting at block *current*; return the block
+        execution falls out of, or None when every path diverts."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after return/raise/break: still walk
+                # it (rules should see it) from an orphan block.
+                current = self._fresh()
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cfg.block(current).elements.append(BranchTest(stmt.test))
+            then_head = self._fresh()
+            cfg._add_edge(current, then_head)
+            then_tail = self._stmts(stmt.body, then_head)
+            if stmt.orelse:
+                else_head = self._fresh()
+                cfg._add_edge(current, else_head)
+                else_tail = self._stmts(stmt.orelse, else_head)
+            else:
+                else_tail = current
+            if then_tail is None and else_tail is None:
+                return None
+            join = self._fresh()
+            if then_tail is not None:
+                cfg._add_edge(then_tail, join)
+            if else_tail is not None:
+                cfg._add_edge(else_tail, join)
+            return join
+
+        if isinstance(stmt, ast.While):
+            header = self._fresh()
+            cfg._add_edge(current, header)
+            cfg.block(header).elements.append(BranchTest(stmt.test))
+            after = self._fresh()
+            body_head = self._fresh()
+            cfg._add_edge(header, body_head)
+            cfg._add_edge(header, after)
+            self.loops.append(_LoopFrame(header, after))
+            body_tail = self._stmts(stmt.body, body_head)
+            self.loops.pop()
+            if body_tail is not None:
+                cfg._add_edge(body_tail, header)
+            if stmt.orelse:
+                else_head = self._fresh()
+                # The else arm runs on normal loop exit; break jumps
+                # straight to `after`, so both edges out of the header
+                # stay (conservative).
+                cfg._add_edge(header, else_head)
+                else_tail = self._stmts(stmt.orelse, else_head)
+                if else_tail is not None:
+                    cfg._add_edge(else_tail, after)
+            return after
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            header = self._fresh()
+            cfg._add_edge(current, header)
+            cfg.block(header).elements.append(LoopHeader(stmt))
+            after = self._fresh()
+            body_head = self._fresh()
+            cfg._add_edge(header, body_head)
+            cfg._add_edge(header, after)
+            self.loops.append(_LoopFrame(header, after))
+            body_tail = self._stmts(stmt.body, body_head)
+            self.loops.pop()
+            if body_tail is not None:
+                cfg._add_edge(body_tail, header)
+            if stmt.orelse:
+                else_head = self._fresh()
+                cfg._add_edge(header, else_head)
+                else_tail = self._stmts(stmt.orelse, else_head)
+                if else_tail is not None:
+                    cfg._add_edge(else_tail, after)
+            return after
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.block(current).elements.append(stmt)
+            body_head = self._fresh()
+            cfg._add_edge(current, body_head)
+            return self._stmts(stmt.body, body_head)
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.block(current).elements.append(stmt)
+            cfg._add_edge(current, cfg.exit)
+            return None
+
+        if isinstance(stmt, ast.Break):
+            cfg.block(current).elements.append(stmt)
+            if self.loops:
+                cfg._add_edge(current, self.loops[-1].after)
+            return None
+
+        if isinstance(stmt, ast.Continue):
+            cfg.block(current).elements.append(stmt)
+            if self.loops:
+                cfg._add_edge(current, self.loops[-1].header)
+            return None
+
+        if isinstance(stmt, ast.Assert):
+            cfg.block(current).elements.append(BranchTest(stmt.test))
+            return current
+
+        match_type = getattr(ast, "Match", None)
+        if match_type is not None and isinstance(stmt, match_type):
+            cfg.block(current).elements.append(
+                BranchTest(stmt.subject)
+            )
+            join = self._fresh()
+            fell_through = True
+            for case in stmt.cases:
+                case_head = self._fresh()
+                cfg._add_edge(current, case_head)
+                case_tail = self._stmts(case.body, case_head)
+                if case_tail is not None:
+                    cfg._add_edge(case_tail, join)
+                if _is_wildcard_case(case):
+                    fell_through = False
+            if fell_through:
+                cfg._add_edge(current, join)
+            return join
+
+        # Plain statement (incl. nested def/class, assignments, Expr…).
+        cfg.block(current).elements.append(stmt)
+        return current
+
+    def _try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        cfg = self.cfg
+        handler_heads = [self._fresh() for _ in stmt.handlers]
+        # The exception can surface in the block *entering* the try too
+        # (first statement of the body raises before any new block).
+        body_head = self._fresh()
+        cfg._add_edge(current, body_head)
+        self.handler_targets.append(handler_heads)
+        for head in handler_heads:
+            cfg._add_edge(body_head, head)
+        body_tail = self._stmts(stmt.body, body_head)
+        self.handler_targets.pop()
+
+        tails: List[int] = []
+        if stmt.orelse:
+            if body_tail is not None:
+                else_head = self._fresh()
+                cfg._add_edge(body_tail, else_head)
+                else_tail = self._stmts(stmt.orelse, else_head)
+                if else_tail is not None:
+                    tails.append(else_tail)
+        elif body_tail is not None:
+            tails.append(body_tail)
+        for head, handler in zip(handler_heads, stmt.handlers):
+            handler_tail = self._stmts(handler.body, head)
+            if handler_tail is not None:
+                tails.append(handler_tail)
+
+        if stmt.finalbody:
+            final_head = self._fresh()
+            for tail in tails:
+                cfg._add_edge(tail, final_head)
+            if not tails:
+                # Every path diverted, but the finally still runs on the
+                # way out; keep it reachable from the try entry.
+                cfg._add_edge(current, final_head)
+            return self._stmts(stmt.finalbody, final_head)
+        if not tails:
+            return None
+        join = self._fresh()
+        for tail in tails:
+            cfg._add_edge(tail, join)
+        return join
+
+
+def _is_wildcard_case(case) -> bool:
+    pattern = case.pattern
+    capture = getattr(ast, "MatchAs", None)
+    return (
+        capture is not None
+        and isinstance(pattern, capture)
+        and pattern.pattern is None
+        and case.guard is None
+    )
+
+
+def build_cfg(node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]) -> CFG:
+    """CFG over *node*'s body (function bodies are the intended use)."""
+    return _Builder().build(node.body)
+
+
+__all__ = ["CFG", "Block", "BranchTest", "LoopHeader", "build_cfg"]

@@ -16,6 +16,9 @@ from .pool_safety import PoolSafetyRule
 from .cache_discipline import CacheDisciplineRule
 from .exception_discipline import ExceptionDisciplineRule
 from .resource_hygiene import ResourceHygieneRule
+from .async_atomicity import AsyncAtomicityRule
+from .determinism_taint import DeterminismTaintRule
+from .spawn_picklability import SpawnPicklabilityRule
 
 for _builtin in (
     DeterminismRule(),
@@ -24,6 +27,9 @@ for _builtin in (
     CacheDisciplineRule(),
     ExceptionDisciplineRule(),
     ResourceHygieneRule(),
+    AsyncAtomicityRule(),
+    DeterminismTaintRule(),
+    SpawnPicklabilityRule(),
 ):
     if _builtin.rule_id not in RULE_REGISTRY:
         register_rule(_builtin)
@@ -35,4 +41,7 @@ __all__ = [
     "CacheDisciplineRule",
     "ExceptionDisciplineRule",
     "ResourceHygieneRule",
+    "AsyncAtomicityRule",
+    "DeterminismTaintRule",
+    "SpawnPicklabilityRule",
 ]

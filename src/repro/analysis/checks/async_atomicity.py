@@ -1,0 +1,160 @@
+"""``async-atomicity``: no check-then-act on shared state across an await.
+
+Inside one asyncio event loop, code between two awaits is atomic — but
+nothing read *before* an ``await`` is still trustworthy after it: the
+loop ran arbitrary other coroutines while this one was suspended, and
+any of them may have mutated the shared object.  The classic daemon
+race is::
+
+    if key not in self.jobs:          # check
+        report = await compile(...)   # suspension point
+        self.jobs[key] = report       # act on the stale check
+
+This rule runs a forward dataflow over each ``async def``'s CFG,
+tracking every ``self.*`` attribute chain through three states —
+unread, *freshly read*, and *stale* (read, then an ``await`` suspended
+the coroutine).  A write to a chain whose read has gone stale is
+reported, naming both the read and the await that invalidated it.
+
+What re-validates a read: any *value* read of the same chain after the
+await (a re-check, a re-fetch, or an augmented assignment's own
+read-modify-write).  What does not: the target-navigation load inside
+the write itself (``self.jobs`` in ``self.jobs[k] = v`` is not a
+re-check of the admission test).
+
+Awaits inside an ``async with`` whose context manager looks like a lock
+(its expression chain contains ``lock``) do not stale anything: the
+mutual exclusion the lock provides is exactly the re-validation the
+rule otherwise demands.  In-place mutations through known mutating
+methods (``.pop``, ``.update`` …) count as writes, but their own
+receiver read is fresh at the call site, so a bare ``self.queue.pop()``
+never fires — only a mutation separated from its justifying read by an
+``await`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..cfg import build_cfg
+from ..dataflow import (
+    ForwardAnalysis,
+    State,
+    iter_events,
+    solve_forward,
+)
+from ..rules import LintRule
+from ..visitor import ModuleContext
+
+#: Tag shapes inside a chain's fact set:
+#:   ("read", read_line)            — fresh read, no await since
+#:   ("stale", read_line, await_line) — read, then suspended
+
+
+class _Atomicity(ForwardAnalysis):
+    def __init__(self, locked_lines: Set[int], reporter=None):
+        self.locked_lines = locked_lines
+        self.reporter = reporter
+
+    def transfer_element(self, element, state: State) -> State:
+        state = dict(state)
+        for event in iter_events(element):
+            if event.kind == "load" and event.role == "value":
+                if event.name and event.name.startswith("self."):
+                    state[event.name] = frozenset(
+                        {("read", event.node.lineno)}
+                    )
+            elif event.kind == "await":
+                if event.node.lineno in self.locked_lines:
+                    continue
+                for chain, tags in list(state.items()):
+                    staled = frozenset(
+                        ("stale", tag[1], event.node.lineno)
+                        if tag[0] == "read" else tag
+                        for tag in tags
+                    )
+                    state[chain] = staled
+            elif event.kind == "store":
+                if not (event.name and event.name.startswith("self.")):
+                    continue
+                tags = state.pop(event.name, frozenset())
+                stale = sorted(tag for tag in tags if tag[0] == "stale")
+                if stale and self.reporter is not None:
+                    _, read_line, await_line = stale[0]
+                    self.reporter(event.node, event.name, read_line,
+                                  await_line)
+        return state
+
+
+class AsyncAtomicityRule(LintRule):
+    rule_id = "async-atomicity"
+    description = (
+        "shared self.* state read before an await and written after it "
+        "without re-validation (asyncio check-then-act race)"
+    )
+
+    def analyze_module(self, ctx: ModuleContext, project) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                self._check_function(node, ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_function(
+        self, func: ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> None:
+        locked = _lock_protected_lines(func)
+        cfg = build_cfg(func)
+        in_states = solve_forward(cfg, _Atomicity(locked))
+
+        reported: Set[Tuple[int, int, str]] = set()
+
+        def report(node: ast.AST, chain: str, read_line: int,
+                   await_line: int) -> None:
+            key = (node.lineno, node.col_offset, chain)
+            if key in reported:
+                return
+            reported.add(key)
+            self.report(
+                ctx, node,
+                f"{chain} is written here, but the value it was checked "
+                f"against was read at line {read_line} and an await at "
+                f"line {await_line} suspended the coroutine in between — "
+                "other coroutines may have changed it; re-validate after "
+                "the await (or serialize with a lock)",
+            )
+
+        replay = _Atomicity(locked, reporter=report)
+        for bid in sorted(in_states):
+            replay.transfer(cfg.block(bid), in_states[bid])
+
+
+def _lock_protected_lines(func: ast.AsyncFunctionDef) -> Set[int]:
+    """Line numbers inside ``async with <something lock-ish>:`` bodies."""
+    lines: Set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.AsyncWith):
+            continue
+        if not any(
+            _looks_like_lock(item.context_expr) for item in node.items
+        ):
+            continue
+        if not node.body:
+            continue
+        start = node.body[0].lineno
+        end = getattr(node.body[-1], "end_lineno", None) or node.body[-1].lineno
+        lines.update(range(start, end + 1))
+    return lines
+
+
+def _looks_like_lock(expr: ast.expr) -> bool:
+    names: List[str] = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+    return any(
+        "lock" in name.lower() or "sem" in name.lower() for name in names
+    )

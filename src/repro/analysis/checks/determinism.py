@@ -5,8 +5,11 @@ across runs, hosts and process counts (the 343-case golden-fingerprint
 suite pins this).  Inside the configured determinism paths this rule
 bans every construct whose value varies run to run:
 
-* wall clocks (``time.time``/``monotonic``/``perf_counter``,
-  ``datetime.now`` and friends) — timestamps must never reach a result;
+* wall clocks (``time.time``, ``datetime.now`` and friends) —
+  timestamps must never reach a result.  Monotonic/perf-counter clocks
+  are *not* syntactically banned: deadline arithmetic is legitimate,
+  and the flow-sensitive ``determinism-taint`` rule flags the flows
+  that actually reach a fingerprint/cache/schedule sink;
 * the *global* RNGs (``random.random``, ``numpy.random.rand`` …); only
   explicitly seeded generator objects (``random.Random(seed)``,
   ``numpy.random.default_rng(seed)``) are deterministic;
@@ -34,13 +37,15 @@ from ..rules import LintRule
 from ..visitor import ModuleContext
 
 #: Exact resolved call names that are nondeterministic per call.
+#: Monotonic/perf-counter clocks are *not* here: their dominant use on
+#: these paths is deadline arithmetic, whose comparisons never reach a
+#: result value — the flow-sensitive ``determinism-taint`` rule flags
+#: the flows that do, so the syntactic ban would only breed
+#: suppressions.  Wall clocks stay banned outright: a timestamp has no
+#: legitimate use on a bit-identity path.
 BANNED_CALLS = {
     "time.time": "wall clock",
     "time.time_ns": "wall clock",
-    "time.monotonic": "process-relative clock",
-    "time.monotonic_ns": "process-relative clock",
-    "time.perf_counter": "process-relative clock",
-    "time.perf_counter_ns": "process-relative clock",
     "datetime.datetime.now": "wall clock",
     "datetime.datetime.utcnow": "wall clock",
     "datetime.datetime.today": "wall clock",

@@ -1,0 +1,298 @@
+"""``spawn-picklability``: pool jobs must resolve to picklable callables.
+
+Spawn-started workers (the only start method this repo allows — see
+``pool-safety``) receive their work function by *pickle*, and pickle
+serialises a callable as its qualified name plus module.  Anything that
+cannot be re-imported by name on the worker side fails at submit time —
+or worse, at the first ``result()`` call:
+
+* functions defined inside another function (closures): the worker has
+  no enclosing call frame to rebuild them from;
+* names bound to ``lambda`` (module-level or local): the qualname is
+  ``<lambda>``, which cannot be looked up;
+* bound methods of objects instantiated from a *locally defined* class:
+  the class itself cannot be imported by name.
+
+This rule resolves the argument of ``pool.submit(fn, ...)`` /
+``pool.map(fn, ...)`` / ``loop.run_in_executor(pool, fn, ...)`` through
+reaching definitions (what is ``fn`` bound to *on the paths reaching
+this call*?) and, when the name is imported or module-level, through
+the project call graph — flagging the offending *definition* site in
+the message.  ``functools.partial(fn, ...)`` is unwrapped one level.
+
+Pool receivers are recognised the same flow-aware way: a name whose
+reaching definitions include a ``ProcessPoolExecutor``/``spawn_pool``
+call (by assignment or ``with ... as``), or a ``self.X`` attribute the
+enclosing class assigns one to.  Thread pools are exempt — nothing
+pickles across a thread — and unresolvable names get the benefit of
+the doubt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set, Tuple
+
+from ..cfg import build_cfg
+from ..dataflow import (
+    Definition,
+    ReachingDefs,
+    dotted_chain,
+    iter_events,
+    solve_forward,
+)
+from ..rules import LintRule
+from ..visitor import ModuleContext
+from .pool_safety import POOL_CONSTRUCTORS, SPAWN_HELPERS
+
+_SUBMIT_METHODS = {"submit", "map"}
+
+
+class SpawnPicklabilityRule(LintRule):
+    rule_id = "spawn-picklability"
+    description = (
+        "work submitted to a process pool must resolve to a "
+        "module-level picklable callable (no closures, lambdas, or "
+        "bound methods of local objects)"
+    )
+    requires_project = True
+
+    # ------------------------------------------------------------------
+
+    def analyze_module(self, ctx: ModuleContext, project) -> None:
+        self_pools = _class_self_pools(ctx)
+        module_info = project.module_info(ctx.rel_path) if project else None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(
+                    node, ctx, project, module_info, self_pools
+                )
+
+    def _check_function(
+        self, func, ctx, project, module_info, self_pools
+    ) -> None:
+        current_class = None
+        for ancestor in ctx.ancestors(func):
+            if isinstance(ancestor, ast.ClassDef):
+                current_class = ancestor.name
+                break
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        pool_attrs = self_pools.get(current_class, set())
+        local_classes = {
+            n.name for n in ast.walk(func)
+            if isinstance(n, ast.ClassDef)
+        }
+
+        cfg = build_cfg(func)
+        rd = ReachingDefs(func)
+        in_states = solve_forward(cfg, rd)
+
+        reported: Set[Tuple[int, int]] = set()
+        for bid in sorted(in_states):
+            state = in_states[bid]
+            for element in cfg.block(bid).elements:
+                for event in iter_events(element):
+                    if event.kind != "call":
+                        continue
+                    call = event.node
+                    job = self._submitted_job(
+                        call, ctx, state, pool_attrs
+                    )
+                    if job is None:
+                        continue
+                    key = (call.lineno, call.col_offset)
+                    if key in reported:
+                        continue
+                    if self._flag_job(
+                        job, call, ctx, state, project, module_info,
+                        local_classes, func,
+                    ):
+                        reported.add(key)
+                state = rd.transfer_element(element, state)
+
+    # -- receiver recognition ------------------------------------------
+
+    def _submitted_job(
+        self, call: ast.Call, ctx, state, pool_attrs
+    ) -> Optional[ast.expr]:
+        """The work-function expression, when *call* submits to a
+        process pool; None otherwise."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in _SUBMIT_METHODS:
+            if not call.args:
+                return None
+            if self._is_pool(func.value, ctx, state, pool_attrs):
+                return call.args[0]
+            return None
+        if func.attr == "run_in_executor":
+            if len(call.args) < 2:
+                return None
+            if self._is_pool(call.args[0], ctx, state, pool_attrs):
+                return call.args[1]
+        return None
+
+    def _is_pool(self, expr: ast.expr, ctx, state, pool_attrs) -> bool:
+        if isinstance(expr, ast.Call):
+            return self._is_pool_ctor(expr, ctx)
+        if isinstance(expr, ast.Name):
+            defs = state.get(expr.id, frozenset())
+            return any(
+                isinstance(d.value, ast.Call)
+                and self._is_pool_ctor(d.value, ctx)
+                for d in defs
+            )
+        chain = dotted_chain(expr)
+        if chain is not None and chain.startswith("self."):
+            return chain[len("self."):] in pool_attrs
+        return False
+
+    @staticmethod
+    def _is_pool_ctor(call: ast.Call, ctx) -> bool:
+        name = ctx.resolve(call.func)
+        return name in POOL_CONSTRUCTORS or name in SPAWN_HELPERS
+
+    # -- job classification --------------------------------------------
+
+    def _flag_job(
+        self, job, call, ctx, state, project, module_info,
+        local_classes, func,
+    ) -> bool:
+        """Report and return True when *job* cannot pickle by name."""
+        if isinstance(job, ast.Lambda):
+            self.report(
+                ctx, call,
+                f"the lambda defined at line {job.lineno} is submitted to "
+                "a spawn pool; lambdas pickle by qualname '<lambda>', "
+                "which the worker cannot re-import — define a "
+                "module-level function",
+            )
+            return True
+
+        if isinstance(job, ast.Call):
+            resolved = ctx.resolve(job.func)
+            if resolved in {"functools.partial", "partial"} and job.args:
+                return self._flag_job(
+                    job.args[0], call, ctx, state, project, module_info,
+                    local_classes, func,
+                )
+            return False
+
+        if isinstance(job, ast.Name):
+            return self._flag_name(
+                job, call, ctx, state, project, module_info
+            )
+
+        chain = dotted_chain(job)
+        if chain is None or "." not in chain:
+            return False
+        root, rest = chain.split(".", 1)
+        if root == "self":
+            return False  # bound method of self: instance pickles if the
+            # class is importable, which a module-level class is
+        root_defs = state.get(root, frozenset())
+        for definition in sorted(root_defs, key=Definition.sort_key):
+            value = definition.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in local_classes
+            ):
+                self.report(
+                    ctx, call,
+                    f"{chain} is a bound method of an instance of "
+                    f"{value.func.id!r}, a class defined inside "
+                    f"{func.name!r} (line {definition.lineno}); local "
+                    "classes cannot be re-imported by the spawn worker — "
+                    "hoist the class to module level",
+                )
+                return True
+        if project is not None and module_info is not None:
+            info = project.resolve_name(
+                module_info.module, chain, aliases=module_info.aliases
+            )
+            if info is not None and info.kind == "lambda":
+                self.report(
+                    ctx, call,
+                    f"{chain} resolves to a lambda bound at "
+                    f"{info.rel_path}:{info.lineno}; its qualname is "
+                    "'<lambda>', which the spawn worker cannot "
+                    "re-import — make it a def",
+                )
+                return True
+        return False
+
+    def _flag_name(
+        self, job: ast.Name, call, ctx, state, project, module_info
+    ) -> bool:
+        defs = state.get(job.id, frozenset())
+        for definition in sorted(defs, key=Definition.sort_key):
+            if definition.kind == "def":
+                self.report(
+                    ctx, call,
+                    f"{job.id!r} is defined at line {definition.lineno} "
+                    "inside the enclosing function; nested functions "
+                    "cannot be pickled to a spawn worker — hoist the def "
+                    "to module level",
+                )
+                return True
+            if definition.kind == "assign" and isinstance(
+                definition.value, ast.Lambda
+            ):
+                self.report(
+                    ctx, call,
+                    f"{job.id!r} is bound to a lambda at line "
+                    f"{definition.lineno}; lambdas pickle by qualname "
+                    "'<lambda>', which the worker cannot re-import — "
+                    "define a module-level function",
+                )
+                return True
+        if defs:
+            # Locally bound to something else (param, import, loop var…):
+            # imports resolve below; the rest get the benefit of the doubt.
+            if not all(d.kind == "import" for d in defs):
+                return False
+        if project is not None and module_info is not None:
+            info = project.resolve_name(
+                module_info.module, job.id, aliases=module_info.aliases
+            )
+            if info is not None and info.kind == "lambda":
+                self.report(
+                    ctx, call,
+                    f"{job.id!r} resolves to a lambda bound at "
+                    f"{info.rel_path}:{info.lineno}; its qualname is "
+                    "'<lambda>', which the spawn worker cannot "
+                    "re-import — make it a def",
+                )
+                return True
+        return False
+
+
+def _class_self_pools(ctx: ModuleContext) -> Dict[str, Set[str]]:
+    """Class name → attribute names it binds to process-pool calls
+    (``self.pool = spawn_pool(...)`` anywhere in the class body)."""
+    result: Dict[str, Set[str]] = {}
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        attrs: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            name = ctx.resolve(node.value.func)
+            if name not in POOL_CONSTRUCTORS and name not in SPAWN_HELPERS:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        if attrs:
+            result[cls.name] = attrs
+    return result

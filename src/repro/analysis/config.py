@@ -85,6 +85,24 @@ DEFAULT_API_PATHS: Tuple[str, ...] = (
 DEFAULT_PATHS: Tuple[str, ...] = ("src", "benchmarks")
 DEFAULT_BASELINE = "LINT_baseline.json"
 
+#: Extra taint *sources* for the flow-sensitive determinism rule (the
+#: ambient ones — clocks, unseeded RNG, id()/hash() — are built in).
+DEFAULT_TAINT_SOURCES: Tuple[str, ...] = ()
+
+#: Taint *sinks*: calls whose arguments must be bit-identical across
+#: runs.  Dotted names are matched after import-alias resolution.
+DEFAULT_TAINT_SINKS: Tuple[str, ...] = (
+    "hashlib.sha256",
+    "hashlib.sha1",
+    "hashlib.md5",
+    "hashlib.blake2b",
+    "hashlib.blake2s",
+    "hashlib.new",
+    "repro.scheduling.fingerprint.schedule_fingerprint",
+    "repro.scheduling.fingerprint.fingerprint_map",
+    "repro.api.cache.content_hash",
+)
+
 
 @dataclass
 class LintConfig:
@@ -97,6 +115,8 @@ class LintConfig:
     determinism_paths: Tuple[str, ...] = DEFAULT_DETERMINISM_PATHS
     api_paths: Tuple[str, ...] = DEFAULT_API_PATHS
     cache_guards: Tuple[CacheGuard, ...] = DEFAULT_CACHE_GUARDS
+    taint_sources: Tuple[str, ...] = DEFAULT_TAINT_SOURCES
+    taint_sinks: Tuple[str, ...] = DEFAULT_TAINT_SINKS
 
     def baseline_path(self) -> Path:
         return Path(self.root) / self.baseline
@@ -127,6 +147,8 @@ def load_config(root: Path) -> LintConfig:
         "baseline": "baseline",
         "determinism-paths": "determinism_paths",
         "api-paths": "api_paths",
+        "taint-sources": "taint_sources",
+        "taint-sinks": "taint_sinks",
     }
     known = set(simple) | {"cache-guards"}
     unknown = sorted(set(table) - known)

@@ -88,3 +88,82 @@ def render_text(result: LintResult, *, verbose: bool = False) -> str:
 
 def render_json(result: LintResult) -> str:
     return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+#: SARIF version pinned to what GitHub code scanning ingests.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(result: LintResult) -> str:
+    """The run as a SARIF 2.1.0 document (GitHub code-scanning upload).
+
+    New findings are ``error`` (they gate), baselined ones ``note``
+    (visible in the UI without failing the scan).  The baseline key
+    rides along as a partial fingerprint so code scanning tracks a
+    finding across line-shifting edits exactly like the baseline does.
+    """
+    from .rules import META_RULE_IDS, RULE_REGISTRY
+
+    new_keys = {id(f) for f in result.new}
+    rule_ids = sorted(
+        {f.rule for f in result.findings} | set(result.rules_run)
+    )
+    rules = []
+    for rule_id in rule_ids:
+        rule = RULE_REGISTRY.get(rule_id)
+        if rule is not None:
+            text = rule.description
+        elif rule_id in META_RULE_IDS:
+            text = "engine-level finding"
+        else:
+            text = rule_id
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": text},
+            }
+        )
+    results = []
+    for finding in result.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error" if id(finding) in new_keys else "note",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproBaselineKey/v1": finding.baseline_key(),
+                },
+            }
+        )
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Sequence
 from ..errors import LintError
 from . import checks  # noqa: F401 - import registers the builtin rules
 from .baseline import Baseline
+from .callgraph import ProjectIndex
 from .config import LintConfig, path_in
 from .findings import Finding
 from .report import LintResult
@@ -69,8 +70,14 @@ def lint_file(
     rel_path: str,
     rules: Sequence[LintRule],
     config: LintConfig,
+    project: Optional[ProjectIndex] = None,
 ) -> tuple[List[Finding], int]:
-    """All unsuppressed findings for one file + the suppressed count."""
+    """All unsuppressed findings for one file + the suppressed count.
+
+    *project* is the cross-file index flow rules resolve names through;
+    when omitted (single-file runs, fixture tests) and an active rule
+    requires one, a single-file index is built on the spot.
+    """
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as err:
@@ -97,6 +104,10 @@ def lint_file(
     )
     if active:
         Walker(ctx, active).run()
+        if project is None and any(r.requires_project for r in active):
+            project = ProjectIndex.build(Path(config.root), [(path, rel_path)])
+        for rule in active:
+            rule.analyze_module(ctx, project)
 
     table = scan_suppressions(rel_path, source, all_rule_ids())
     kept = [f for f in ctx.findings if not table.suppresses(f)]
@@ -110,11 +121,18 @@ def run_lint(
     *,
     only: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    files: Optional[Sequence[str]] = None,
+    callgraph_cache: Optional[Path] = None,
 ) -> LintResult:
     """Lint the tree described by *config* and diff against *baseline*.
 
     When *baseline* is None the committed baseline file is loaded (a
-    missing file is an empty baseline, never an error).
+    missing file is an empty baseline, never an error).  *files*
+    narrows the run to a subset of repo-relative paths (``--changed``);
+    the project index is still built over the full tree so cross-file
+    resolution stays whole-program, but baseline entries of unlinted
+    files are not reported as resolved.  *callgraph_cache* names a JSON
+    file the index is reloaded from (and saved to) when sources allow.
     """
     rules = select_rules(only)
     if baseline is None:
@@ -122,18 +140,42 @@ def run_lint(
 
     result = LintResult(rules_run=sorted(r.rule_id for r in rules))
     root = Path(config.root)
-    for path in collect_files(config):
+    collected = collect_files(config)
+    project: Optional[ProjectIndex] = None
+    if any(r.requires_project for r in rules):
+        pairs = [
+            (path, path.relative_to(root).as_posix()) for path in collected
+        ]
+        project = ProjectIndex.load_or_build(
+            root, pairs, cache_path=callgraph_cache
+        )
+
+    wanted = None if files is None else {f.rstrip("/") for f in files}
+    for path in collected:
         rel = path.relative_to(root).as_posix()
-        findings, suppressed = lint_file(path, rel, rules, config)
+        if wanted is not None and rel not in wanted:
+            continue
+        findings, suppressed = lint_file(
+            path, rel, rules, config, project=project
+        )
         result.findings.extend(findings)
         result.suppressed += suppressed
         result.files_checked += 1
+
+    if project is not None and callgraph_cache is not None:
+        try:
+            # Re-save so summaries computed during the run persist too.
+            project.save(Path(callgraph_cache))
+        except OSError:
+            pass
 
     result.findings.sort(key=Finding.sort_key)
     diff = baseline.diff(result.findings)
     result.new = diff.new
     result.baselined = diff.baselined
-    result.resolved = diff.resolved
+    # A subset run never saw most files; silence about them is not
+    # evidence their baselined findings are fixed.
+    result.resolved = [] if wanted is not None else diff.resolved
     return result
 
 

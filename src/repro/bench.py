@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from .errors import BenchError
+
 #: Schema version of the benchmark JSON.
 #: v2: per-case ``search`` block (II, ii_attempts, budget_used,
 #: restarts_per_success, futility_aborts) for scheduler-backed cases,
@@ -275,7 +277,7 @@ def run_bench(
     from .scheduling import SEARCH_POLICY_NAMES
 
     if search is not None and search not in SEARCH_POLICY_NAMES:
-        raise ValueError(
+        raise BenchError(
             f"unknown search policy {search!r}; known: {list(SEARCH_POLICY_NAMES)}"
         )
     selected = list(CASES)
@@ -283,7 +285,7 @@ def run_bench(
         wanted = set(case_names)
         unknown = wanted - set(CASE_NAMES)
         if unknown:
-            raise ValueError(
+            raise BenchError(
                 f"unknown bench cases {sorted(unknown)}; known: {list(CASE_NAMES)}"
             )
         selected = [case for case in CASES if case.name in wanted]
@@ -441,7 +443,7 @@ def profile_case(name: str, top: int = 20) -> str:
 
     matching = [case for case in CASES if case.name == name]
     if not matching:
-        raise ValueError(f"unknown bench case {name!r}; known: {list(CASE_NAMES)}")
+        raise BenchError(f"unknown bench case {name!r}; known: {list(CASE_NAMES)}")
     thunk = matching[0].build(None)
     thunk()  # warm caches so the profile shows steady state
     profiler = cProfile.Profile()
@@ -457,7 +459,7 @@ def load_baseline(path: str) -> Dict:
     with open(path) as handle:
         doc = json.load(handle)
     if doc.get("schema") != BENCH_SCHEMA:
-        raise ValueError(
+        raise BenchError(
             f"baseline {path!r} has schema {doc.get('schema')!r}, "
             f"expected {BENCH_SCHEMA}"
         )
@@ -475,7 +477,7 @@ def main_bench(args) -> int:
     if args.profile:
         try:
             print(profile_case(args.profile))
-        except ValueError as err:
+        except BenchError as err:
             print(str(err), file=sys.stderr)
             return 2
         return 0
@@ -489,7 +491,7 @@ def main_bench(args) -> int:
             progress=lambda msg: print(f"  {msg}", file=sys.stderr),
             search=args.search,
         )
-    except ValueError as err:
+    except BenchError as err:
         print(str(err), file=sys.stderr)
         return 2
     if args.baseline_carry:
@@ -509,7 +511,7 @@ def main_bench(args) -> int:
     if args.check:
         try:
             baseline = load_baseline(args.baseline)
-        except (OSError, ValueError) as err:
+        except (OSError, ValueError, BenchError) as err:
             print(f"cannot load baseline: {err}", file=sys.stderr)
             return 2
         results = compare_to_baseline(doc, baseline, args.tolerance)

@@ -409,8 +409,19 @@ def _parser() -> argparse.ArgumentParser:
              "'help' lists every rule with its description",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+             "document for GitHub code scanning",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed vs HEAD (git diff + untracked); "
+             "cross-file analysis still indexes the whole tree",
+    )
+    lint.add_argument(
+        "--callgraph-cache", type=str, default=None,
+        help="JSON file to reload/save the project call-graph index "
+             "(keyed on a source hash; stale caches rebuild silently)",
     )
     lint.add_argument(
         "--baseline", type=str, default=None,
@@ -588,6 +599,7 @@ def _lint_command(args: argparse.Namespace) -> int:
     from .analysis import (
         load_config,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         update_baseline,
@@ -615,7 +627,22 @@ def _lint_command(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = run_lint(config, only=only)
+        files = None
+        if args.changed:
+            if args.update_baseline:
+                print(
+                    "repro lint: --update-baseline needs a full run "
+                    "(--changed only sees a subset of the tree)",
+                    file=sys.stderr,
+                )
+                return 2
+            files = _changed_files(Path(args.root))
+        cache = (
+            Path(args.callgraph_cache) if args.callgraph_cache else None
+        )
+        result = run_lint(
+            config, only=only, files=files, callgraph_cache=cache
+        )
     except LintError as err:
         print(f"repro lint: {err}", file=sys.stderr)
         return 2
@@ -631,11 +658,38 @@ def _lint_command(args: argparse.Namespace) -> int:
             handle.write(render_json(result) + "\n")
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     if args.fail_on_new and not result.ok:
         return 1
     return 0
+
+
+def _changed_files(root) -> list:
+    """Repo-relative paths changed vs HEAD, plus untracked files.
+
+    Outside a git checkout (or without git) the subset is empty — the
+    run reports 0 files rather than silently falling back to the whole
+    tree, so ``--changed`` in a broken environment is loud, not slow.
+    """
+    import subprocess
+
+    changed = []
+    for argv in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            out = subprocess.run(
+                argv, cwd=str(root), capture_output=True, text=True,
+                check=True, timeout=30,
+            ).stdout
+        except (OSError, subprocess.SubprocessError):
+            continue
+        changed.extend(line.strip() for line in out.splitlines() if line.strip())
+    return sorted(set(changed))
 
 
 def _batch_command(args: argparse.Namespace) -> int:

@@ -71,6 +71,11 @@ class TargetError(ReproError):
     """Raised for invalid target descriptions, files or registry lookups."""
 
 
+class BenchError(ReproError):
+    """Raised for invalid bench requests (unknown cases/policies) and
+    unusable benchmark baselines."""
+
+
 class LintError(ReproError):
     """Raised for static-analysis misuse (bad rule ids, broken baselines)."""
 

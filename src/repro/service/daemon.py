@@ -434,10 +434,12 @@ class CompileService:
 
     async def close(self) -> None:
         """Stop the server and release owned resources."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim the server before the first await: a concurrent close()
+        # then sees None instead of racing the wait_closed() suspension.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         if self._owns_executor:
             self.executor.shutdown(wait=False, cancel_futures=True)
         if self._journal_pool is not None:

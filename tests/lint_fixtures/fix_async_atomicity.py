@@ -1,0 +1,71 @@
+"""async-atomicity fixture: check-then-act across awaits.
+
+Never imported — only parsed by the lint engine.  Every marked write
+acts on shared ``self.*`` state whose justifying read went stale over
+an ``await``; the unmarked variants show the accepted repairs
+(re-validate after the await, hold a lock across the critical section,
+or claim the value before suspending).
+"""
+
+import asyncio
+
+
+class Daemon:
+    def __init__(self):
+        self.jobs = {}
+        self.server = None
+        self.generation = 0
+        self.lock = asyncio.Lock()
+
+    async def compile(self, job):
+        await asyncio.sleep(0)
+        return job
+
+    async def admit(self, key, job):
+        if key not in self.jobs:
+            report = await self.compile(job)
+            self.jobs[key] = report  # EXPECT: async-atomicity
+        return self.jobs[key]
+
+    async def admit_revalidated(self, key, job):
+        if key not in self.jobs:
+            report = await self.compile(job)
+            if key not in self.jobs:  # re-check refreshes the read
+                self.jobs[key] = report
+        return self.jobs[key]
+
+    async def admit_locked(self, key, job):
+        async with self.lock:  # awaits under the lock do not stale
+            if key not in self.jobs:
+                report = await self.compile(job)
+                self.jobs[key] = report
+        return self.jobs[key]
+
+    async def close(self):
+        # The daemon-close shape this rule caught in bring-up: both of
+        # two concurrent close() calls pass the None check, and the
+        # later one writes a stale None after its suspension.
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None  # EXPECT: async-atomicity
+
+    async def close_claimed(self):
+        server, self.server = self.server, None  # claim before the await
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def bump(self):
+        await asyncio.sleep(0)
+        self.generation += 1  # ok: augmented read-modify-write is atomic
+        return self.generation
+
+    async def rollover(self):
+        current = self.generation
+        await asyncio.sleep(0)
+        self.generation = current + 1  # EXPECT: async-atomicity
+
+    async def set_fresh(self, value):
+        await asyncio.sleep(0)
+        self.generation = value  # ok: no read of it before the await

@@ -14,18 +14,19 @@ from time import perf_counter as tick
 
 def timestamps():
     first = time.time()  # EXPECT: determinism
-    second = tick()  # EXPECT: determinism
+    second = tick()  # ok: perf_counter is deadline material, not banned
     return first, second
 
 
 def deadlines(timeout):
-    # Deadline math sampled on a determinism path (the service smoke's
-    # old bug used the wall clock, which an NTP step can fire early or
-    # hang): on these paths even the monotonic clocks are banned —
-    # timing belongs one layer up, passed in as a value.
+    # Wall clocks stay banned outright (an NTP step fires deadlines
+    # early or hangs them, and a timestamp has no legitimate use on a
+    # bit-identity path).  The monotonic clocks are *not* syntactically
+    # banned any more: deadline arithmetic never reaches a result
+    # value, and the flows that do are determinism-taint's job.
     expires = time.time() + timeout  # EXPECT: determinism
-    remaining = time.monotonic() - timeout  # EXPECT: determinism
-    while time.monotonic_ns() < remaining:  # EXPECT: determinism
+    remaining = time.monotonic() - timeout  # ok: deadline arithmetic
+    while time.monotonic_ns() < remaining:  # ok: comparison only
         pass
     return expires
 

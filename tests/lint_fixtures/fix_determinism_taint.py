@@ -1,0 +1,76 @@
+"""determinism-taint fixture: nondeterministic flows into hash sinks.
+
+Never imported — only parsed under a config that puts this file on the
+determinism paths.  The marked lines are *sinks* reached by a tracked
+value (the flow-sensitive rule reports where the value lands, not where
+it was born); wall-clock source lines additionally carry the syntactic
+``determinism`` marker, which stays responsible for the sampling site
+itself.  The unmarked flows are the ones the old syntactic ban used to
+force suppressions for: deadline arithmetic that only feeds
+comparisons, and explicitly seeded generators.
+"""
+
+import hashlib
+import random
+import time
+
+
+def stamp_ns():
+    return time.monotonic_ns()  # ok here: flagged only if it lands in a sink
+
+
+def digest(payload):
+    return hashlib.sha256(payload).hexdigest()
+
+
+def canonical(value):
+    return ("%r" % value).encode()
+
+
+def direct_flow(name):
+    started = time.monotonic()
+    tag = f"{started}:{name}"
+    return hashlib.sha256(tag.encode())  # EXPECT: determinism-taint
+
+
+def wall_clock_flow(name):
+    now = time.time()  # EXPECT: determinism
+    return hashlib.sha256(f"{now}:{name}".encode())  # EXPECT: determinism-taint
+
+
+def through_helpers(name):
+    # Interprocedural, both directions: stamp_ns() *returns* taint, and
+    # digest() *forwards* its parameter into a sink.
+    sample = stamp_ns()
+    key = canonical(sample)
+    return digest(key)  # EXPECT: determinism-taint
+
+
+def hash_object_flow(items):
+    state = hashlib.blake2b()
+    started = time.monotonic()
+    for item in items:
+        state.update(canonical(item))  # ok: item is run-stable
+    state.update(canonical(started))  # EXPECT: determinism-taint
+    return state.hexdigest()
+
+
+def rng_flow():
+    draw = random.random()  # EXPECT: determinism
+    return hashlib.sha256(canonical(draw))  # EXPECT: determinism-taint
+
+
+def deadline_only(timeout, work):
+    # The suppression-pressure case the syntactic ban used to hit:
+    # monotonic deadline math whose truthiness never reaches a value.
+    deadline = time.monotonic() + timeout
+    done = []
+    while time.monotonic() < deadline:
+        done.append(work())
+    return hashlib.sha256(canonical(len(done)))  # ok: count, not clock
+
+
+def seeded_flow(seed, name):
+    rng = random.Random(seed)
+    salt = rng.random()  # ok: explicitly seeded generator is run-stable
+    return hashlib.sha256(canonical((salt, name)))  # ok: seeded values

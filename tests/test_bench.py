@@ -18,6 +18,15 @@ from repro.bench import (
     write_json,
 )
 from repro.cli import main
+from repro.errors import BenchError
+
+
+def test_bench_error_sits_in_the_taxonomy():
+    """Bad bench requests are ReproErrors — caught at the CLI boundary
+    like every other domain failure, never a bare ValueError."""
+    from repro.errors import ReproError
+
+    assert issubclass(BenchError, ReproError)
 
 
 def make_doc(cases):
@@ -110,7 +119,7 @@ class TestHelpers:
         write_json(bad, path)
         try:
             load_baseline(path)
-        except ValueError as err:
+        except BenchError as err:
             assert "schema" in str(err)
         else:  # pragma: no cover
             raise AssertionError("schema mismatch accepted")
@@ -128,7 +137,7 @@ class TestRunBench:
     def test_unknown_case_rejected(self):
         try:
             run_bench(case_names=["nope"])
-        except ValueError as err:
+        except BenchError as err:
             assert "nope" in str(err)
         else:  # pragma: no cover
             raise AssertionError("unknown case accepted")
@@ -165,7 +174,7 @@ class TestSearchStats:
         assert doc["search_override"] == "ladder"
         try:
             run_bench(search="bogus")
-        except ValueError as err:
+        except BenchError as err:
             assert "bogus" in str(err)
         else:  # pragma: no cover
             raise AssertionError("unknown search policy accepted")

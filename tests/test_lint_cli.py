@@ -2,6 +2,7 @@
 meta-test that the committed tree itself lints clean."""
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -51,6 +52,13 @@ def test_repo_baseline_matches_tree_exactly(capsys):
     assert payload["counts"]["baselined"] == len(payload["baselined"])
 
 
+def test_repo_baseline_is_burned_to_zero():
+    """The committed baseline grandfathers nothing: the tree is clean
+    on its own, not by debt."""
+    payload = json.loads((REPO_ROOT / "LINT_baseline.json").read_text())
+    assert payload["entries"] == {}
+
+
 # ----------------------------------------------------------------------
 # Exit codes and formats
 # ----------------------------------------------------------------------
@@ -79,13 +87,45 @@ def test_json_format_and_out_file(project, capsys, tmp_path):
     assert printed["new"][0]["rule"] == "determinism"
 
 
+def test_sarif_format_is_valid_and_levelled(project, capsys):
+    assert main(
+        ["lint", "--root", str(project), "--format", "sarif"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    results = run["results"]
+    assert len(results) == 1
+    (result,) = results
+    assert result["ruleId"] == "determinism"
+    assert result["level"] == "error"  # new finding gates the scan
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/mod.py"
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert result["partialFingerprints"]["reproBaselineKey/v1"]
+    assert any(r["id"] == "determinism" for r in run["tool"]["driver"]["rules"])
+
+
+def test_sarif_demotes_baselined_findings_to_note(project, capsys):
+    main(["lint", "--root", str(project), "--update-baseline"])
+    capsys.readouterr()
+    assert main(
+        ["lint", "--root", str(project), "--format", "sarif"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (result,) = doc["runs"][0]["results"]
+    assert result["level"] == "note"
+
+
 def test_rules_help_lists_all_rules(capsys):
     assert main(["lint", "--rules", "help"]) == 0
     out = capsys.readouterr().out
     for rule_id in (
         "determinism", "async-blocking", "pool-safety", "cache-discipline",
         "exception-discipline", "resource-hygiene", "bad-suppression",
-        "parse-error",
+        "parse-error", "async-atomicity", "determinism-taint",
+        "spawn-picklability",
     ):
         assert rule_id in out
 
@@ -147,3 +187,77 @@ def test_update_baseline_refuses_narrowed_rule_set(project, capsys):
     )
     assert code == 2
     assert "full rule set" in capsys.readouterr().err
+
+
+def test_clean_tree_round_trips_an_empty_baseline(project, capsys):
+    """Burning the baseline to zero leaves a loadable empty file, and
+    the gate still passes against it."""
+    (project / "src" / "mod.py").write_text("VALUE = 1\n")
+    assert main(["lint", "--root", str(project), "--update-baseline"]) == 0
+    assert "0 findings grandfathered" in capsys.readouterr().out
+    payload = json.loads((project / "LINT_baseline.json").read_text())
+    assert payload["entries"] == {}
+    assert main(["lint", "--root", str(project), "--fail-on-new"]) == 0
+
+
+# ----------------------------------------------------------------------
+# --changed (git-diff-scoped runs)
+# ----------------------------------------------------------------------
+
+
+def _git(root, *argv):
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@t", *argv],
+        cwd=str(root), check=True, capture_output=True,
+    )
+
+
+def test_changed_outside_git_checks_nothing(project, capsys):
+    assert main(
+        ["lint", "--root", str(project), "--changed", "--format", "json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 0
+
+
+def test_changed_lints_only_the_diff(project, capsys):
+    _git(project, "init", "-q")
+    _git(project, "add", "-A")
+    _git(project, "commit", "-q", "-m", "seed")
+    # Untracked file with a fresh finding: the only thing --changed sees.
+    (project / "src" / "other.py").write_text(
+        "import uuid\n\n\ndef tag():\n    return uuid.uuid4()\n"
+    )
+    assert main(
+        ["lint", "--root", str(project), "--changed", "--fail-on-new",
+         "--format", "json"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["new"][0]["path"] == "src/other.py"
+    # mod.py's committed finding is outside the subset.
+    assert all(f["path"] != "src/mod.py" for f in payload["new"])
+
+
+def test_changed_subset_never_reports_resolved_entries(project, capsys):
+    main(["lint", "--root", str(project), "--update-baseline"])
+    _git(project, "init", "-q")
+    _git(project, "add", "-A")
+    _git(project, "commit", "-q", "-m", "seed")
+    (project / "src" / "other.py").write_text("VALUE = 1\n")
+    capsys.readouterr()
+    assert main(
+        ["lint", "--root", str(project), "--changed", "--format", "json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # mod.py's baselined finding was not re-scanned; declaring its
+    # baseline entry stale from a partial view would be wrong.
+    assert payload["counts"]["resolved"] == 0
+
+
+def test_changed_refuses_update_baseline(project, capsys):
+    code = main(
+        ["lint", "--root", str(project), "--changed", "--update-baseline"]
+    )
+    assert code == 2
+    assert "full run" in capsys.readouterr().err

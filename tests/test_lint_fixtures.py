@@ -22,7 +22,7 @@ FIXTURES = Path(__file__).parent / "lint_fixtures"
 CONFIG = LintConfig(
     root=FIXTURES,
     paths=(".",),
-    determinism_paths=("fix_determinism.py",),
+    determinism_paths=("fix_determinism.py", "fix_determinism_taint.py"),
     api_paths=("fix_exception.py",),
     cache_guards=(
         CacheGuard(
