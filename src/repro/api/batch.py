@@ -9,11 +9,21 @@ threads — are the unit of parallelism).
 Compilation is a deterministic pure function of the request, so parallel
 results are bit-identical to serial ones; ``tests/test_api_batch.py``
 holds that property over the whole kernel suite.
+
+With ``coordinator="host:port"`` the misses are not compiled locally at
+all: they are submitted as one sweep to a ``repro serve`` daemon acting
+as sweep coordinator (:mod:`repro.service.sweep`) and executed by
+whatever ``repro worker`` fleet is attached to it; the results merge
+back through the same content-hash cache, bit-identical to a local run
+by the same determinism argument.
 """
 
 from __future__ import annotations
 
+import base64
 import os
+import pickle
+import time
 from concurrent.futures import Executor
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -59,6 +69,7 @@ class BatchCompiler:
         cache: Union[CompilationCache, os.PathLike, None] = None,
         workers: Optional[int] = None,
         pool: Optional[Executor] = None,
+        coordinator: Optional[str] = None,
     ):
         self.toolchain = toolchain or Toolchain.default()
         if cache is not None and not (
@@ -68,6 +79,7 @@ class BatchCompiler:
         self.cache = cache
         self.workers = workers
         self.pool = pool
+        self.coordinator = coordinator
 
     def compile_many(
         self,
@@ -100,6 +112,12 @@ class BatchCompiler:
         done = len(requests) - len(pending)
         if progress and done:
             progress(f"{done}/{len(requests)} jobs served from cache")
+
+        if self.coordinator is not None and pending:
+            self._compile_remote(
+                requests, keys, reports, pending, progress, return_errors
+            )
+            return reports
 
         workers = self.workers if self.workers is not None else 1
         jobs = [
@@ -141,6 +159,78 @@ class BatchCompiler:
             self.cache.put(key, outcome)
         return outcome
 
+    #: Results fetched per page when merging a distributed sweep.
+    REMOTE_PAGE = 64
+
+    def _compile_remote(
+        self,
+        requests: Sequence[CompilationRequest],
+        keys: List[Optional[str]],
+        reports: List[Optional[Union[CompilationReport, ReproError]]],
+        pending: List[int],
+        progress: Optional[ProgressFn],
+        return_errors: bool,
+    ) -> None:
+        """Run the cache misses as one sweep on the coordinator fleet.
+
+        Sweep job *i* is ``requests[pending[i]]``, so the merge is pure
+        index bookkeeping; every finished report also lands in the local
+        cache via :meth:`_finish`, making the next run incremental.
+        """
+        # Imported lazily: repro.api must stay importable without
+        # dragging the service package (and its asyncio surface) in.
+        from ..service.client import ServiceClient
+        from ..service.jobs import request_to_payload
+
+        payloads = [request_to_payload(requests[i]) for i in pending]
+        with ServiceClient(self.coordinator) as client:
+            status = client.submit_sweep({"jobs": payloads})
+            sweep_id = str(status["sweep"])
+            if progress:
+                progress(
+                    f"sweep {sweep_id}: {len(pending)} jobs submitted to "
+                    f"{self.coordinator}"
+                )
+            reported = -1
+            while status.get("state") == "open":
+                time.sleep(0.25)
+                status = client.sweep(sweep_id)
+                finished = int(status.get("done", 0)) + int(
+                    status.get("failed", 0)
+                )
+                if progress and finished != reported:
+                    reported = finished
+                    progress(
+                        f"sweep {sweep_id}: {finished}/{status['total']} "
+                        f"jobs finished "
+                        f"({status.get('active_workers', 0)} workers)"
+                    )
+            for start in range(0, len(pending), self.REMOTE_PAGE):
+                page = client.sweep_results(
+                    sweep_id,
+                    start=start,
+                    stop=start + self.REMOTE_PAGE,
+                    pickle=True,
+                )
+                for row in page["results"]:
+                    index = pending[int(row["index"])]
+                    if row.get("state") == "done":
+                        report = pickle.loads(
+                            base64.b64decode(str(row["report"]).encode("ascii"))
+                        )
+                        reports[index] = self._finish(keys[index], report)
+                    else:
+                        err = ReproError(
+                            str(
+                                row.get("error")
+                                or f"sweep job {row['index']} ended "
+                                f"{row.get('state')!r}"
+                            )
+                        )
+                        if not return_errors:
+                            raise err
+                        reports[index] = err
+
 
 def compile_many(
     requests: Sequence[CompilationRequest],
@@ -150,10 +240,15 @@ def compile_many(
     pool: Optional[Executor] = None,
     progress: Optional[ProgressFn] = None,
     return_errors: bool = False,
+    coordinator: Optional[str] = None,
 ) -> List[Union[CompilationReport, ReproError]]:
     """One-shot convenience wrapper around :class:`BatchCompiler`."""
     compiler = BatchCompiler(
-        toolchain=toolchain, cache=cache, workers=workers, pool=pool
+        toolchain=toolchain,
+        cache=cache,
+        workers=workers,
+        pool=pool,
+        coordinator=coordinator,
     )
     return compiler.compile_many(
         requests, progress=progress, return_errors=return_errors

@@ -142,6 +142,14 @@ def _parser() -> argparse.ArgumentParser:
         "--cache", type=str, default=None, help="on-disk compilation cache directory"
     )
     batch.add_argument(
+        "--coordinator",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="run cache misses as one distributed sweep on this "
+        "'repro serve' coordinator instead of compiling locally",
+    )
+    batch.add_argument(
         "--clear-cache", action="store_true", help="empty the cache before compiling"
     )
     batch.add_argument(
@@ -265,6 +273,14 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool width for the compile phase (default: serial)",
+    )
+    verify.add_argument(
+        "--coordinator",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="distribute the compile phase as one sweep on this "
+        "'repro serve' coordinator (execution stays local)",
     )
     _search_arg(verify)
 
@@ -393,6 +409,77 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed for probabilistic fault rules (default: 0)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull-based sweep worker for a 'repro serve' coordinator",
+    )
+    worker.add_argument(
+        "--coordinator",
+        type=str,
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator daemon to pull chunks from",
+    )
+    worker.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="worker name for leases/metrics (default: w<pid>)",
+    )
+    worker.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        help="local on-disk compilation cache directory (share the "
+        "coordinator's to skip redundant compiles)",
+    )
+    worker.add_argument(
+        "--chunk-factor",
+        type=float,
+        default=2.0,
+        help="self-scheduling divisor: chunk = remaining / "
+        "(workers * factor), clamped (default: 2.0)",
+    )
+    worker.add_argument(
+        "--min-chunk", type=int, default=1, help="smallest chunk claimed"
+    )
+    worker.add_argument(
+        "--max-chunk", type=int, default=32, help="largest chunk claimed"
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between polls when no work is granted (default: 0.5)",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after this many seconds without work (default: run "
+        "until interrupted)",
+    )
+    worker.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="arm deterministic fault injection (e.g. "
+        "'worker-vanish:times=1'); test/chaos use",
+    )
+    worker.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for probabilistic fault rules (default: 0)",
+    )
+    worker.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the worker's final stats JSON here on exit",
     )
 
     lint = sub.add_parser(
@@ -593,6 +680,39 @@ def _serve_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _worker_command(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from . import faults
+    from .service.worker import SweepWorker
+
+    if args.faults:
+        faults.install(
+            faults.FaultPlan.from_spec(args.faults, seed=args.fault_seed)
+        )
+    sweep_worker = SweepWorker(
+        args.coordinator,
+        name=args.name,
+        cache=args.cache,
+        chunk_factor=args.chunk_factor,
+        min_chunk=args.min_chunk,
+        max_chunk=args.max_chunk,
+        poll_interval=args.poll,
+        idle_exit=args.idle_exit,
+    )
+    try:
+        stats = sweep_worker.run()
+    except KeyboardInterrupt:
+        stats = dict(sweep_worker.stats, worker=sweep_worker.name)
+    line = json_module.dumps(stats, sort_keys=True)
+    print(f"repro worker exiting: {line}", file=sys.stderr)
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(line + "\n")
+    return 0
+
+
 def _lint_command(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -739,7 +859,11 @@ def _batch_command(args: argparse.Namespace) -> int:
             for k in cluster_counts
         ]
         shape = f"{len(names)} kernels x {len(cluster_counts)} cluster counts"
-    compiler = BatchCompiler(cache=args.cache, workers=args.workers)
+    compiler = BatchCompiler(
+        cache=args.cache,
+        workers=args.workers,
+        coordinator=args.coordinator,
+    )
     if args.clear_cache and compiler.cache is not None:
         removed = compiler.cache.clear()
         print(f"# cleared {removed} cache entries", file=sys.stderr)
@@ -924,7 +1048,15 @@ def _verify_command(args: argparse.Namespace) -> int:
         for name, machine in jobs
     ]
     compiled_reports = compile_many(
-        requests, toolchain=Toolchain.default(), workers=args.workers
+        requests,
+        toolchain=Toolchain.default(),
+        workers=args.workers,
+        coordinator=args.coordinator,
+        progress=(
+            (lambda msg: print(f"  {msg}", file=sys.stderr))
+            if args.coordinator
+            else None
+        ),
     )
     # The oracle phase fans across the same --workers pool the compile
     # phase used: each job is one (compiled, iterations) execution.
@@ -1081,6 +1213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _sensitivity_command(args)
     if args.command == "serve":
         return _serve_command(args)
+    if args.command == "worker":
+        return _worker_command(args)
     if args.command == "lint":
         return _lint_command(args)
     return _figures_command(args)

@@ -94,6 +94,19 @@ class ServiceError(ReproError):
         self.retry_after = retry_after
 
 
+class ServiceUnavailable(ServiceError):
+    """Raised when the service stays unreachable/busy past a deadline.
+
+    The retrying client converts an exhausted
+    :class:`~repro.service.client.RetryPolicy` ``total_deadline`` into
+    this error, so callers (the pull-worker loop, batch drivers) can
+    distinguish "gave up waiting" from a single failed exchange.
+    """
+
+    def __init__(self, message: str, retry_after=None):
+        super().__init__(message, status=503, retry_after=retry_after)
+
+
 class JournalError(ReproError):
     """Raised when the persistent job journal cannot be used at all."""
 

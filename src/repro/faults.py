@@ -27,7 +27,15 @@ The catalog of points (see :data:`FAULT_POINTS`):
     exercising client retry;
 ``journal-torn-write``
     a journal append stops halfway through the line (a crash mid-write),
-    exercising torn-tail truncation on replay.
+    exercising torn-tail truncation on replay;
+``worker-vanish``
+    a sweep worker claims a chunk and then disappears without ever
+    heartbeating or completing it, exercising lease expiry and chunk
+    requeue on the coordinator;
+``slow-worker``
+    a sweep worker sleeps ``delay`` seconds before each job in a chunk
+    (a straggler), exercising heartbeat-extended leases and
+    lease-steal/duplicate-completion resolution.
 
 Schedules are deterministic: a rule fires on explicit 1-based occurrence
 indices (``times=2+5``), on every Nth occurrence (``every=3``), or with
@@ -64,6 +72,8 @@ FAULT_POINTS: Tuple[str, ...] = (
     "corrupt-cache-entry",
     "conn-reset",
     "journal-torn-write",
+    "worker-vanish",
+    "slow-worker",
 )
 
 #: Exit status a crashed pool worker dies with (BSD's EX_SOFTWARE).

@@ -6,7 +6,11 @@ work, applies priority-lane admission control and exposes live metrics.
 Fault tolerance rides on three pieces: a persistent job journal
 (:mod:`repro.service.journal`), worker-pool supervision
 (:mod:`repro.service.supervisor`) and a retrying client policy
-(:class:`~repro.service.client.RetryPolicy`).
+(:class:`~repro.service.client.RetryPolicy`).  Since PR 10 the daemon
+also coordinates **distributed sweeps** (:mod:`repro.service.sweep`):
+pull-based :class:`~repro.service.worker.SweepWorker` processes claim
+self-scheduled chunks under heartbeat leases and a coordinator crash
+replays open sweeps from the journal.
 See :mod:`repro.service.daemon` for the architecture overview and
 :mod:`repro.service.client` for the blocking client.
 """
@@ -26,6 +30,8 @@ from .jobs import (
 from .journal import JobJournal, JournalEntry, ReplayStats
 from .metrics import LatencyHistogram, ServiceMetrics
 from .supervisor import PoolSupervisor
+from .sweep import Sweep, SweepCoordinator, chunk_size
+from .worker import SweepWorker
 
 __all__ = [
     "CompileService",
@@ -41,7 +47,11 @@ __all__ = [
     "RetryPolicy",
     "ServiceClient",
     "ServiceMetrics",
+    "Sweep",
+    "SweepCoordinator",
+    "SweepWorker",
     "TransportError",
+    "chunk_size",
     "ddg_from_dict",
     "ddg_to_dict",
     "loop_from_dict",

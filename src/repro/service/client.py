@@ -42,7 +42,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
-from ..errors import ServiceError
+from ..errors import ServiceError, ServiceUnavailable
 from .http import ProtocolError, decode_chunks
 from .jobs import request_to_payload
 
@@ -80,6 +80,13 @@ class RetryPolicy:
     drawn from a :class:`random.Random` seeded with ``jitter_seed`` —
     deterministic per client, decorrelated across differently-seeded
     clients.  ``retry_busy`` gates honoring ``Retry-After`` on 429/503.
+
+    ``total_deadline`` bounds one exchange's *total* wall clock
+    (monotonic), retries and backoff sleeps included: a daemon that
+    keeps answering 503 + ``Retry-After`` cannot pin a caller forever —
+    once the next sleep would overrun the deadline the client raises
+    :class:`~repro.errors.ServiceUnavailable` instead of sleeping.
+    ``None`` restores the old unbounded behavior.
     """
 
     max_attempts: int = 4
@@ -91,6 +98,7 @@ class RetryPolicy:
     jitter: float = 0.5
     jitter_seed: int = 0
     retry_busy: bool = True
+    total_deadline: Optional[float] = 600.0
 
     def backoff(self, attempt: int, rng: random.Random) -> float:
         """Sleep before *attempt* (the first retry is attempt 2)."""
@@ -267,6 +275,9 @@ class ServiceClient:
         """The retrying exchange (see the module doc for the policy)."""
         policy = self.policy
         busy_ok = policy.retry_busy if retry_busy is None else retry_busy
+        deadline = None
+        if policy.total_deadline is not None:
+            deadline = time.monotonic() + policy.total_deadline
         attempt = 0
         while True:
             attempt += 1
@@ -278,7 +289,9 @@ class ServiceClient:
                 if attempt >= policy.max_attempts:
                     raise
                 self.retries["transport"] += 1
-                time.sleep(policy.backoff(attempt + 1, self._rng))
+                self._backoff_sleep(
+                    policy.backoff(attempt + 1, self._rng), deadline, path
+                )
                 continue
             if (
                 busy_ok
@@ -291,9 +304,20 @@ class ServiceClient:
                     delay = float(headers["retry-after"])
                 except ValueError:
                     delay = policy.backoff(attempt + 1, self._rng)
-                time.sleep(delay)
+                self._backoff_sleep(delay, deadline, path)
                 continue
             return status, headers, document
+
+    def _backoff_sleep(
+        self, delay: float, deadline: Optional[float], path: str
+    ) -> None:
+        """Sleep before a retry — unless that would bust the deadline."""
+        if deadline is not None and time.monotonic() + delay > deadline:
+            raise ServiceUnavailable(
+                f"service at {self.host}:{self.port} still unavailable for "
+                f"{path} after {self.policy.total_deadline:g}s; giving up"
+            )
+        time.sleep(delay)
 
     def _expect_ok(
         self, status: int, document: object, headers: Optional[Dict[str, str]] = None
@@ -357,25 +381,65 @@ class ServiceClient:
         status, headers, document = self._roundtrip("GET", f"/jobs/{job_id}")
         return self._expect_ok(status, document, headers)
 
-    def events(self, job_id: int) -> Iterator[Dict[str, object]]:
+    def events(self, job_id: int, since: int = 0) -> Iterator[Dict[str, object]]:
         """Stream a job's events until it reaches a terminal state.
 
         Yields each event dict as the daemon emits it (chunked JSON
-        lines decoded incrementally).  Streaming is never retried — a
-        reconnect would replay events the caller already consumed — but
-        the socket is always released, even when the consumer abandons
-        the generator mid-stream.
+        lines decoded incrementally).  The stream is **resumable**: a
+        mid-stream disconnect (reset by peer, truncated stream) makes
+        the iterator reconnect with ``?since=<consumed>`` — the daemon
+        replays only the events this iterator has not yielded yet, so
+        the consumer sees each event exactly once.  *since* starts the
+        stream at a given offset for callers resuming across their own
+        restarts.  Reconnects share the policy's ``max_attempts`` bound
+        on *consecutive* failures (progress resets the count); the
+        socket is always released, even when the consumer abandons the
+        generator mid-stream.
+        """
+        consumed = max(0, int(since))
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for event in self._events_once(job_id, consumed):
+                    consumed += 1
+                    progressed = True
+                    yield event
+                return
+            except TransportError:
+                if progressed:
+                    failures = 0
+                failures += 1
+                if failures >= self.policy.max_attempts:
+                    raise
+                self.retries["transport"] += 1
+                time.sleep(self.policy.backoff(failures + 1, self._rng))
+
+    def _events_once(
+        self, job_id: int, start: int
+    ) -> Iterator[Dict[str, object]]:
+        """One event-stream connection from offset *start* (no retry).
+
+        Raises :class:`TransportError` when the stream dies before the
+        terminating zero-length chunk — the resume wrapper's signal to
+        reconnect.  (The pre-resume client swallowed that EOF and
+        silently dropped the tail of the stream.)
         """
         sock = self._connect()
         try:
-            self._send_request(sock, "GET", f"/jobs/{job_id}/events", None)
+            self._send_request(
+                sock, "GET", f"/jobs/{job_id}/events?since={start}", None
+            )
             buffer = b""
             head_done = False
             status = 200
             finished = False
             pending_text = b""
             while not finished:
-                piece = sock.recv(65536)
+                try:
+                    piece = sock.recv(65536)
+                except OSError as err:
+                    raise TransportError(f"event stream read failed: {err}")
                 if not piece:
                     break
                 buffer += piece
@@ -401,10 +465,94 @@ class ServiceClient:
                         line, _, pending_text = pending_text.partition(b"\n")
                         if line.strip():
                             yield json.loads(line.decode("utf-8"))
-            if pending_text.strip():
-                yield json.loads(pending_text.decode("utf-8"))
+            if not finished:
+                raise TransportError(
+                    "event stream severed before the terminal event"
+                )
         finally:
             self._release(sock)
+
+    # ------------------------------------------------------------------
+    # Sweep API (coordinator + worker verbs, see repro.service.sweep)
+    # ------------------------------------------------------------------
+
+    def sweeps(self) -> Dict[str, object]:
+        """Every sweep the coordinator remembers: ``{"sweeps": [...]}``."""
+        status, headers, document = self._roundtrip("GET", "/sweeps")
+        return self._expect_ok(status, document, headers)
+
+    def submit_sweep(self, spec: Dict[str, object]) -> Dict[str, object]:
+        """Submit one sweep spec; idempotent on the spec's content hash."""
+        status, headers, document = self._roundtrip("POST", "/sweeps", spec)
+        return self._expect_ok(status, document, headers)
+
+    def sweep(self, sweep_id: str, jobs: bool = False) -> Dict[str, object]:
+        """One sweep's status (``jobs=True`` adds the per-job detail)."""
+        path = f"/sweeps/{sweep_id}"
+        if jobs:
+            path += "?jobs=1"
+        status, headers, document = self._roundtrip("GET", path)
+        return self._expect_ok(status, document, headers)
+
+    def sweep_results(
+        self,
+        sweep_id: str,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        pickle: bool = False,
+    ) -> Dict[str, object]:
+        """A page of per-job results (``pickle=True`` ships reports)."""
+        params = []
+        if start is not None:
+            params.append(f"start={int(start)}")
+        if stop is not None:
+            params.append(f"stop={int(stop)}")
+        if pickle:
+            params.append("pickle=1")
+        path = f"/sweeps/{sweep_id}/results"
+        if params:
+            path += "?" + "&".join(params)
+        status, headers, document = self._roundtrip("GET", path)
+        return self._expect_ok(status, document, headers)
+
+    def sweep_claim(
+        self, sweep_id: str, worker: str, count: int = 1
+    ) -> Dict[str, object]:
+        """Claim up to *count* jobs under a lease (worker verb).
+
+        *count* is the worker's own self-scheduling chunk size — see
+        :func:`repro.service.sweep.chunk_size`.
+        """
+        status, headers, document = self._roundtrip(
+            "POST",
+            f"/sweeps/{sweep_id}/claim",
+            {"worker": worker, "count": int(count)},
+        )
+        return self._expect_ok(status, document, headers)
+
+    def sweep_heartbeat(
+        self, sweep_id: str, worker: str, chunk: str
+    ) -> Dict[str, object]:
+        """Extend one chunk's lease (worker verb; never busy-retried —
+        a heartbeat is only useful now)."""
+        status, headers, document = self._roundtrip(
+            "POST",
+            f"/sweeps/{sweep_id}/heartbeat",
+            {"worker": worker, "chunk": chunk},
+            retry_busy=False,
+        )
+        return self._expect_ok(status, document, headers)
+
+    def sweep_complete(
+        self, sweep_id: str, worker: str, chunk: str, results
+    ) -> Dict[str, object]:
+        """Deliver one chunk's results (worker verb; idempotent)."""
+        status, headers, document = self._roundtrip(
+            "POST",
+            f"/sweeps/{sweep_id}/complete",
+            {"worker": worker, "chunk": chunk, "results": list(results)},
+        )
+        return self._expect_ok(status, document, headers)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ServiceClient {self.host}:{self.port}>"

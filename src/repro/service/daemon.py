@@ -39,18 +39,33 @@ expensive state of a compile session resident between requests:
   through the compile path and the HTTP writer so every recovery path
   above is testable on demand.
 
+Since PR 10 the daemon also acts as a **sweep coordinator**
+(:mod:`repro.service.sweep`): pull-based ``repro worker`` processes
+claim self-scheduled chunks of a sweep's job space under heartbeat
+leases, and the sweep ledger rides the same journal so open sweeps
+survive a coordinator ``kill -9``.
+
 The HTTP surface (see :mod:`repro.service.http` for framing):
 
-=======  =====================  ==========================================
-method   path                   meaning
-=======  =====================  ==========================================
-GET      ``/healthz``           liveness + drain state
-GET      ``/metrics``           full metrics JSON
-POST     ``/compile``           compile payload (:mod:`repro.service.jobs`);
-                                blocks until done unless ``"wait": false``
-GET      ``/jobs/<id>``         job status / result
-GET      ``/jobs/<id>/events``  chunked event stream until terminal
-=======  =====================  ==========================================
+=======  ==========================  =====================================
+method   path                        meaning
+=======  ==========================  =====================================
+GET      ``/healthz``                liveness + drain state
+GET      ``/metrics``                full metrics JSON
+POST     ``/compile``                compile payload
+                                     (:mod:`repro.service.jobs`); blocks
+                                     until done unless ``"wait": false``
+GET      ``/jobs/<id>``              job status / result
+GET      ``/jobs/<id>/events``       chunked event stream until terminal
+                                     (``?since=N`` resumes at offset N)
+GET      ``/sweeps``                 list sweeps
+POST     ``/sweeps``                 submit a sweep spec (idempotent)
+GET      ``/sweeps/<id>``            sweep status (``?jobs=1`` for detail)
+GET      ``/sweeps/<id>/results``    per-job results page
+POST     ``/sweeps/<id>/claim``      worker: claim a chunk under a lease
+POST     ``/sweeps/<id>/heartbeat``  worker: extend a chunk lease
+POST     ``/sweeps/<id>/complete``   worker: deliver chunk results
+=======  ==========================  =====================================
 """
 
 from __future__ import annotations
@@ -80,6 +95,7 @@ from .jobs import PRIORITY_LANES, ParsedJob, parse_compile_payload
 from .journal import JobJournal, JournalEntry
 from .metrics import ServiceMetrics
 from .supervisor import PoolSupervisor
+from .sweep import SweepCoordinator, encode_report
 
 #: Job states; the last four are terminal.
 JOB_STATES = ("queued", "running", "done", "failed", "shed", "quarantined")
@@ -172,9 +188,14 @@ class Job:
             info["error"] = str(err)
         return info
 
-    async def stream_events(self):
-        """Yield events in order until the job reaches a terminal state."""
-        index = 0
+    async def stream_events(self, start: int = 0):
+        """Yield events in order until the job reaches a terminal state.
+
+        *start* skips already-consumed events, so a client whose stream
+        connection died can reconnect with ``?since=N`` and resume
+        exactly where it left off instead of replaying from zero.
+        """
+        index = max(0, start)
         while True:
             while index < len(self.events):
                 yield self.events[index]
@@ -278,6 +299,8 @@ class CompileService:
         self._draining = False
         self._drained = asyncio.Event()
         self._server: Optional[asyncio.AbstractServer] = None
+        self.sweeps = SweepCoordinator(self)
+        self._sweep_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Executor construction (startup and supervisor respawn)
@@ -322,6 +345,11 @@ class CompileService:
         """Bind and start serving; returns the actual (host, port)."""
         await self.warm_pool()
         await self._recover()
+        # The lease-expiry tick starts after recovery so re-advertised
+        # chunks of a replayed sweep are in place before the first scan.
+        self._sweep_task = asyncio.get_running_loop().create_task(
+            self.sweeps.run_ticks()
+        )
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
         )
@@ -386,6 +414,13 @@ class CompileService:
         for key, entry in sorted(entries.items()):
             if entry.terminal:
                 continue
+            if entry.is_sweep:
+                # Open sweep: re-enumerate its job space from the spec,
+                # prefill from the content-hash cache, re-advertise the
+                # rest (the sweep branch must come before the wait
+                # check — sweep records have no wait flag).
+                await self.sweeps.recover(entry)
+                continue
             if entry.wait or entry.payload is None:
                 await self._journal_event(
                     "failed",
@@ -440,6 +475,13 @@ class CompileService:
         if server is not None:
             server.close()
             await server.wait_closed()
+        task, self._sweep_task = self._sweep_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
         if self._owns_executor:
             self.executor.shutdown(wait=False, cancel_futures=True)
         if self._journal_pool is not None:
@@ -476,6 +518,7 @@ class CompileService:
             supervisor=self.supervisor.counters(),
             journal=journal_counters,
             faults=plan.counters() if plan is not None else None,
+            sweep=self.sweeps.counters(),
         )
 
     # ------------------------------------------------------------------
@@ -854,7 +897,14 @@ class CompileService:
                 )
             elif len(route) == 3 and route == ("jobs", route[1], "events"):
                 job = self._job_for(route[1])
-                await h.write_event_stream(writer, job.stream_events())
+                since = self._int_query(request, "since", 0)
+                await h.write_event_stream(
+                    writer, job.stream_events(start=since)
+                )
+            elif route == ("sweeps",):
+                await self._handle_sweeps(request, writer)
+            elif len(route) >= 2 and route[0] == "sweeps":
+                await self._handle_sweep(request, writer)
             else:
                 raise ServiceError(f"no route {request.path!r}", status=404)
         except ServiceError as err:
@@ -866,6 +916,96 @@ class CompileService:
                     extra_headers=_retry_headers(err),
                 ),
             )
+
+    @staticmethod
+    def _int_query(request: h.HTTPRequest, name: str, default: int) -> int:
+        raw = request.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ServiceError(
+                f"query parameter {name!r} must be an integer", status=400
+            )
+
+    async def _handle_sweeps(self, request: h.HTTPRequest, writer) -> None:
+        """``/sweeps``: list (GET) or submit a spec (POST, idempotent)."""
+        if request.method == "GET":
+            await h.write_response(
+                writer,
+                h.json_response(200, {"sweeps": self.sweeps.list_sweeps()}),
+            )
+            return
+        if request.method != "POST":
+            raise ServiceError("use GET or POST /sweeps", status=405)
+        status = await self.sweeps.submit(request.json())
+        await h.write_response(writer, h.json_response(200, status))
+
+    async def _handle_sweep(self, request: h.HTTPRequest, writer) -> None:
+        """``/sweeps/<id>`` status and the worker-facing verbs."""
+        route = request.route
+        if len(route) == 2:
+            if request.method != "GET":
+                raise ServiceError("use GET /sweeps/<id>", status=405)
+            sweep = self.sweeps.get(route[1])
+            include_jobs = request.query.get("jobs") not in (None, "0")
+            await h.write_response(
+                writer,
+                h.json_response(
+                    200, self.sweeps.status(sweep, include_jobs=include_jobs)
+                ),
+            )
+            return
+        if len(route) != 3:
+            raise ServiceError(f"no route {request.path!r}", status=404)
+        sweep_id, verb = route[1], route[2]
+        if verb == "results":
+            if request.method != "GET":
+                raise ServiceError("use GET /sweeps/<id>/results", status=405)
+            sweep = self.sweeps.get(sweep_id)
+            start = self._int_query(request, "start", 0)
+            stop = self._int_query(request, "stop", len(sweep.jobs))
+            want_pickle = request.query.get("pickle") not in (None, "0")
+            rows = self.sweeps.result_rows(sweep, start, stop)
+            if want_pickle:
+                loop = asyncio.get_running_loop()
+                blobs = await loop.run_in_executor(
+                    None,
+                    lambda: [
+                        encode_report(report) if report is not None else None
+                        for _, report in rows
+                    ],
+                )
+                # The rows snapshot is immutable after result_rows(), so
+                # describing + the executor encode cannot disagree.
+                for (info, _), blob in zip(rows, blobs):
+                    if blob is not None:
+                        info["report"] = blob
+            await h.write_response(
+                writer,
+                h.json_response(
+                    200,
+                    {
+                        "sweep": sweep.id,
+                        "state": sweep.state,
+                        "start": max(0, start),
+                        "results": [info for info, _ in rows],
+                    },
+                ),
+            )
+            return
+        if request.method != "POST":
+            raise ServiceError(f"use POST /sweeps/<id>/{verb}", status=405)
+        if verb == "claim":
+            result = self.sweeps.claim(sweep_id, request.json())
+        elif verb == "heartbeat":
+            result = self.sweeps.heartbeat(sweep_id, request.json())
+        elif verb == "complete":
+            result = await self.sweeps.complete(sweep_id, request.json())
+        else:
+            raise ServiceError(f"no route {request.path!r}", status=404)
+        await h.write_response(writer, h.json_response(200, result))
 
     def _job_for(self, token: str) -> Job:
         try:

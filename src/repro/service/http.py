@@ -264,10 +264,20 @@ async def write_response(writer, data: bytes) -> None:
 
 
 async def write_event_stream(writer, events: AsyncIterator[dict]) -> None:
-    """Stream *events* as chunked JSON lines, then the final chunk."""
+    """Stream *events* as chunked JSON lines, then the final chunk.
+
+    ``conn-reset`` is checked before every event, not just at the head:
+    an armed fault can sever the stream mid-flight, which is exactly the
+    failure the client's ``since=``-offset resume path exists for.
+    """
     writer.write(format_response_head(200, chunked=True))
     await writer.drain()
     async for event in events:
+        if faults.fire("conn-reset"):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return
         line = (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
         writer.write(encode_chunk(line))
         await writer.drain()

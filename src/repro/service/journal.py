@@ -25,6 +25,17 @@ Neither stops recovery: the journal degrades record by record.
 record per still-live job (terminal histories are dropped), atomically
 (tmp + fsync + rename), so the journal stays proportional to live work
 instead of growing forever.
+
+The sweep coordinator (:mod:`repro.service.sweep`) rides the same file
+with four ``sweep-*`` record types keyed ``sweep:<id>``:
+``sweep-submitted`` carries the sweep spec, ``sweep-progress`` records
+accumulate — each carries the job indices a completed chunk finished
+(``done``: index -> content-hash key) or permanently failed
+(``failed``: index -> error) and replay takes their union, unlike the
+rank-replacement job events — and ``sweep-done``/``sweep-failed`` are
+terminal.  Compaction keeps an open sweep as one synthesized
+``sweep-submitted`` plus (when it has progress) one merged
+``sweep-progress`` record, so recompaction stays byte-idempotent.
 """
 
 from __future__ import annotations
@@ -54,7 +65,16 @@ EVENT_RANK = {
     "failed": 2,
     "shed": 2,
     "quarantined": 2,
+    "sweep-submitted": 0,
+    "sweep-progress": 1,
+    "sweep-done": 2,
+    "sweep-failed": 2,
 }
+
+#: Events that describe a sweep ledger entry rather than a single job.
+SWEEP_EVENTS = frozenset(
+    event for event in EVENT_RANK if event.startswith("sweep-")
+)
 
 TERMINAL_EVENTS = frozenset(
     event for event, rank in EVENT_RANK.items() if rank == 2
@@ -79,10 +99,20 @@ class JournalEntry:
     payload: Optional[Dict[str, object]] = None
     crashes: int = 0
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Sweep-only accumulators: job index (as a string — JSON object
+    #: keys) -> content-hash key / error text.  Unlike the ranked
+    #: ``event``, these union across every ``sweep-progress`` record.
+    sweep_done: Dict[str, str] = field(default_factory=dict)
+    sweep_failed: Dict[str, str] = field(default_factory=dict)
 
     @property
     def terminal(self) -> bool:
         return self.event in TERMINAL_EVENTS
+
+    @property
+    def is_sweep(self) -> bool:
+        """Whether this entry is a sweep ledger entry, not a job."""
+        return self.event in SWEEP_EVENTS
 
     def absorb(self, record: Dict[str, object]) -> None:
         """Fold one valid record for this key into the entry."""
@@ -94,13 +124,25 @@ class JournalEntry:
         if record.get("priority") is not None:
             self.priority = str(record["priority"])
         self.crashes = max(self.crashes, int(record.get("crashes", 0)))
+        if event in SWEEP_EVENTS:
+            done = record.get("done")
+            if isinstance(done, dict):
+                self.sweep_done.update(
+                    {str(k): str(v) for k, v in done.items()}
+                )
+            failed = record.get("failed")
+            if isinstance(failed, dict):
+                self.sweep_failed.update(
+                    {str(k): str(v) for k, v in failed.items()}
+                )
         if EVENT_RANK.get(event, -1) >= EVENT_RANK.get(self.event, -1):
             self.event = event
             self.extra = {
                 name: value
                 for name, value in record.items()
                 if name not in ("v", "seq", "event", "key", "wait",
-                                "priority", "payload", "crashes", "sum")
+                                "priority", "payload", "crashes", "sum",
+                                "done", "failed")
             }
 
 
@@ -274,13 +316,16 @@ class JobJournal:
     # ------------------------------------------------------------------
 
     def compact(self) -> Tuple[int, int]:
-        """Drop terminal histories; keep one record per live job.
+        """Drop terminal histories; keep minimal records per live key.
 
-        Rewrites the journal atomically with a synthesized ``submitted``
-        record per non-terminal key (payload, lane and crash budget
-        preserved), renumbered from ``seq=1``.  Idempotent: compacting a
-        compacted journal rewrites identical content.  Returns
-        ``(kept, dropped)`` key counts.
+        Rewrites the journal atomically, renumbered from ``seq=1``: a
+        synthesized ``submitted`` record per non-terminal job (payload,
+        lane and crash budget preserved); for a non-terminal *sweep*, a
+        synthesized ``sweep-submitted`` (spec payload) plus — when the
+        sweep has progress — one merged ``sweep-progress`` record, so
+        completed chunk indices stay durable across compactions.
+        Idempotent: compacting a compacted journal rewrites identical
+        content.  Returns ``(kept, dropped)`` key counts.
         """
         entries, _ = self.replay(repair=True)
         live = sorted(
@@ -293,8 +338,45 @@ class JobJournal:
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    for seq, entry in enumerate(live, 1):
-                        record: Dict[str, object] = {
+                    seq = 0
+
+                    def _write(record: Dict[str, object]) -> None:
+                        record["sum"] = _checksum(record)
+                        handle.write(
+                            (json.dumps(record, sort_keys=True) + "\n").encode(
+                                "utf-8"
+                            )
+                        )
+
+                    for entry in live:
+                        seq += 1
+                        if entry.is_sweep:
+                            record: Dict[str, object] = {
+                                "v": JOURNAL_VERSION,
+                                "seq": seq,
+                                "event": "sweep-submitted",
+                                "key": entry.key,
+                            }
+                            if entry.payload is not None:
+                                record["payload"] = entry.payload
+                            _write(record)
+                            if entry.sweep_done or entry.sweep_failed:
+                                seq += 1
+                                progress: Dict[str, object] = {
+                                    "v": JOURNAL_VERSION,
+                                    "seq": seq,
+                                    "event": "sweep-progress",
+                                    "key": entry.key,
+                                }
+                                if entry.sweep_done:
+                                    progress["done"] = dict(entry.sweep_done)
+                                if entry.sweep_failed:
+                                    progress["failed"] = dict(
+                                        entry.sweep_failed
+                                    )
+                                _write(progress)
+                            continue
+                        record = {
                             "v": JOURNAL_VERSION,
                             "seq": seq,
                             "event": "submitted",
@@ -306,12 +388,7 @@ class JobJournal:
                             record["payload"] = entry.payload
                         if entry.crashes:
                             record["crashes"] = entry.crashes
-                        record["sum"] = _checksum(record)
-                        handle.write(
-                            (json.dumps(record, sort_keys=True) + "\n").encode(
-                                "utf-8"
-                            )
-                        )
+                        _write(record)
                     handle.flush()
                     if self.fsync:
                         os.fsync(handle.fileno())
@@ -332,7 +409,7 @@ class JobJournal:
                 raise JournalError(
                     f"cannot reopen compacted journal {self.path}: {err}"
                 )
-            self._seq = len(live)
+            self._seq = seq
             self.compactions += 1
         return len(live), len(entries) - len(live)
 

@@ -106,13 +106,15 @@ class ServiceMetrics:
         supervisor: Optional[Dict[str, object]] = None,
         journal: Optional[Dict[str, object]] = None,
         faults: Optional[Dict[str, object]] = None,
+        sweep: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """One JSON document of everything.
 
         The fault-tolerance sections are always present (stable schema
         for scrapers): ``supervisor`` carries respawn/quarantine
-        counters, ``journal`` and ``faults`` are ``None`` when the
-        corresponding subsystem is not configured/armed.
+        counters; ``journal``, ``faults`` and ``sweep`` are ``None``
+        when the corresponding subsystem is not configured/armed (for
+        ``sweep``: before the first sweep is submitted).
         """
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -140,5 +142,6 @@ class ServiceMetrics:
             "supervisor": supervisor,
             "journal": journal,
             "faults": faults,
+            "sweep": sweep,
             "latency_ms": self.latency.to_dict(),
         }

@@ -21,6 +21,14 @@ against real processes:
    jobs to completion; their results must be served from cache and be
    bit-identical to local compiles of the same payloads.
 
+``--dist --seed N`` runs the distributed-sweep story (PR 10): a
+coordinator daemon plus two ``repro worker`` subprocesses execute one
+sweep under heartbeat leases; one worker is SIGKILLed mid-chunk, then
+the coordinator itself is SIGKILLed and restarted on the same journal +
+cache.  The sweep must still complete, at least one lease must have
+expired and been requeued, and every per-job fingerprint must be
+bit-identical to a local single-host compile of the same job space.
+
 All deadlines use ``time.monotonic()`` — wall-clock (``time.time()``)
 deadlines go wrong under NTP steps exactly when a long chaos run is in
 flight.
@@ -390,6 +398,201 @@ def run_chaos(args: argparse.Namespace) -> int:
     return status
 
 
+# ----------------------------------------------------------------------
+# Distributed-sweep mode
+# ----------------------------------------------------------------------
+
+#: The dist-smoke sweep: 8 jobs, short leases so a vanished worker's
+#: chunk requeues within seconds, generous requeue budget so the two
+#: injected kills never push a job into poison quarantine.
+DIST_SPEC = {
+    "kernels": ["fir_filter", "daxpy", "vector_add", "dot_product"],
+    "clusters": [2, 4],
+    "topologies": ["ring"],
+    "config": {"search": "ladder"},
+    "lease": 1.5,
+    "max_requeues": 8,
+    "label": "dist-smoke",
+}
+
+#: Every worker job sleeps 0.4s, so the SIGKILLs below reliably land
+#: while chunks are leased (and the heartbeat threads are exercised).
+DIST_WORKER_FAULTS = "slow-worker:every=1:delay=0.4"
+
+
+def _start_worker(address: str, name: str, faults: str, seed: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--coordinator", address,
+            "--name", name,
+            "--poll", "0.1",
+            "--idle-exit", "20",
+            "--max-chunk", "2",
+            "--faults", faults,
+            "--fault-seed", str(seed),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+
+
+def run_dist(args: argparse.Namespace) -> int:
+    checks: List[Dict[str, object]] = []
+    artifact: Dict[str, object] = {"checks": checks, "seed": args.seed}
+    tmp = tempfile.mkdtemp(prefix="repro-dist-")
+    journal = os.path.join(tmp, "journal.jsonl")
+    cache_dir = os.path.join(tmp, "cache")
+    procs: List[subprocess.Popen] = []
+
+    def coordinator(name: str, port: int = 0) -> ServiceClient:
+        port_file = os.path.join(tmp, f"{name}.port")
+        proc = _start_daemon(
+            port_file, 0,
+            ["--journal", journal, "--cache", cache_dir,
+             "--port", str(port)],
+        )
+        procs.append(proc)
+        address = _wait_for_port_file(port_file, args.timeout)
+        return ServiceClient(
+            address,
+            policy=RetryPolicy(
+                max_attempts=5,
+                connect_timeout=10.0,
+                read_timeout=args.timeout,
+                jitter_seed=args.seed,
+            ),
+        )
+
+    def victim_claims(client: ServiceClient) -> int:
+        section = client.metrics().get("sweep")
+        if not section:
+            return 0
+        return int(section["workers"].get("victim", {}).get("claims", 0))
+
+    try:
+        client = coordinator("coordinator")
+        address = f"{client.host}:{client.port}"
+        _check(checks, "dist-startup",
+               client.healthz().get("status") == "ok",
+               f"coordinator up at {address}")
+        status_doc = client.submit_sweep(dict(DIST_SPEC, seed=args.seed))
+        sweep_id = str(status_doc["sweep"])
+        _check(checks, "dist-submit",
+               status_doc["state"] == "open" and status_doc["total"] == 8,
+               f"sweep {sweep_id}: {status_doc['total']} jobs enumerated")
+        _check(checks, "dist-idempotent-submit",
+               client.submit_sweep(dict(DIST_SPEC, seed=args.seed))["sweep"]
+               == sweep_id,
+               "re-POST of the same spec returned the same sweep")
+
+        victim = _start_worker(address, "victim", DIST_WORKER_FAULTS, args.seed)
+        survivor = _start_worker(address, "survivor", DIST_WORKER_FAULTS, args.seed)
+        procs += [victim, survivor]
+
+        # Wait for the victim to hold a lease, then SIGKILL it mid-chunk.
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline and victim_claims(client) == 0:
+            time.sleep(0.1)
+        _check(checks, "dist-victim-engaged", victim_claims(client) >= 1,
+               "victim worker claimed a chunk")
+        _kill_hard(victim)
+        _check(checks, "dist-worker-killed", True,
+               "victim worker SIGKILLed mid-chunk")
+
+        # The victim's lease expires without a heartbeat and the live
+        # coordinator requeues its chunk.  Observe that *before* killing
+        # the coordinator: the counters are in-memory, and after the
+        # restart the replay re-advertises the chunk without ever having
+        # seen its lease.
+        deadline = time.monotonic() + args.timeout
+        expiries = 0
+        while time.monotonic() < deadline and expiries == 0:
+            section = client.metrics().get("sweep") or {}
+            expiries = int(section.get("chunks", {}).get("lease_expiries", 0))
+            if expiries == 0:
+                time.sleep(0.2)
+        artifact["sweep_metrics_before_kill"] = section
+        _check(checks, "dist-lease-recovered",
+               expiries >= 1
+               and section["chunks"]["requeued"] >= 1,
+               f"lease_expiries={expiries} "
+               f"requeued={section['chunks']['requeued']}")
+
+        # Now SIGKILL the coordinator itself and restart it on the same
+        # journal + cache + port (the survivor keeps polling that port).
+        port = client.port
+        _kill_hard(procs[0])
+        client = coordinator("restarted", port=port)
+        _check(checks, "dist-coordinator-restarted",
+               client.healthz().get("status") == "ok",
+               f"coordinator SIGKILLed and restarted on port {port}")
+        recovered_doc = client.sweep(sweep_id)
+        _check(checks, "dist-sweep-recovered",
+               recovered_doc.get("recovered") is True,
+               f"journal replay brought the sweep back "
+               f"({recovered_doc['done']}/{recovered_doc['total']} done)")
+
+        # The surviving worker rides out the outage and drains the rest.
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline:
+            final = client.sweep(sweep_id)
+            if final["state"] != "open":
+                break
+            time.sleep(0.25)
+        _check(checks, "dist-sweep-completed",
+               final["state"] == "done" and final["done"] == final["total"],
+               f"state={final['state']} done={final['done']}/{final['total']}")
+
+        artifact["sweep_metrics"] = client.metrics()["sweep"]
+
+        # Bit-identity: every distributed fingerprint equals the local
+        # single-host compile of the same payload.
+        detail = client.sweep(sweep_id, jobs=True)
+        by_index = {job["index"]: job for job in detail["jobs"]}
+        from ..api import Toolchain
+        from .sweep import enumerate_sweep
+
+        plan = enumerate_sweep(dict(DIST_SPEC, seed=args.seed), Toolchain.default())
+        for index, payload in enumerate(plan.payloads):
+            _check(checks, f"dist-bit-identical:{index}",
+                   by_index[index]["fingerprint"] == _local_fingerprint(payload),
+                   f"{payload['kernel']}/ring{payload['clusters']} matches "
+                   f"a local compile")
+
+        survivor.send_signal(signal.SIGTERM)
+        survivor.communicate(timeout=args.timeout)
+        procs[-1].send_signal(signal.SIGTERM)
+        out, err = procs[-1].communicate(timeout=args.timeout)
+        _check(checks, "dist-clean-drain", procs[-1].returncode == 0,
+               f"coordinator exit={procs[-1].returncode}")
+        artifact["daemon_stdout"] = out
+        artifact["daemon_stderr"] = err
+        status = 0
+    except (SmokeFailure, ServiceError, subprocess.TimeoutExpired) as err:
+        artifact["error"] = str(err)
+        status = 1
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                _kill_hard(proc)
+    try:
+        with open(journal) as handle:
+            artifact["journal"] = handle.read()
+    except OSError:
+        artifact["journal"] = None
+    _write_artifact(args.out, artifact)
+    if args.out and artifact.get("journal"):
+        journal_out = os.path.splitext(args.out)[0] + "-journal.jsonl"
+        with open(journal_out, "w") as handle:
+            handle.write(artifact["journal"])
+        print(f"[smoke] wrote {journal_out}", flush=True)
+    print(f"[smoke] dist {'PASS' if status == 0 else 'FAIL'}", flush=True)
+    return status
+
+
 def _write_artifact(out: Optional[str], artifact: Dict[str, object]) -> None:
     if not out:
         return
@@ -418,12 +621,18 @@ def main(argv=None) -> int:
         help="run the fault-injection / kill-restart story instead",
     )
     parser.add_argument(
+        "--dist", action="store_true",
+        help="run the distributed-sweep kill/restart story instead",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
-        help="fault-plan and client-jitter seed for --chaos (default: 0)",
+        help="fault-plan and client-jitter seed for --chaos/--dist (default: 0)",
     )
     args = parser.parse_args(argv)
     if args.chaos:
         return run_chaos(args)
+    if args.dist:
+        return run_dist(args)
     return run_smoke(args)
 
 

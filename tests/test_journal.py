@@ -206,10 +206,115 @@ def test_compaction_repairs_a_torn_tail_first(tmp_path):
     reopened.close()
 
 
+# ----------------------------------------------------------------------
+# Sweep records (PR 10): interleaving, torn tails, compaction
+# ----------------------------------------------------------------------
+
+SWEEP_SPEC = {"jobs": [PAYLOAD, dict(PAYLOAD, clusters=4)], "lease": 5.0}
+
+
+def test_sweep_records_interleave_with_job_records(tmp_path):
+    with make_journal(tmp_path) as journal:
+        journal.append("submitted", "job-a", wait=False, payload=PAYLOAD)
+        journal.append("sweep-submitted", "sweep:sw-1", payload=SWEEP_SPEC)
+        journal.append("started", "job-a", job=1)
+        journal.append("sweep-progress", "sweep:sw-1", done={"0": "key0"})
+        journal.append("done", "job-a", job=1)
+        journal.append(
+            "sweep-progress", "sweep:sw-1",
+            done={"1": "key1"}, failed={"2": "boom"},
+        )
+        entries, stats = journal.replay()
+    assert stats.records == 6
+    sweep = entries["sweep:sw-1"]
+    assert sweep.is_sweep and not sweep.terminal
+    assert sweep.payload == SWEEP_SPEC
+    # Progress accumulates (union), unlike the rank-replacement events.
+    assert sweep.sweep_done == {"0": "key0", "1": "key1"}
+    assert sweep.sweep_failed == {"2": "boom"}
+    job = entries["job-a"]
+    assert not job.is_sweep and job.terminal
+
+
+def test_sweep_terminal_records_close_the_entry(tmp_path):
+    with make_journal(tmp_path) as journal:
+        journal.append("sweep-submitted", "sweep:sw-1", payload=SWEEP_SPEC)
+        journal.append("sweep-progress", "sweep:sw-1", done={"0": "key0"})
+        journal.append("sweep-done", "sweep:sw-1")
+        # A straggler progress record (duplicate completion after the
+        # close) must not re-open the sweep.
+        journal.append("sweep-progress", "sweep:sw-1", done={"1": "key1"})
+        entries, _ = journal.replay()
+    sweep = entries["sweep:sw-1"]
+    assert sweep.terminal and sweep.event == "sweep-done"
+    assert sweep.sweep_done == {"0": "key0", "1": "key1"}
+
+
+def test_torn_tail_inside_a_sweep_record(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.append("sweep-submitted", "sweep:sw-1", payload=SWEEP_SPEC)
+    journal.append("sweep-progress", "sweep:sw-1", done={"0": "key0"})
+    record = journal.append(
+        "sweep-progress", "sweep:sw-1", done={"1": "key1"}
+    )
+    journal.close()
+    # Crash mid-append of the second progress record: tear its line.
+    raw = journal.path.read_bytes().splitlines(keepends=True)
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    assert raw[-1] == line
+    journal.path.write_bytes(b"".join(raw[:-1]) + line[: len(line) // 2])
+
+    reopened = make_journal(tmp_path)
+    entries, stats = reopened.replay(repair=True)
+    reopened.close()
+    assert stats.torn_tail is True
+    sweep = entries["sweep:sw-1"]
+    # The torn progress is simply absent; the intact prefix survives.
+    assert sweep.sweep_done == {"0": "key0"}
+    assert sweep.payload == SWEEP_SPEC and not sweep.terminal
+
+
+def test_compaction_keeps_open_sweeps_and_merges_progress(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.append("submitted", "job-a", wait=False, payload=PAYLOAD)
+    journal.append("sweep-submitted", "sweep:open", payload=SWEEP_SPEC)
+    journal.append("sweep-progress", "sweep:open", done={"0": "key0"})
+    journal.append("sweep-progress", "sweep:open", failed={"1": "boom"})
+    journal.append("sweep-submitted", "sweep:closed", payload=SWEEP_SPEC)
+    journal.append("sweep-done", "sweep:closed")
+    journal.append("done", "job-a", job=1)
+    kept, dropped = journal.compact()
+    assert (kept, dropped) == (1, 2)  # open sweep kept; job + closed sweep gone
+
+    entries, stats = journal.replay()
+    assert set(entries) == {"sweep:open"}
+    # Two records survive: the synthesized sweep-submitted + one merged
+    # sweep-progress carrying the union of every progress record.
+    assert stats.records == 2
+    sweep = entries["sweep:open"]
+    assert sweep.payload == SWEEP_SPEC
+    assert sweep.sweep_done == {"0": "key0"}
+    assert sweep.sweep_failed == {"1": "boom"}
+
+    # Byte-idempotent recompaction, sweeps included.
+    first = journal.path.read_bytes()
+    assert journal.compact() == (1, 0)
+    assert journal.path.read_bytes() == first
+
+    # Appends continue with seq numbering past both synthesized records.
+    journal.append("sweep-done", "sweep:open")
+    entries, _ = journal.replay()
+    assert entries["sweep:open"].terminal
+    assert journal.compact() == (0, 1)
+    assert journal.path.read_bytes() == b""
+    journal.close()
+
+
 def test_event_rank_table_is_complete():
     # Every event the daemon can journal has a rank, and the terminal
     # set is exactly the rank-2 events.
     assert set(EVENT_RANK) == {
         "submitted", "started", "retrying", "done", "failed", "shed",
         "quarantined",
+        "sweep-submitted", "sweep-progress", "sweep-done", "sweep-failed",
     }
